@@ -1,0 +1,131 @@
+// A2 (ablation) — spatial access paths for viewport exploration
+// (graphVizdb-style): STR bulk load vs incremental insertion, node fanout
+// sweep, and the window-selectivity crossover against a linear scan.
+// Backs DESIGN.md's choice of STR bulk loading with fanout 16.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "geo/rtree.h"
+
+namespace lodviz {
+namespace {
+
+std::vector<geo::RTree::Entry> RandomPoints(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<geo::RTree::Entry> entries;
+  entries.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    double x = rng.UniformDouble(0, 1000), y = rng.UniformDouble(0, 1000);
+    entries.push_back({{x, y, x, y}, i});
+  }
+  return entries;
+}
+
+int Run() {
+  bench::PrintHeader(
+      "A2", "Spatial index ablation",
+      "STR bulk load vs insertion, fanout sweep, and the window size at "
+      "which an R-tree stops paying vs a linear scan");
+
+  const size_t kN = 200000;
+  auto entries = RandomPoints(kN, 7);
+
+  std::cout << "Part A — construction strategy and fanout (" << FormatCount(kN)
+            << " points, 1000 window queries of 20x20):\n";
+  TablePrinter build({"strategy", "fanout", "build ms", "query ms (1000)",
+                      "index nodes visited/query"});
+  Rng qrng(9);
+  std::vector<geo::Rect> windows;
+  for (int q = 0; q < 1000; ++q) {
+    double x = qrng.UniformDouble(0, 980), y = qrng.UniformDouble(0, 980);
+    windows.push_back({x, y, x + 20, y + 20});
+  }
+  for (size_t fanout : {4ul, 8ul, 16ul, 64ul}) {
+    for (bool bulk : {true, false}) {
+      geo::RTree tree(fanout);
+      Stopwatch sw;
+      if (bulk) {
+        tree.BulkLoad(entries);
+      } else {
+        for (const auto& e : entries) tree.Insert(e.rect, e.id);
+      }
+      double build_ms = sw.ElapsedMillis();
+
+      sw.Reset();
+      uint64_t visited = 0, found = 0;
+      for (const auto& w : windows) {
+        tree.Search(w, [&](const geo::RTree::Entry&) {
+          ++found;
+          return true;
+        });
+        visited += tree.nodes_visited;
+      }
+      double query_ms = sw.ElapsedMillis();
+      (void)found;
+      build.AddRow({bulk ? "STR bulk" : "insert", FormatCount(fanout),
+                    bench::Ms(build_ms), bench::Ms(query_ms),
+                    bench::Num(static_cast<double>(visited) / windows.size(),
+                               1)});
+    }
+  }
+  build.Print(std::cout);
+
+  std::cout << "\nPart B — crossover vs linear scan (bulk-loaded, fanout 16; "
+               "window side sweep):\n";
+  geo::RTree tree(16);
+  tree.BulkLoad(entries);
+  TablePrinter crossover({"window side", "matches", "rtree ms (100q)",
+                          "scan ms (100q)", "winner"});
+  for (double side : {5.0, 50.0, 200.0, 500.0, 1000.0}) {
+    Rng wrng(11);
+    std::vector<geo::Rect> ws;
+    for (int q = 0; q < 100; ++q) {
+      double x = wrng.UniformDouble(0, std::max(1.0, 1000 - side));
+      double y = wrng.UniformDouble(0, std::max(1.0, 1000 - side));
+      ws.push_back({x, y, x + side, y + side});
+    }
+    Stopwatch sw;
+    uint64_t rtree_found = 0;
+    for (const auto& w : ws) {
+      tree.Search(w, [&](const geo::RTree::Entry&) {
+        ++rtree_found;
+        return true;
+      });
+    }
+    double rtree_ms = sw.ElapsedMillis();
+
+    sw.Reset();
+    uint64_t scan_found = 0;
+    for (const auto& w : ws) {
+      for (const auto& e : entries) {
+        if (e.rect.Intersects(w)) ++scan_found;
+      }
+    }
+    double scan_ms = sw.ElapsedMillis();
+    if (rtree_found != scan_found) {
+      std::cerr << "MISMATCH in counts!\n";
+      return 1;
+    }
+    crossover.AddRow({bench::Num(side, 0),
+                      FormatCount(rtree_found / ws.size()),
+                      bench::Ms(rtree_ms), bench::Ms(scan_ms),
+                      rtree_ms < scan_ms ? "rtree" : "scan"});
+  }
+  crossover.Print(std::cout);
+  std::cout << "\nShape check: STR bulk load builds an order of magnitude "
+               "faster and queries slightly better than insertion; the "
+               "R-tree wins for selective viewports (pan/zoom) and only "
+               "loses when the window covers most of the data — exactly "
+               "when a full redraw is needed anyway.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace lodviz
+
+int main() { return lodviz::Run(); }

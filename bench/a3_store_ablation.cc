@@ -1,0 +1,71 @@
+// A3 (ablation) — triple-store compaction threshold under the dynamic
+// setting: the pending-buffer size trades insert amortization against
+// query-time buffer scans. Backs DESIGN.md's default of 64k.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "rdf/triple_store.h"
+
+namespace lodviz {
+namespace {
+
+int Run() {
+  bench::PrintHeader(
+      "A3", "Triple-store compaction threshold ablation",
+      "query-heavy interleaved workload (200 lookups per 10k inserts): small "
+      "thresholds compact too often, huge ones make every query scan a "
+      "large buffer");
+
+  const size_t kTriples = 500000;
+  const int kQueriesPerBatch = 200;  // exploration sessions are query-heavy
+  const size_t kBatch = 10000;
+
+  TablePrinter table({"threshold", "total insert ms", "total query ms",
+                      "workload ms", "compactions (approx)"});
+  for (size_t threshold : {4096ul, 16384ul, 65536ul, 262144ul, 1048576ul}) {
+    Rng rng(5);
+    rdf::TripleStore store(threshold);
+    double insert_ms = 0, query_ms = 0;
+    Stopwatch sw;
+    size_t inserted = 0;
+    while (inserted < kTriples) {
+      sw.Reset();
+      for (size_t i = 0; i < kBatch; ++i) {
+        store.AddEncoded({static_cast<rdf::TermId>(1 + rng.Uniform(50000)),
+                          static_cast<rdf::TermId>(1 + rng.Uniform(20)),
+                          static_cast<rdf::TermId>(1 + rng.Uniform(100000))});
+      }
+      inserted += kBatch;
+      insert_ms += sw.ElapsedMillis();
+
+      sw.Reset();
+      for (int q = 0; q < kQueriesPerBatch; ++q) {
+        rdf::TriplePattern pat(
+            static_cast<rdf::TermId>(1 + rng.Uniform(50000)),
+            rdf::kInvalidTermId, rdf::kInvalidTermId);
+        volatile uint64_t n = store.Count(pat);
+        (void)n;
+      }
+      query_ms += sw.ElapsedMillis();
+    }
+    table.AddRow({FormatCount(threshold), bench::Ms(insert_ms),
+                  bench::Ms(query_ms), bench::Ms(insert_ms + query_ms),
+                  FormatCount(kTriples / threshold)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nShape check: query time grows with the threshold (linear "
+               "buffer scans) while insert time shrinks (fewer sorts); the "
+               "total is U-shaped with a sweet spot in the tens of "
+               "thousands — the 64k default.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace lodviz
+
+int main() { return lodviz::Run(); }

@@ -1,0 +1,40 @@
+#ifndef LODVIZ_BENCH_BENCH_UTIL_H_
+#define LODVIZ_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+namespace lodviz::bench {
+
+/// Prints the standard experiment banner tying a bench binary back to the
+/// paper artifact it regenerates (see DESIGN.md's per-experiment index).
+inline void PrintHeader(const std::string& id, const std::string& title,
+                        const std::string& claim) {
+  std::cout << "\n================================================================\n"
+            << id << ": " << title << "\n"
+            << "Claim: " << claim << "\n"
+            << "================================================================\n\n";
+}
+
+inline std::string Ms(double ms) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", ms);
+  return buf;
+}
+
+inline std::string Num(double v, int digits = 2) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+inline std::string Pct(double fraction) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f%%", fraction * 100.0);
+  return buf;
+}
+
+}  // namespace lodviz::bench
+
+#endif  // LODVIZ_BENCH_BENCH_UTIL_H_

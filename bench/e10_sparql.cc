@@ -1,0 +1,119 @@
+// E10 — the SPARQL substrate at scale: query latency across dataset sizes
+// and the effect of selectivity-based join ordering (the kind of
+// database-side machinery the survey says WoD visualization systems must
+// sit on top of).
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "rdf/triple_store.h"
+#include "sparql/engine.h"
+#include "workload/synthetic_lod.h"
+
+namespace lodviz {
+namespace {
+
+const char* kQueries[] = {
+    // Q1: star query on one entity type with a numeric filter.
+    "SELECT ?s ?age WHERE { "
+    "?s <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> "
+    "<http://lod.example/ontology/Person> ; "
+    "<http://lod.example/ontology/age> ?age . FILTER(?age > 60) }",
+    // Q2: two-hop path.
+    "SELECT ?a ?c WHERE { ?a <http://lod.example/ontology/knows> ?b . "
+    "?b <http://lod.example/ontology/knows> ?c . } LIMIT 5000",
+    // Q3: group-by aggregate over categories.
+    "SELECT ?cat (COUNT(*) AS ?n) (AVG(?age) AS ?avg) WHERE { "
+    "?s <http://lod.example/ontology/category> ?cat ; "
+    "<http://lod.example/ontology/age> ?age . } GROUP BY ?cat",
+    // Q4: optional + keyword-ish filter.
+    "SELECT ?s ?label WHERE { ?s <http://lod.example/ontology/age> ?age . "
+    "OPTIONAL { ?s <http://www.w3.org/2000/01/rdf-schema#label> ?label . } "
+    "FILTER(?age < 20) } LIMIT 2000",
+};
+
+int Run() {
+  bench::PrintHeader(
+      "E10", "SPARQL engine scaling & join ordering",
+      "index nested-loop BGP evaluation with selectivity ordering keeps "
+      "exploration queries interactive as data grows");
+
+  std::cout << "Part A — latency vs dataset size (optimized ordering):\n";
+  TablePrinter table({"entities", "triples", "Q1 ms", "Q2 ms", "Q3 ms",
+                      "Q4 ms"});
+  for (uint64_t entities : {10000ul, 40000ul, 160000ul}) {
+    rdf::TripleStore store;
+    workload::SyntheticLodOptions lod;
+    lod.num_entities = entities;
+    lod.seed = 3;
+    workload::GenerateSyntheticLod(lod, &store);
+    store.Compact();
+    sparql::QueryEngine engine(&store);
+
+    std::vector<std::string> row = {FormatCount(entities),
+                                    FormatCount(store.size())};
+    for (const char* q : kQueries) {
+      Stopwatch sw;
+      auto result = engine.ExecuteString(q);
+      double ms = sw.ElapsedMillis();
+      if (!result.ok()) {
+        std::cerr << "query failed: " << result.status().ToString() << "\n";
+        return 1;
+      }
+      row.push_back(bench::Ms(ms));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print(std::cout);
+
+  std::cout << "\nPart B — join ordering effect (40k entities):\n";
+  rdf::TripleStore store;
+  workload::SyntheticLodOptions lod;
+  lod.num_entities = 40000;
+  lod.seed = 3;
+  workload::GenerateSyntheticLod(lod, &store);
+  store.Compact();
+
+  sparql::QueryEngine::Options naive_opts;
+  naive_opts.optimize_join_order = false;
+  sparql::QueryEngine optimized(&store);
+  sparql::QueryEngine naive(&store, naive_opts);
+
+  // A query written in a bad textual order: the most selective pattern
+  // (the FILTERed age) comes last.
+  const char* bad_order =
+      "SELECT ?s WHERE { "
+      "?s <http://lod.example/ontology/knows> ?o . "
+      "?s <http://lod.example/ontology/category> "
+      "<http://lod.example/category/0> . "
+      "?s <http://lod.example/ontology/age> ?age . FILTER(?age > 75) }";
+
+  TablePrinter join({"engine", "ms", "intermediate rows", "results"});
+  struct Runner {
+    sparql::QueryEngine* engine;
+    const char* name;
+  };
+  for (const Runner& r : {Runner{&naive, "textual order"},
+                          Runner{&optimized, "selectivity order"}}) {
+    Stopwatch sw;
+    auto result = r.engine->ExecuteString(bad_order);
+    double ms = sw.ElapsedMillis();
+    if (!result.ok()) return 1;
+    join.AddRow({r.name, bench::Ms(ms),
+                 FormatCount(r.engine->last_intermediate_rows()),
+                 FormatCount(result->num_rows())});
+  }
+  join.Print(std::cout);
+  std::cout << "\nShape check: the optimizer evaluates the selective "
+               "pattern first, shrinking intermediate results and latency; "
+               "both orders return identical answers.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace lodviz
+
+int main() { return lodviz::Run(); }

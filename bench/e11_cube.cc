@@ -1,0 +1,98 @@
+// E11 — statistical Linked Data at interactive rates (Section 3.3:
+// CubeViz, OpenCube, LDCE): cube extraction from RDF, then OLAP
+// slice/dice/roll-up/pivot latencies across observation counts.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "cube/data_cube.h"
+#include "rdf/triple_store.h"
+
+namespace lodviz {
+namespace {
+
+void BuildObservations(rdf::TripleStore* store, size_t n, uint64_t seed) {
+  using rdf::Term;
+  Rng rng(seed);
+  const int kRegions = 20, kYears = 10, kSectors = 8;
+  for (size_t i = 0; i < n; ++i) {
+    std::string obs = "http://stats.example/obs/" + std::to_string(i);
+    store->Add(Term::Iri(obs), Term::Iri("http://stats.example/region"),
+               Term::Iri("http://stats.example/region/" +
+                         std::to_string(rng.Uniform(kRegions))));
+    store->Add(Term::Iri(obs), Term::Iri("http://stats.example/year"),
+               Term::Literal(std::to_string(2006 + rng.Uniform(kYears))));
+    store->Add(Term::Iri(obs), Term::Iri("http://stats.example/sector"),
+               Term::Iri("http://stats.example/sector/" +
+                         std::to_string(rng.Uniform(kSectors))));
+    store->Add(Term::Iri(obs), Term::Iri("http://stats.example/value"),
+               Term::DoubleLiteral(rng.UniformDouble(10, 1000)));
+  }
+}
+
+int Run() {
+  bench::PrintHeader(
+      "E11", "RDF Data Cube OLAP",
+      "cube extraction plus slice/dice/roll-up/pivot stay interactive "
+      "(sub-second) into the hundreds of thousands of observations");
+
+  TablePrinter table({"observations", "extract ms", "rollup(region) ms",
+                      "pivot region x year ms", "slice ms", "dice ms"});
+
+  for (size_t n : {5000ul, 20000ul, 80000ul, 320000ul}) {
+    rdf::TripleStore store;
+    BuildObservations(&store, n, 7);
+    store.Compact();
+
+    Stopwatch sw;
+    auto cube = cube::DataCube::FromStore(
+        store,
+        {"http://stats.example/region", "http://stats.example/year",
+         "http://stats.example/sector"},
+        {"http://stats.example/value"});
+    double extract_ms = sw.ElapsedMillis();
+    if (!cube.ok()) {
+      std::cerr << cube.status().ToString() << "\n";
+      return 1;
+    }
+
+    sw.Reset();
+    auto rollup = cube->RollUp({0}, 0, cube::Agg::kSum);
+    double rollup_ms = sw.ElapsedMillis();
+
+    sw.Reset();
+    auto pivot = cube->Pivot(0, 1, 0, cube::Agg::kAvg);
+    double pivot_ms = sw.ElapsedMillis();
+
+    auto regions = cube->DimensionValues(0);
+    sw.Reset();
+    auto slice = cube->Slice(0, regions.front());
+    double slice_ms = sw.ElapsedMillis();
+
+    sw.Reset();
+    auto dice = cube->Dice(0, {regions[0], regions[1], regions[2]});
+    double dice_ms = sw.ElapsedMillis();
+
+    (void)rollup;
+    (void)pivot;
+    (void)slice;
+    (void)dice;
+    table.AddRow({FormatCount(n), bench::Ms(extract_ms),
+                  bench::Ms(rollup_ms), bench::Ms(pivot_ms),
+                  bench::Ms(slice_ms), bench::Ms(dice_ms)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nShape check: OLAP operations are linear single passes; "
+               "extraction dominates (it joins per observation), matching "
+               "why CubeViz-style tools precompute their cubes.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace lodviz
+
+int main() { return lodviz::Run(); }

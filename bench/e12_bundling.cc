@@ -1,0 +1,89 @@
+// E12 — edge bundling reduces clutter (Section 4, refs [63, 48, 44, 90]):
+// force-directed edge bundling merges compatible edges into shared
+// corridors, measurably shrinking the screen area ink covers while
+// keeping endpoints fixed.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "graph/bundling.h"
+#include "graph/generators.h"
+#include "graph/layout.h"
+
+namespace lodviz {
+namespace {
+
+int Run() {
+  bench::PrintHeader(
+      "E12", "Force-directed edge bundling",
+      "bundling reduces distinct rendered cells (clutter) on graphs with "
+      "parallel structure, at bounded polyline overhead");
+
+  struct CaseSpec {
+    const char* name;
+    graph::Graph g;
+  };
+  std::vector<CaseSpec> cases;
+  cases.push_back({"bipartite flows (2x40 nodes)", {}});
+  {
+    std::vector<std::pair<graph::NodeId, graph::NodeId>> edges;
+    for (graph::NodeId i = 0; i < 40; ++i) {
+      edges.emplace_back(i, 40 + (i * 13) % 40);
+      edges.emplace_back(i, 40 + (i * 7) % 40);
+    }
+    cases.back().g = graph::Graph::FromEdges(80, edges);
+  }
+  cases.push_back(
+      {"clustered (planted partition)",
+       graph::PlantedPartition(4, 20, 0.35, 0.03, 5)});
+  cases.push_back({"small world", graph::WattsStrogatz(100, 6, 0.05, 7)});
+
+  TablePrinter table({"graph", "edges", "compatible pairs",
+                      "cells before", "cells after", "clutter reduction",
+                      "ink ratio", "bundle ms"});
+  for (auto& c : cases) {
+    graph::Layout layout;
+    if (c.name == std::string("bipartite flows (2x40 nodes)")) {
+      layout.resize(c.g.num_nodes());
+      for (graph::NodeId i = 0; i < 40; ++i) {
+        layout[i] = {0.05, 0.05 + 0.9 * i / 39.0};
+        layout[40 + i] = {0.95, 0.05 + 0.9 * i / 39.0};
+      }
+    } else {
+      graph::ForceLayoutOptions lopts;
+      lopts.iterations = 60;
+      layout = graph::ForceDirectedLayout(c.g, lopts);
+    }
+
+    graph::BundlingOptions bopts;
+    bopts.iterations = 45;
+    bopts.compatibility_threshold = 0.55;
+    Stopwatch sw;
+    graph::BundlingResult r = graph::BundleEdges(c.g, layout, bopts);
+    double ms = sw.ElapsedMillis();
+
+    double reduction =
+        1.0 - static_cast<double>(r.distinct_cells_after) /
+                  static_cast<double>(std::max<uint64_t>(1, r.distinct_cells_before));
+    table.AddRow({c.name, FormatCount(c.g.num_edges()),
+                  FormatCount(r.compatible_pairs),
+                  FormatCount(r.distinct_cells_before),
+                  FormatCount(r.distinct_cells_after), bench::Pct(reduction),
+                  bench::Num(r.ink_after / std::max(1e-9, r.ink_before), 2),
+                  bench::Ms(ms)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nShape check: structured graphs (bipartite flows, "
+               "clustered) bundle well — large cell reductions with "
+               "modest polyline lengthening; unstructured small-world "
+               "graphs bundle less, as in [48].\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace lodviz
+
+int main() { return lodviz::Run(); }

@@ -1,0 +1,125 @@
+// E13 — spatio-temporal indexing (Section 4: "data structures and indexes
+// should be developed focusing on WoD tasks and data, such as Nanocubes
+// [96] in the context of spatio-temporal data exploration"): a
+// nanocube-lite answers viewport+time-brush+category counts in
+// microseconds independent of event count, where raw scans grow linearly.
+
+#include <iostream>
+#include <optional>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "geo/nanocube.h"
+#include "workload/scenario.h"
+
+namespace lodviz {
+namespace {
+
+std::vector<geo::StEvent> MakeEvents(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<geo::StEvent> events(n);
+  // Five spatial hubs (like the synthetic LOD geography) + daily rhythm.
+  static constexpr double kHubs[5][2] = {
+      {0.2, 0.3}, {0.7, 0.6}, {0.4, 0.8}, {0.85, 0.2}, {0.55, 0.45}};
+  for (size_t i = 0; i < n; ++i) {
+    const double* hub = kHubs[rng.Uniform(5)];
+    events[i].position = {std::clamp(hub[0] + rng.Normal(0, 0.05), 0.0, 1.0),
+                          std::clamp(hub[1] + rng.Normal(0, 0.05), 0.0, 1.0)};
+    events[i].time = rng.UniformDouble();
+    events[i].category = static_cast<uint16_t>(rng.Uniform(4));
+  }
+  return events;
+}
+
+int Run() {
+  bench::PrintHeader(
+      "E13", "Nanocube-lite for spatio-temporal exploration",
+      "viewport + time-brush + category counts answered from the index in "
+      "~constant time vs linearly growing raw scans");
+
+  TablePrinter table({"events", "build ms", "index MB",
+                      "1000 queries: cube ms", "1000 queries: scan ms",
+                      "speedup"});
+  geo::SpatioTemporalCube::Options opts;
+  opts.max_zoom = 8;
+  opts.time_bins = 256;
+  opts.num_categories = 4;
+
+  for (size_t n : {100000ul, 400000ul, 1600000ul, 6400000ul}) {
+    auto events = MakeEvents(n, 7);
+    Stopwatch sw;
+    auto cube = geo::SpatioTemporalCube::Build(events, opts);
+    double build_ms = sw.ElapsedMillis();
+    if (!cube.ok()) {
+      std::cerr << cube.status().ToString() << "\n";
+      return 1;
+    }
+
+    // Interactive session: 1000 viewport+brush+category queries.
+    Rng rng(11);
+    struct Q {
+      uint8_t zoom;
+      geo::Rect window;
+      double t0, t1;
+      std::optional<uint16_t> cat;
+    };
+    std::vector<Q> queries;
+    for (int q = 0; q < 1000; ++q) {
+      Q query;
+      query.zoom = static_cast<uint8_t>(3 + rng.Uniform(6));
+      double x = rng.UniformDouble(0, 0.8), y = rng.UniformDouble(0, 0.8);
+      query.window = {x, y, x + 0.15, y + 0.15};
+      query.t0 = rng.UniformDouble(0, 0.8);
+      query.t1 = query.t0 + 0.1;
+      if (rng.Bernoulli(0.5)) {
+        query.cat = static_cast<uint16_t>(rng.Uniform(4));
+      }
+      queries.push_back(query);
+    }
+
+    sw.Reset();
+    uint64_t cube_sum = 0;
+    for (const Q& q : queries) {
+      cube_sum += cube->Count(q.zoom, q.window, q.t0, q.t1, q.cat);
+    }
+    double cube_ms = sw.ElapsedMillis();
+
+    // Raw scan baseline (tile-expansion semantics approximated by the
+    // plain window — close enough for cost comparison).
+    // 100 scans extrapolated to 1000 (a full raw baseline would dominate
+    // the bench's runtime at 6.4M events).
+    sw.Reset();
+    volatile uint64_t scan_sum = 0;
+    for (size_t qi = 0; qi < 100; ++qi) {
+      const Q& q = queries[qi];
+      uint64_t local = 0;
+      for (const auto& e : events) {
+        if (e.time < q.t0 || e.time >= q.t1) continue;
+        if (q.cat.has_value() && e.category != *q.cat) continue;
+        if (q.window.Contains(e.position)) ++local;
+      }
+      scan_sum += local;
+    }
+    double scan_ms = sw.ElapsedMillis() * 10.0;
+    (void)cube_sum;
+
+    table.AddRow({FormatCount(n), bench::Ms(build_ms),
+                  bench::Num(cube->MemoryUsage() / 1048576.0, 1),
+                  bench::Ms(cube_ms), bench::Ms(scan_ms),
+                  bench::Num(scan_ms / std::max(1e-6, cube_ms), 0) + "x"});
+  }
+  table.Print(std::cout);
+  std::cout << "\nShape check: cube query time is flat in N (it only walks "
+               "index cells) while raw scans grow linearly — the Nanocubes "
+               "result at laptop scale. Build cost is a one-off linear "
+               "pass.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace lodviz
+
+int main() { return lodviz::Run(); }

@@ -1,0 +1,146 @@
+// E3 — incremental/progressive computation (Section 2, refs [46, 2, 69,
+// 123]): in the WoD setting data arrives over an endpoint in pages, so a
+// batch system cannot answer before the whole dataset has streamed in. A
+// progressive aggregator shows its first estimate after one page and hits
+// a 1%-CI answer after a (CLT-fixed, N-independent) number of rows —
+// so its advantage grows linearly with dataset size.
+
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "explore/progressive.h"
+
+namespace lodviz {
+namespace {
+
+int Run() {
+  bench::PrintHeader(
+      "E3", "Progressive aggregation over streaming data",
+      "first answers appear after one page; 1%-CI answers after a fixed "
+      "number of rows regardless of N — batch systems wait for the full "
+      "stream");
+
+  // Endpoint model: pages of 10k rows, 50 ms per round trip (network +
+  // server), the regime live SPARQL endpoints operate in.
+  const size_t kPageRows = 10000;
+  const double kPageMs = 50.0;
+
+  TablePrinter table({"N", "batch: time to exact (s)",
+                      "progressive: first estimate (s)",
+                      "progressive: 1%-CI answer (s)", "speedup to 1%",
+                      "1%-answer err"});
+  Rng rng(13);
+  for (size_t n : {200000ul, 800000ul, 3200000ul, 12800000ul}) {
+    // I.i.d. stream (order is already random; no shuffle needed).
+    explore::ProgressiveAggregator agg(n);
+    double true_sum = 0;
+    size_t rows_to_ci = 0;
+    double mean_at_ci = 0;
+    bool reached = false;
+    std::vector<double> page(kPageRows);
+    size_t produced = 0;
+    while (produced < n) {
+      size_t m = std::min(kPageRows, n - produced);
+      for (size_t i = 0; i < m; ++i) {
+        page[i] = rng.Normal(1000.0, 250.0);
+        true_sum += page[i];
+      }
+      produced += m;
+      agg.ProcessChunk(page.data(), m);
+      if (!reached) {
+        explore::ProgressiveEstimate est = agg.Estimate();
+        if (est.rows_seen > 30 && est.ci95 <= 0.01 * std::abs(est.mean)) {
+          reached = true;
+          rows_to_ci = est.rows_seen;
+          mean_at_ci = est.mean;
+        }
+      }
+    }
+    double true_mean = true_sum / static_cast<double>(n);
+    if (!reached) {
+      rows_to_ci = n;
+      mean_at_ci = agg.Estimate().mean;
+    }
+
+    double pages_total = std::ceil(static_cast<double>(n) / kPageRows);
+    double pages_to_ci =
+        std::ceil(static_cast<double>(rows_to_ci) / kPageRows);
+    double batch_s = pages_total * kPageMs / 1e3;
+    double first_s = kPageMs / 1e3;
+    double ci_s = pages_to_ci * kPageMs / 1e3;
+
+    table.AddRow({FormatCount(n), bench::Num(batch_s, 1),
+                  bench::Num(first_s, 2), bench::Num(ci_s, 2),
+                  bench::Num(batch_s / ci_s, 0) + "x",
+                  bench::Pct(std::abs(mean_at_ci - true_mean) /
+                             std::abs(true_mean))});
+  }
+  table.Print(std::cout);
+
+  std::cout << "\nLocal-compute view (no network): CPU ms to reach a 1% CI "
+               "vs scanning everything, including the progressive "
+               "machinery's own overhead:\n";
+  TablePrinter cpu({"N", "full scan+var ms", "progressive-to-1% ms",
+                    "rows consumed"});
+  for (size_t n : {800000ul, 12800000ul}) {
+    std::vector<double> values;
+    values.reserve(n);
+    Rng vrng(21);
+    for (size_t i = 0; i < n; ++i) values.push_back(vrng.Normal(1000, 250));
+
+    Stopwatch sw;
+    double sum = 0, sumsq = 0;
+    for (double v : values) {
+      sum += v;
+      sumsq += v * v;
+    }
+    volatile double sink = sum + sumsq;
+    (void)sink;
+    double scan_ms = sw.ElapsedMillis();
+
+    sw.Reset();
+    explore::ProgressiveAggregator agg(n);
+    size_t pos = 0;
+    explore::ProgressiveEstimate est;
+    while (pos < n) {
+      size_t m = std::min<size_t>(5000, n - pos);
+      agg.ProcessChunk(values.data() + pos, m);
+      pos += m;
+      est = agg.Estimate();
+      if (est.rows_seen > 30 && est.ci95 <= 0.01 * std::abs(est.mean)) break;
+    }
+    double prog_ms = sw.ElapsedMillis();
+    cpu.AddRow({FormatCount(n), bench::Ms(scan_ms), bench::Ms(prog_ms),
+                FormatCount(est.rows_seen)});
+  }
+  cpu.Print(std::cout);
+
+  std::cout << "\nConvergence trajectory for N = 3.2M (mean +/- CI95):\n";
+  Rng rng2(19);
+  std::vector<double> values;
+  for (size_t i = 0; i < 3200000; ++i) values.push_back(rng2.Normal(1000, 250));
+  auto trajectory = explore::RunProgressive(values, 20000, 0.0, 23);
+  TablePrinter conv({"rows seen", "mean", "ci95", "rel. CI width"});
+  for (size_t i = 0; i < trajectory.size(); i = i == 0 ? 1 : i * 2) {
+    const auto& est = trajectory[i];
+    conv.AddRow({FormatCount(est.rows_seen), bench::Num(est.mean),
+                 bench::Num(est.ci95, 3),
+                 bench::Pct(est.ci95 / std::abs(est.mean))});
+    if (i >= trajectory.size() / 2) break;
+  }
+  conv.Print(std::cout);
+  std::cout << "Shape check: rows-to-1%-CI is constant in N (CLT), so the "
+               "streaming speedup grows linearly with dataset size; local "
+               "CPU cost of the progressive path is likewise flat.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace lodviz
+
+int main() { return lodviz::Run(); }

@@ -1,0 +1,92 @@
+// E8 — caching & prefetching for interactive latency (Section 4, refs
+// [128, 16, 33, 39]): over a pan/zoom session against a simulated
+// 40ms-latency tile backend, an LRU cache removes revisit cost and
+// momentum prefetching hides most first-visit latency too.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "explore/prefetch.h"
+#include "geo/tiles.h"
+#include "workload/scenario.h"
+
+namespace lodviz {
+namespace {
+
+int Run() {
+  bench::PrintHeader(
+      "E8", "Caching and prefetching of map/graph tiles",
+      "LRU caching removes revisit latency; momentum prefetching also "
+      "hides first-visit latency during directional panning");
+
+  const double kBackendMs = 40.0;  // simulated backend cost per tile
+  auto scenario = workload::PanZoomTileScenario(/*max_zoom=*/9,
+                                                /*num_requests=*/1200,
+                                                /*seed=*/33);
+
+  struct Config {
+    const char* name;
+    bool prefetch;
+    size_t cache;
+  };
+  const Config configs[] = {
+      {"no cache (re-fetch everything)", false, 1},
+      {"LRU cache only", false, 512},
+      {"LRU cache + momentum prefetch", true, 512},
+  };
+
+  TablePrinter table({"strategy", "user hit rate", "backend fetches",
+                      "user-visible latency (s)", "total backend work (s)"});
+  for (const Config& config : configs) {
+    uint64_t fetches = 0;
+    auto fetch = [&](const geo::TileKey& key) {
+      ++fetches;
+      return std::vector<uint64_t>{key.Pack()};
+    };
+    explore::TilePrefetcher::Options opts;
+    opts.cache_capacity = config.cache;
+    opts.enable_prefetch = config.prefetch;
+    opts.lookahead = 2;
+    explore::TilePrefetcher prefetcher(fetch, opts);
+
+    uint64_t user_misses = 0;
+    uint64_t requests = 0;
+    for (const auto& key : scenario) {
+      uint64_t before = prefetcher.backend_fetches();
+      bool was_cached = true;
+      (void)before;
+      uint64_t fetches_before = fetches;
+      prefetcher.Request(key);
+      // A user-visible miss = a backend fetch happened synchronously for
+      // THIS tile (prefetch fetches happen "in the background").
+      was_cached = prefetcher.UserHitRate() > 0 &&
+                   fetches == fetches_before;  // heuristic for display only
+      (void)was_cached;
+      ++requests;
+    }
+    user_misses = requests - static_cast<uint64_t>(
+                                 prefetcher.UserHitRate() *
+                                 static_cast<double>(requests) + 0.5);
+
+    double user_latency_s = static_cast<double>(user_misses) * kBackendMs / 1e3;
+    double backend_s = static_cast<double>(prefetcher.backend_fetches()) *
+                       kBackendMs / 1e3;
+    table.AddRow({config.name, bench::Pct(prefetcher.UserHitRate()),
+                  FormatCount(prefetcher.backend_fetches()),
+                  bench::Num(user_latency_s, 1), bench::Num(backend_s, 1)});
+  }
+  table.Print(std::cout);
+
+  std::cout << "\nShape check: user-visible latency drops sharply from "
+               "no-cache -> LRU -> LRU+prefetch, at the cost of extra "
+               "(asynchronous) backend work — the standard prefetching "
+               "trade-off in [16].\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace lodviz
+
+int main() { return lodviz::Run(); }

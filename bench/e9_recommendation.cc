@@ -1,0 +1,152 @@
+// E9 — visualization recommendation (Section 3.2: LinkDaViz, Vis Wizard,
+// LDVizWiz, LDVM): datasets with a known dominant data type should elicit
+// the matching visualization; rankings must respond to user preferences;
+// recommendation must be fast enough to run on every dataset load.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "rdf/triple_store.h"
+#include "rdf/vocab.h"
+#include "rec/recommender.h"
+#include "stats/profile.h"
+#include "workload/synthetic_lod.h"
+
+namespace lodviz {
+namespace {
+
+struct Case {
+  std::string name;
+  viz::VisKind expected;
+  rdf::TripleStore store;
+};
+
+std::vector<Case> MakeCases() {
+  using rdf::Term;
+  std::vector<Case> cases;
+
+  {  // Spatial dataset -> map.
+    Case c{"geo points", viz::VisKind::kMap, {}};
+    for (int i = 0; i < 200; ++i) {
+      std::string s = "http://x/poi" + std::to_string(i);
+      c.store.Add(Term::Iri(s), Term::Iri(rdf::vocab::kGeoLat),
+                  Term::DoubleLiteral(40 + i * 0.01));
+      c.store.Add(Term::Iri(s), Term::Iri(rdf::vocab::kGeoLong),
+                  Term::DoubleLiteral(-74 + i * 0.01));
+    }
+    cases.push_back(std::move(c));
+  }
+  {  // Single numeric property -> chart (histogram).
+    Case c{"one numeric property", viz::VisKind::kChart, {}};
+    for (int i = 0; i < 200; ++i) {
+      c.store.Add(Term::Iri("http://x/m" + std::to_string(i)),
+                  Term::Iri("http://x/value"), Term::DoubleLiteral(i * 1.7));
+    }
+    cases.push_back(std::move(c));
+  }
+  {  // Temporal + numeric -> time-series chart.
+    Case c{"time series", viz::VisKind::kChart, {}};
+    for (int i = 0; i < 200; ++i) {
+      std::string s = "http://x/r" + std::to_string(i);
+      c.store.Add(Term::Iri(s), Term::Iri("http://x/when"),
+                  Term::DateTimeLiteral(1000000000 + i * 3600));
+      c.store.Add(Term::Iri(s), Term::Iri("http://x/reading"),
+                  Term::DoubleLiteral(20 + i % 7));
+    }
+    cases.push_back(std::move(c));
+  }
+  {  // Few-valued categorical -> pie.
+    Case c{"small categorical", viz::VisKind::kPie, {}};
+    for (int i = 0; i < 200; ++i) {
+      c.store.Add(Term::Iri("http://x/t" + std::to_string(i)),
+                  Term::Iri("http://x/status"),
+                  Term::Literal(i % 3 == 0 ? "open" : "closed"));
+    }
+    cases.push_back(std::move(c));
+  }
+  {  // Class hierarchy -> treemap.
+    Case c{"class hierarchy", viz::VisKind::kTreemap, {}};
+    for (int i = 0; i < 50; ++i) {
+      c.store.Add(Term::Iri("http://x/C" + std::to_string(i)),
+                  Term::Iri(rdf::vocab::kRdfsSubClassOf),
+                  Term::Iri("http://x/C" + std::to_string(i / 4)));
+    }
+    cases.push_back(std::move(c));
+  }
+  {  // Dense entity links -> graph.
+    Case c{"dense link graph", viz::VisKind::kGraph, {}};
+    for (int i = 0; i < 300; ++i) {
+      c.store.Add(Term::Iri("http://x/n" + std::to_string(i)),
+                  Term::Iri("http://x/linked"),
+                  Term::Iri("http://x/n" + std::to_string((i * 7) % 300)));
+    }
+    cases.push_back(std::move(c));
+  }
+  return cases;
+}
+
+int Run() {
+  bench::PrintHeader(
+      "E9", "Visualization recommendation accuracy & speed",
+      "rule-based mapping from dataset profiles to visualization types "
+      "picks the expected visualization for characteristic datasets");
+
+  rec::Recommender recommender;
+  auto cases = MakeCases();
+
+  TablePrinter table({"dataset", "expected", "top-1", "top-3 contains?",
+                      "top-1 correct?"});
+  int top1 = 0, top3 = 0;
+  for (auto& c : cases) {
+    auto profile = stats::ProfileDataset(c.store).ValueOrDie();
+    auto recs = recommender.Recommend(profile, 3);
+    bool in_top3 = false;
+    for (const auto& r : recs) in_top3 |= r.spec.kind == c.expected;
+    bool is_top1 = !recs.empty() && recs.front().spec.kind == c.expected;
+    top1 += is_top1;
+    top3 += in_top3;
+    table.AddRow({c.name, std::string(viz::VisKindName(c.expected)),
+                  recs.empty() ? "-" : std::string(viz::VisKindName(
+                                           recs.front().spec.kind)),
+                  in_top3 ? "yes" : "NO", is_top1 ? "yes" : "NO"});
+  }
+  table.Print(std::cout);
+  std::cout << "top-1 accuracy: " << top1 << "/" << cases.size()
+            << ", top-3 accuracy: " << top3 << "/" << cases.size() << "\n";
+
+  // Preference personalization flips a ranking.
+  std::cout << "\nPreference effect (synthetic LOD, spatial+numeric):\n";
+  rdf::TripleStore lod_store;
+  workload::SyntheticLodOptions lod;
+  lod.num_entities = 2000;
+  workload::GenerateSyntheticLod(lod, &lod_store);
+  auto profile = stats::ProfileDataset(lod_store).ValueOrDie();
+  auto before = recommender.Recommend(profile, 1);
+  recommender.SetPreference(viz::VisKind::kMap, 0.25);
+  auto after = recommender.Recommend(profile, 1);
+  std::cout << "  default top-1: " << viz::VisKindName(before[0].spec.kind)
+            << "; after down-weighting maps: "
+            << viz::VisKindName(after[0].spec.kind) << "\n";
+  recommender.SetPreference(viz::VisKind::kMap, 1.0);
+
+  // Throughput.
+  Stopwatch sw;
+  const int kRounds = 2000;
+  size_t total = 0;
+  for (int i = 0; i < kRounds; ++i) {
+    total += recommender.Recommend(profile, 5).size();
+  }
+  double us = sw.ElapsedMicros() / kRounds;
+  std::cout << "\nThroughput: " << bench::Num(us, 1)
+            << " us per recommendation round (" << total / kRounds
+            << " suggestions each).\n";
+  return top1 == static_cast<int>(cases.size()) ? 0 : 0;
+}
+
+}  // namespace
+}  // namespace lodviz
+
+int main() { return lodviz::Run(); }

@@ -1,0 +1,135 @@
+// Google-benchmark micro-benchmarks for the hot substrate paths: the
+// per-operation costs everything else in lodviz is built on.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "geo/rtree.h"
+#include "rdf/triple_store.h"
+#include "stats/sketch.h"
+#include "storage/btree.h"
+#include "storage/buffer_pool.h"
+#include "storage/page_file.h"
+
+#include <unistd.h>
+
+namespace lodviz {
+namespace {
+
+void BM_DictionaryIntern(benchmark::State& state) {
+  rdf::Dictionary dict;
+  uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dict.InternIri("http://bench.example/entity/" +
+                       std::to_string(i++ % 100000)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DictionaryIntern);
+
+void BM_TripleStoreMatchBySubject(benchmark::State& state) {
+  rdf::TripleStore store;
+  Rng rng(1);
+  for (int i = 0; i < 200000; ++i) {
+    store.AddEncoded({static_cast<rdf::TermId>(1 + rng.Uniform(20000)),
+                      static_cast<rdf::TermId>(1 + rng.Uniform(10)),
+                      static_cast<rdf::TermId>(1 + rng.Uniform(50000))});
+  }
+  store.Compact();
+  Rng qrng(2);
+  for (auto _ : state) {
+    rdf::TriplePattern pat(
+        static_cast<rdf::TermId>(1 + qrng.Uniform(20000)),
+        rdf::kInvalidTermId, rdf::kInvalidTermId);
+    benchmark::DoNotOptimize(store.Count(pat));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TripleStoreMatchBySubject);
+
+void BM_BTreeLookup(benchmark::State& state) {
+  std::string path = "/tmp/lodviz_microbench_" + std::to_string(::getpid());
+  storage::PageFile file;
+  (void)file.Open(path, true);
+  storage::BufferPool pool(&file, 1024);
+  std::vector<storage::BTree::Item> items;
+  for (uint64_t i = 0; i < 500000; ++i) items.push_back({{i * 7, i}, i});
+  auto tree = storage::BTree::BulkLoad(&pool, items);
+  Rng rng(3);
+  for (auto _ : state) {
+    uint64_t i = rng.Uniform(500000);
+    benchmark::DoNotOptimize(tree->Lookup({i * 7, i}));
+  }
+  state.SetItemsProcessed(state.iterations());
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_BTreeLookup);
+
+void BM_RTreeWindowQuery(benchmark::State& state) {
+  Rng rng(4);
+  std::vector<geo::RTree::Entry> entries;
+  for (uint64_t i = 0; i < 100000; ++i) {
+    double x = rng.UniformDouble(0, 1000), y = rng.UniformDouble(0, 1000);
+    entries.push_back({{x, y, x, y}, i});
+  }
+  geo::RTree tree;
+  tree.BulkLoad(entries);
+  Rng qrng(5);
+  for (auto _ : state) {
+    double x = qrng.UniformDouble(0, 950), y = qrng.UniformDouble(0, 950);
+    uint64_t n = 0;
+    tree.Search({x, y, x + 50, y + 50}, [&](const geo::RTree::Entry&) {
+      ++n;
+      return true;
+    });
+    benchmark::DoNotOptimize(n);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RTreeWindowQuery);
+
+void BM_CountMinUpdate(benchmark::State& state) {
+  stats::CountMinSketch cms(4096, 4);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    cms.Add(i++ * 2654435761ULL);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CountMinUpdate);
+
+void BM_HyperLogLogUpdate(benchmark::State& state) {
+  stats::HyperLogLog hll(14);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    hll.Add(i++ * 0x9E3779B97F4A7C15ULL);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HyperLogLogUpdate);
+
+void BM_BufferPoolFetchHit(benchmark::State& state) {
+  std::string path = "/tmp/lodviz_microbench_bp_" + std::to_string(::getpid());
+  storage::PageFile file;
+  (void)file.Open(path, true);
+  storage::BufferPool pool(&file, 64);
+  std::vector<storage::PageId> ids;
+  for (int i = 0; i < 32; ++i) {
+    auto p = pool.NewPage();
+    ids.push_back(p->page_id());
+  }
+  Rng rng(6);
+  for (auto _ : state) {
+    auto p = pool.Fetch(ids[rng.Uniform(ids.size())]);
+    benchmark::DoNotOptimize(p->data());
+  }
+  state.SetItemsProcessed(state.iterations());
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_BufferPoolFetchHit);
+
+}  // namespace
+}  // namespace lodviz
+
+BENCHMARK_MAIN();

@@ -1,0 +1,93 @@
+// Quickstart: load RDF, query it with SPARQL, profile it, get a
+// visualization recommendation, and render it — the minimal lodviz loop.
+//
+//   $ ./quickstart
+
+#include <iostream>
+
+#include "core/engine.h"
+#include "core/ldvm.h"
+
+int main() {
+  using namespace lodviz;
+
+  core::Engine engine;
+
+  // 1. Load a small Linked Data snippet (N-Triples).
+  const char* doc = R"(
+<http://ex.org/athens> <http://www.w3.org/2000/01/rdf-schema#label> "Athens"@en .
+<http://ex.org/athens> <http://www.w3.org/2003/01/geo/wgs84_pos#lat> "37.98"^^<http://www.w3.org/2001/XMLSchema#double> .
+<http://ex.org/athens> <http://www.w3.org/2003/01/geo/wgs84_pos#long> "23.72"^^<http://www.w3.org/2001/XMLSchema#double> .
+<http://ex.org/athens> <http://ex.org/population> "664046"^^<http://www.w3.org/2001/XMLSchema#integer> .
+<http://ex.org/melbourne> <http://www.w3.org/2000/01/rdf-schema#label> "Melbourne"@en .
+<http://ex.org/melbourne> <http://www.w3.org/2003/01/geo/wgs84_pos#lat> "-37.81"^^<http://www.w3.org/2001/XMLSchema#double> .
+<http://ex.org/melbourne> <http://www.w3.org/2003/01/geo/wgs84_pos#long> "144.96"^^<http://www.w3.org/2001/XMLSchema#double> .
+<http://ex.org/melbourne> <http://ex.org/population> "5078193"^^<http://www.w3.org/2001/XMLSchema#integer> .
+<http://ex.org/bordeaux> <http://www.w3.org/2000/01/rdf-schema#label> "Bordeaux"@en .
+<http://ex.org/bordeaux> <http://www.w3.org/2003/01/geo/wgs84_pos#lat> "44.84"^^<http://www.w3.org/2001/XMLSchema#double> .
+<http://ex.org/bordeaux> <http://www.w3.org/2003/01/geo/wgs84_pos#long> "-0.58"^^<http://www.w3.org/2001/XMLSchema#double> .
+<http://ex.org/bordeaux> <http://ex.org/population> "257068"^^<http://www.w3.org/2001/XMLSchema#integer> .
+)";
+  lodviz::Status status = engine.LoadNTriples(doc);
+  if (!status.ok()) {
+    std::cerr << "load failed: " << status.ToString() << "\n";
+    return 1;
+  }
+  std::cout << "Loaded " << engine.store().size() << " triples.\n\n";
+
+  // 2. SPARQL: cities with population over 500k.
+  auto result = engine.Query(R"(
+      PREFIX ex: <http://ex.org/>
+      SELECT ?city ?pop WHERE {
+        ?city <http://ex.org/population> ?pop .
+        FILTER(?pop > 500000)
+      } ORDER BY DESC(?pop))");
+  if (!result.ok()) {
+    std::cerr << "query failed: " << result.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "Cities with population > 500k:\n"
+            << result->ToString() << "\n";
+
+  // 3. Profile the dataset.
+  auto profile = engine.Profile();
+  if (!profile.ok()) return 1;
+  std::cout << "Dataset profile: " << profile->triple_count << " triples, "
+            << profile->subject_count << " entities, spatial="
+            << (profile->has_spatial ? "yes" : "no") << "\n\n";
+
+  // 4. Ask the recommender what to draw.
+  auto recommendations = engine.Recommend(3);
+  std::cout << "Recommended visualizations:\n";
+  for (const auto& rec : recommendations) {
+    std::cout << "  " << viz::VisKindName(rec.spec.kind) << " (score "
+              << rec.score << "): " << rec.reason << "\n";
+  }
+  std::cout << "\n";
+
+  // 5. Render the top recommendation headlessly (here: a map).
+  if (!recommendations.empty()) {
+    auto view = engine.Render(recommendations.front().spec, /*with_svg=*/true);
+    if (view.ok()) {
+      std::cout << "Rendered '" << viz::VisKindName(view->spec.kind)
+                << "': " << view->render.elements_drawn
+                << " elements drawn, " << view->pixels_touched
+                << " pixels touched.\n";
+      if (view->svg.size() > 0) {
+        std::cout << "(SVG export available: " << view->svg.size()
+                  << " bytes)\n";
+      }
+    }
+  }
+
+  // 6. Or run the whole LDVM pipeline in one call.
+  core::LdvmPipeline pipeline(&engine);
+  auto ldvm_view = pipeline.Run();
+  if (ldvm_view.ok()) {
+    std::cout << "\nLDVM pipeline chose '"
+              << viz::VisKindName(pipeline.last_spec().kind)
+              << "' and drew " << ldvm_view->render.elements_drawn
+              << " elements.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Spatio-temporal exploration at scale (Section 4's Nanocubes direction
+// [96]): one million geo-tagged, timestamped events are indexed once;
+// every viewport + time-brush + category query then answers in
+// microseconds — pan, zoom, brush, and filter interactively.
+//
+//   $ ./spatiotemporal_explorer
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "geo/nanocube.h"
+#include "viz/canvas.h"
+
+int main() {
+  using namespace lodviz;
+
+  // One million events around five city hubs, with a weekly rhythm in
+  // category 0 (think: geo-tagged observations from a WoD source).
+  Rng rng(2016);
+  static constexpr double kHubs[5][2] = {
+      {0.2, 0.3}, {0.7, 0.6}, {0.4, 0.8}, {0.85, 0.2}, {0.55, 0.45}};
+  std::vector<geo::StEvent> events(1000000);
+  for (auto& e : events) {
+    const double* hub = kHubs[rng.Uniform(5)];
+    e.position = {std::clamp(hub[0] + rng.Normal(0, 0.04), 0.0, 1.0),
+                  std::clamp(hub[1] + rng.Normal(0, 0.04), 0.0, 1.0)};
+    e.category = static_cast<uint16_t>(rng.Uniform(3));
+    // Category 0 clusters in the second half of the time range.
+    e.time = e.category == 0 ? 0.5 + 0.5 * rng.UniformDouble()
+                             : rng.UniformDouble();
+  }
+
+  geo::SpatioTemporalCube::Options opts;
+  opts.max_zoom = 9;
+  opts.time_bins = 128;
+  opts.num_categories = 3;
+  Stopwatch sw;
+  auto cube = geo::SpatioTemporalCube::Build(events, opts);
+  if (!cube.ok()) {
+    std::cerr << cube.status().ToString() << "\n";
+    return 1;
+  }
+  std::printf("Indexed %llu events in %.0f ms (%.1f MB index).\n\n",
+              static_cast<unsigned long long>(cube->total_events()),
+              sw.ElapsedMillis(), cube->MemoryUsage() / 1048576.0);
+
+  // Density overview: count per zoom-5 tile, drawn as shaded cells.
+  viz::Canvas overview(64, 32);
+  for (uint32_t x = 0; x < 32; ++x) {
+    for (uint32_t y = 0; y < 32; ++y) {
+      geo::Rect tile{x / 32.0 + 1e-6, y / 32.0 + 1e-6, (x + 1) / 32.0 - 1e-6,
+                     (y + 1) / 32.0 - 1e-6};
+      uint64_t count = cube->Count(5, tile, 0.0, 1.0);
+      for (uint64_t k = 0; k < count / 500; ++k) {
+        overview.DrawPoint((x + 0.5) / 32.0, (y + 0.5) / 32.0);
+      }
+    }
+  }
+  std::cout << "Event density overview (zoom 5):\n" << overview.ToAscii(64)
+            << "\n";
+
+  // Interactive-style session: zoom into the densest hub and brush time.
+  geo::Rect viewport{0.62, 0.52, 0.78, 0.68};
+  sw.Reset();
+  uint64_t in_view = cube->Count(8, viewport, 0.0, 1.0);
+  double q1_us = sw.ElapsedMicros();
+  std::printf("Viewport around hub 2: %llu events (%.0f us)\n",
+              static_cast<unsigned long long>(in_view), q1_us);
+
+  sw.Reset();
+  uint64_t late = cube->Count(8, viewport, 0.75, 1.0);
+  double q2_us = sw.ElapsedMicros();
+  std::printf("  ... in the last quarter of the time range: %llu (%.0f us)\n",
+              static_cast<unsigned long long>(late), q2_us);
+
+  sw.Reset();
+  uint64_t cat0 = cube->Count(8, viewport, 0.75, 1.0, uint16_t{0});
+  double q3_us = sw.ElapsedMicros();
+  std::printf("  ... of category 0 only: %llu (%.0f us)\n",
+              static_cast<unsigned long long>(cat0), q3_us);
+
+  // Time histogram for the brushing widget.
+  auto series = cube->TimeSeries(8, viewport, uint16_t{0});
+  uint64_t peak = 1;
+  for (uint64_t v : series) peak = std::max(peak, v);
+  std::cout << "\nCategory-0 time histogram in the viewport (note the "
+               "second-half surge):\n  ";
+  for (size_t b = 0; b < series.size(); b += 4) {
+    static const char kShades[] = " .:-=+*#%@";
+    int shade = static_cast<int>(9.0 * series[b] / peak);
+    std::cout << kShades[std::clamp(shade, 0, 9)];
+  }
+  std::cout << "\n\nEvery query touched only index cells — the raw million "
+               "events were never rescanned.\n";
+  return 0;
+}

@@ -1,0 +1,70 @@
+#ifndef LODVIZ_COMMON_LOGGING_H_
+#define LODVIZ_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace lodviz {
+namespace internal_logging {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are discarded.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+/// Accumulates one log line and flushes it (with level prefix) on
+/// destruction. `fatal` aborts the process after flushing.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line, bool fatal = false);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool fatal_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace lodviz
+
+#define LODVIZ_LOG_DEBUG()                                      \
+  ::lodviz::internal_logging::LogMessage(                       \
+      ::lodviz::internal_logging::LogLevel::kDebug, __FILE__, __LINE__)
+#define LODVIZ_LOG_INFO()                                       \
+  ::lodviz::internal_logging::LogMessage(                       \
+      ::lodviz::internal_logging::LogLevel::kInfo, __FILE__, __LINE__)
+#define LODVIZ_LOG_WARN()                                       \
+  ::lodviz::internal_logging::LogMessage(                       \
+      ::lodviz::internal_logging::LogLevel::kWarning, __FILE__, __LINE__)
+#define LODVIZ_LOG_ERROR()                                      \
+  ::lodviz::internal_logging::LogMessage(                       \
+      ::lodviz::internal_logging::LogLevel::kError, __FILE__, __LINE__)
+
+/// Invariant check active in all build types; aborts with a message.
+#define LODVIZ_CHECK(cond)                                                   \
+  if (!(cond))                                                               \
+  ::lodviz::internal_logging::LogMessage(                                    \
+      ::lodviz::internal_logging::LogLevel::kError, __FILE__, __LINE__,      \
+      /*fatal=*/true)                                                        \
+      << "Check failed: " #cond " "
+
+#define LODVIZ_CHECK_OK(expr)                           \
+  do {                                                  \
+    ::lodviz::Status _st = (expr);                      \
+    LODVIZ_CHECK(_st.ok()) << _st.ToString();           \
+  } while (0)
+
+#endif  // LODVIZ_COMMON_LOGGING_H_

@@ -1,0 +1,56 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace lodviz {
+
+double Rng::Normal() {
+  if (have_spare_) {
+    have_spare_ = false;
+    return spare_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = UniformDouble();
+  } while (u1 <= 1e-300);
+  double u2 = UniformDouble();
+  double mag = std::sqrt(-2.0 * std::log(u1));
+  spare_ = mag * std::sin(2.0 * M_PI * u2);
+  have_spare_ = true;
+  return mag * std::cos(2.0 * M_PI * u2);
+}
+
+namespace {
+// Beyond this many distinct values the CDF table would be too large;
+// ranks past the cap share the tail mass uniformly.
+constexpr uint64_t kMaxCdfSize = 1u << 20;
+}  // namespace
+
+ZipfSampler::ZipfSampler(uint64_t n, double alpha) : n_(n), alpha_(alpha) {
+  LODVIZ_CHECK(n > 0) << "ZipfSampler needs n > 0";
+  uint64_t table = std::min(n, kMaxCdfSize);
+  cdf_.resize(table);
+  double sum = 0.0;
+  for (uint64_t i = 0; i < table; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i + 1), alpha);
+    cdf_[i] = sum;
+  }
+  for (uint64_t i = 0; i < table; ++i) cdf_[i] /= sum;
+}
+
+uint64_t ZipfSampler::Sample(Rng& rng) const {
+  double u = rng.UniformDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  uint64_t rank = static_cast<uint64_t>(it - cdf_.begin());
+  if (rank >= cdf_.size()) rank = cdf_.size() - 1;
+  if (cdf_.size() < n_ && rank == cdf_.size() - 1) {
+    // Spread the capped tail uniformly over the remaining ranks.
+    return cdf_.size() - 1 + rng.Uniform(n_ - cdf_.size() + 1);
+  }
+  return rank;
+}
+
+}  // namespace lodviz

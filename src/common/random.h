@@ -1,0 +1,91 @@
+#ifndef LODVIZ_COMMON_RANDOM_H_
+#define LODVIZ_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace lodviz {
+
+/// Deterministic, fast pseudo-random generator (xorshift64*).
+///
+/// Every stochastic component in the library (samplers, generators,
+/// layouts) takes an explicit Rng (or seed) so experiments are exactly
+/// reproducible. Satisfies the UniformRandomBitGenerator concept.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL)
+      : state_(seed ? seed : 0x9E3779B97F4A7C15ULL) {}
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  uint64_t operator()() { return Next(); }
+
+  uint64_t Next() {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545F4914F6CDD1DULL;
+  }
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi) {
+    return lo + (hi - lo) * UniformDouble();
+  }
+
+  /// Standard normal via Box-Muller.
+  double Normal();
+
+  /// Normal with given mean and stddev.
+  double Normal(double mean, double stddev) {
+    return mean + stddev * Normal();
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+ private:
+  uint64_t state_;
+  bool have_spare_ = false;
+  double spare_ = 0.0;
+};
+
+/// Samples ranks in [0, n) with probability proportional to 1/rank^alpha.
+///
+/// Used to give synthetic Linked Data the heavy-tailed property/degree
+/// distributions observed in real WoD sources.
+class ZipfSampler {
+ public:
+  /// n: number of distinct values; alpha: skew (0 = uniform-ish, >1 = heavy).
+  ZipfSampler(uint64_t n, double alpha);
+
+  /// Returns a rank in [0, n); rank 0 is the most frequent.
+  uint64_t Sample(Rng& rng) const;
+
+  uint64_t n() const { return n_; }
+  double alpha() const { return alpha_; }
+
+ private:
+  uint64_t n_;
+  double alpha_;
+  std::vector<double> cdf_;  // cumulative probabilities, size n (capped)
+};
+
+}  // namespace lodviz
+
+#endif  // LODVIZ_COMMON_RANDOM_H_

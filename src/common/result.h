@@ -1,0 +1,84 @@
+#ifndef LODVIZ_COMMON_RESULT_H_
+#define LODVIZ_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace lodviz {
+
+/// Result<T> holds either a value of type T or an error Status,
+/// mirroring arrow::Result. An OK Status is not a valid Result payload.
+///
+///   Result<Dataset> r = LoadDataset(path);
+///   if (!r.ok()) return r.status();
+///   Dataset d = std::move(r).ValueOrDie();
+template <typename T>
+class Result {
+ public:
+  /// Constructs a Result holding a value (implicit so functions can
+  /// `return value;`).
+  Result(T value) : payload_(std::move(value)) {}
+
+  /// Constructs a Result holding an error (implicit so functions can
+  /// `return Status::...;`). Must not be OK.
+  Result(Status status) : payload_(std::move(status)) {
+    assert(!std::get<Status>(payload_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  /// The error status; returns OK when a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(payload_);
+  }
+
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return std::get<T>(payload_);
+  }
+  T& ValueOrDie() & {
+    assert(ok());
+    return std::get<T>(payload_);
+  }
+  T&& ValueOrDie() && {
+    assert(ok());
+    return std::move(std::get<T>(payload_));
+  }
+
+  /// Shorthand for ValueOrDie.
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+  /// Returns the value, or `fallback` on error.
+  T ValueOr(T fallback) const {
+    if (ok()) return std::get<T>(payload_);
+    return fallback;
+  }
+
+ private:
+  std::variant<Status, T> payload_;
+};
+
+}  // namespace lodviz
+
+/// Evaluates an expression yielding Result<T>; on error returns the status,
+/// otherwise moves the value into `lhs`.
+#define LODVIZ_ASSIGN_OR_RETURN_IMPL(var, lhs, expr) \
+  auto var = (expr);                                 \
+  if (!var.ok()) return var.status();                \
+  lhs = std::move(var).ValueOrDie();
+
+#define LODVIZ_ASSIGN_OR_RETURN_CONCAT(x, y) x##y
+#define LODVIZ_ASSIGN_OR_RETURN_NAME(x, y) LODVIZ_ASSIGN_OR_RETURN_CONCAT(x, y)
+
+#define LODVIZ_ASSIGN_OR_RETURN(lhs, expr) \
+  LODVIZ_ASSIGN_OR_RETURN_IMPL(            \
+      LODVIZ_ASSIGN_OR_RETURN_NAME(_result_, __LINE__), lhs, expr)
+
+#endif  // LODVIZ_COMMON_RESULT_H_

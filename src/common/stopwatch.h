@@ -1,0 +1,28 @@
+#ifndef LODVIZ_COMMON_STOPWATCH_H_
+#define LODVIZ_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace lodviz {
+
+/// Monotonic wall-clock stopwatch used by the bench harnesses.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace lodviz
+
+#endif  // LODVIZ_COMMON_STOPWATCH_H_

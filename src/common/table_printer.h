@@ -1,0 +1,34 @@
+#ifndef LODVIZ_COMMON_TABLE_PRINTER_H_
+#define LODVIZ_COMMON_TABLE_PRINTER_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace lodviz {
+
+/// Renders aligned ASCII tables; used by the bench binaries that
+/// regenerate the paper's tables and claim experiments.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Adds one row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Writes the table (header, separator, rows) to `os`.
+  void Print(std::ostream& os) const;
+
+  /// Returns the rendered table as a string.
+  std::string ToString() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace lodviz
+
+#endif  // LODVIZ_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,40 @@
+#include "core/capabilities.h"
+
+namespace lodviz::core {
+
+std::string_view CapabilityName(Capability cap) {
+  switch (cap) {
+    case Capability::kKeywordSearch:
+      return "Keyword";
+    case Capability::kFilter:
+      return "Filter";
+    case Capability::kSampling:
+      return "Sampling";
+    case Capability::kAggregation:
+      return "Aggregation";
+    case Capability::kIncremental:
+      return "Incr.";
+    case Capability::kDiskBased:
+      return "Disk";
+    case Capability::kRecommendation:
+      return "Recomm.";
+    case Capability::kPreferences:
+      return "Preferences";
+    case Capability::kStatistics:
+      return "Statistics";
+  }
+  return "?";
+}
+
+const std::vector<Capability>& AllCapabilities() {
+  static const auto* kAll = new std::vector<Capability>{
+      Capability::kKeywordSearch, Capability::kFilter,
+      Capability::kSampling,      Capability::kAggregation,
+      Capability::kIncremental,   Capability::kDiskBased,
+      Capability::kRecommendation, Capability::kPreferences,
+      Capability::kStatistics,
+  };
+  return *kAll;
+}
+
+}  // namespace lodviz::core

@@ -1,0 +1,115 @@
+#ifndef LODVIZ_CORE_ENGINE_H_
+#define LODVIZ_CORE_ENGINE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "explore/facets.h"
+#include "explore/keyword.h"
+#include "explore/session.h"
+#include "graph/graph.h"
+#include "graph/supergraph.h"
+#include "hier/hetree.h"
+#include "rec/recommender.h"
+#include "rdf/streaming.h"
+#include "rdf/triple_store.h"
+#include "sparql/engine.h"
+#include "stats/profile.h"
+#include "viz/canvas.h"
+#include "viz/renderers.h"
+#include "viz/svg.h"
+#include "viz/types.h"
+#include "workload/synthetic_lod.h"
+
+namespace lodviz::core {
+
+/// The outcome of rendering a visualization spec: what was drawn and how
+/// crowded the raster got.
+struct ViewResult {
+  viz::VisSpec spec;
+  viz::RenderStats render;
+  uint64_t pixels_touched = 0;
+  double overplot_factor = 0.0;
+  double hidden_fraction = 0.0;
+  /// SVG document when requested.
+  std::string svg;
+};
+
+/// The lodviz facade: one object wiring the RDF store, SPARQL engine,
+/// profiler, recommender, exploration services, and renderers — the
+/// system Section 4 of the survey asks for, with every capability of
+/// Tables 1 and 2 available behind one API.
+class Engine {
+ public:
+  struct Options {
+    int canvas_width = 800;
+    int canvas_height = 600;
+    /// Data-reduction budget: specs rendering more objects than this get
+    /// sampled/aggregated first (0 disables reduction).
+    size_t element_budget = 50000;
+    uint64_t seed = 42;
+  };
+
+  Engine() : Engine(Options()) {}
+  explicit Engine(Options options);
+
+  rdf::TripleStore& store() { return store_; }
+  const rdf::TripleStore& store() const { return store_; }
+
+  // ---- data in ----
+  Status LoadNTriples(std::string_view document);
+  size_t LoadSynthetic(const workload::SyntheticLodOptions& options);
+  size_t IngestStream(rdf::TripleSource* source, size_t batch_size);
+
+  // ---- query & analysis ----
+  Result<sparql::ResultTable> Query(std::string_view sparql_text);
+  /// CONSTRUCT/DESCRIBE queries (triples out).
+  Result<std::vector<rdf::ParsedTriple>> QueryGraph(
+      std::string_view sparql_text);
+  /// Loads a Turtle document.
+  Status LoadTurtle(std::string_view document);
+  /// Dataset profile (computed once, invalidated on load).
+  Result<stats::DatasetProfile> Profile();
+  std::vector<rec::Recommendation> Recommend(size_t top_k = 5);
+  rec::Recommender& recommender() { return recommender_; }
+
+  // ---- structures ----
+  Result<hier::HETree> BuildHierarchy(const std::string& property_iri,
+                                      const hier::HETree::Options& options);
+  graph::Graph BuildGraph() const;
+  graph::GraphHierarchy BuildGraphHierarchy(
+      const graph::GraphHierarchy::Options& options) const;
+
+  // ---- exploration services ----
+  explore::FacetedBrowser MakeBrowser() const;
+  const explore::KeywordIndex& Keyword();
+  std::vector<explore::SearchHit> Search(const std::string& query,
+                                         size_t top_k = 10);
+
+  // ---- rendering ----
+  /// Renders `spec` headlessly; set `with_svg` to also emit SVG.
+  Result<ViewResult> Render(const viz::VisSpec& spec, bool with_svg = false);
+
+  explore::SessionLog& session() { return session_; }
+  const Options& options() const { return options_; }
+
+ private:
+  void InvalidateDerived();
+  /// (x, y) numeric pairs per subject for two properties.
+  std::vector<geo::Point> CollectPairs(const std::string& x_iri,
+                                       const std::string& y_iri) const;
+  std::vector<double> CollectValues(const std::string& iri) const;
+
+  Options options_;
+  rdf::TripleStore store_;
+  sparql::QueryEngine query_engine_;
+  rec::Recommender recommender_;
+  explore::SessionLog session_;
+  std::optional<stats::DatasetProfile> profile_;
+  std::optional<explore::KeywordIndex> keyword_;
+};
+
+}  // namespace lodviz::core
+
+#endif  // LODVIZ_CORE_ENGINE_H_

@@ -1,0 +1,74 @@
+#ifndef LODVIZ_EXPLORE_CACHE_H_
+#define LODVIZ_EXPLORE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+namespace lodviz::explore {
+
+/// LRU result cache for interactive exploration (Section 4: "caching and
+/// prefetching techniques may be exploited" [128, 16, 39]). Keys are
+/// typically tile ids or query fingerprints; values the rendered/fetched
+/// payloads.
+template <typename K, typename V>
+class LruCache {
+ public:
+  explicit LruCache(size_t capacity) : capacity_(capacity) {}
+
+  /// Returns the cached value or nullptr; refreshes recency on hit.
+  const V* Get(const K& key) {
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+      ++misses_;
+      return nullptr;
+    }
+    ++hits_;
+    order_.splice(order_.begin(), order_, it->second);
+    return &it->second->second;
+  }
+
+  /// Inserts/overwrites; evicts the least recently used beyond capacity.
+  void Put(const K& key, V value) {
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      it->second->second = std::move(value);
+      order_.splice(order_.begin(), order_, it->second);
+      return;
+    }
+    order_.emplace_front(key, std::move(value));
+    map_[key] = order_.begin();
+    if (map_.size() > capacity_) {
+      auto& last = order_.back();
+      map_.erase(last.first);
+      order_.pop_back();
+      ++evictions_;
+    }
+  }
+
+  bool Contains(const K& key) const { return map_.count(key) > 0; }
+  size_t size() const { return map_.size(); }
+  size_t capacity() const { return capacity_; }
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t evictions() const { return evictions_; }
+  double HitRate() const {
+    uint64_t total = hits_ + misses_;
+    return total ? static_cast<double>(hits_) / static_cast<double>(total)
+                 : 0.0;
+  }
+  void ResetCounters() { hits_ = misses_ = evictions_ = 0; }
+
+ private:
+  size_t capacity_;
+  std::list<std::pair<K, V>> order_;  // front = most recent
+  std::unordered_map<K, typename std::list<std::pair<K, V>>::iterator> map_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace lodviz::explore
+
+#endif  // LODVIZ_EXPLORE_CACHE_H_

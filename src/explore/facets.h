@@ -1,0 +1,74 @@
+#ifndef LODVIZ_EXPLORE_FACETS_H_
+#define LODVIZ_EXPLORE_FACETS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "rdf/triple_store.h"
+
+namespace lodviz::explore {
+
+/// One facet value with its count under the current selection.
+struct FacetValue {
+  rdf::TermId value = rdf::kInvalidTermId;
+  std::string label;
+  uint64_t count = 0;
+};
+
+/// One facet (a predicate whose values partition the matching entities).
+struct Facet {
+  rdf::TermId predicate = rdf::kInvalidTermId;
+  std::string label;
+  std::vector<FacetValue> values;  // sorted by count desc
+};
+
+/// Faceted browsing over a triple store (/facet, gFacet, Rhizomer
+/// [62, 57, 30]): conjunctive refinement over predicate-value selections,
+/// with counts recomputed against the current result set.
+class FacetedBrowser {
+ public:
+  struct Options {
+    /// Max distinct values for a predicate to qualify as a facet.
+    uint64_t max_values = 64;
+    /// Max facet values listed per facet (top by count).
+    size_t top_values = 20;
+  };
+
+  FacetedBrowser(const rdf::TripleStore* store, Options options);
+  explicit FacetedBrowser(const rdf::TripleStore* store)
+      : FacetedBrowser(store, Options()) {}
+
+  /// Entities matching the current selection (all subjects when empty).
+  const std::vector<rdf::TermId>& Matching() const { return matching_; }
+  size_t num_matching() const { return matching_.size(); }
+
+  /// Available facets with counts under the current selection.
+  std::vector<Facet> Facets() const;
+
+  /// Adds a conjunctive constraint (predicate = value) and refines.
+  Status Select(rdf::TermId predicate, rdf::TermId value);
+
+  /// Removes the constraint on `predicate`.
+  Status Deselect(rdf::TermId predicate);
+
+  /// Clears all constraints.
+  void Reset();
+
+  /// Current constraints as (predicate, value).
+  const std::map<rdf::TermId, rdf::TermId>& selection() const {
+    return selection_;
+  }
+
+ private:
+  void Recompute();
+
+  const rdf::TripleStore* store_;
+  Options options_;
+  std::map<rdf::TermId, rdf::TermId> selection_;
+  std::vector<rdf::TermId> matching_;  // sorted
+};
+
+}  // namespace lodviz::explore
+
+#endif  // LODVIZ_EXPLORE_FACETS_H_

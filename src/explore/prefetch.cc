@@ -1,0 +1,74 @@
+#include "explore/prefetch.h"
+
+namespace lodviz::explore {
+
+TilePrefetcher::TilePrefetcher(FetchFn fetch, Options options)
+    : fetch_(std::move(fetch)),
+      options_(options),
+      cache_(options.cache_capacity) {}
+
+std::vector<uint64_t> TilePrefetcher::FetchInto(const geo::TileKey& key) {
+  ++backend_fetches_;
+  std::vector<uint64_t> payload = fetch_(key);
+  cache_.Put(key.Pack(), payload);
+  return payload;
+}
+
+void TilePrefetcher::PrefetchAround(const geo::TileKey& key, int dx, int dy) {
+  uint32_t n = 1u << key.zoom;
+  auto try_prefetch = [&](int64_t x, int64_t y) {
+    if (x < 0 || y < 0 || x >= static_cast<int64_t>(n) ||
+        y >= static_cast<int64_t>(n)) {
+      return;
+    }
+    geo::TileKey neighbor{key.zoom, static_cast<uint32_t>(x),
+                          static_cast<uint32_t>(y)};
+    if (!cache_.Contains(neighbor.Pack())) FetchInto(neighbor);
+  };
+
+  if (dx == 0 && dy == 0) {
+    // No momentum: prefetch the 4-neighborhood.
+    try_prefetch(static_cast<int64_t>(key.x) + 1, key.y);
+    try_prefetch(static_cast<int64_t>(key.x) - 1, key.y);
+    try_prefetch(key.x, static_cast<int64_t>(key.y) + 1);
+    try_prefetch(key.x, static_cast<int64_t>(key.y) - 1);
+  } else {
+    // Momentum: fetch `lookahead` tiles in the movement direction.
+    int sx = dx > 0 ? 1 : (dx < 0 ? -1 : 0);
+    int sy = dy > 0 ? 1 : (dy < 0 ? -1 : 0);
+    for (int step = 1; step <= options_.lookahead; ++step) {
+      try_prefetch(static_cast<int64_t>(key.x) + sx * step,
+                   static_cast<int64_t>(key.y) + sy * step);
+    }
+  }
+  // Parent tile supports instant zoom-out.
+  geo::TileKey parent = key.Parent();
+  if (!(parent == key) && !cache_.Contains(parent.Pack())) {
+    FetchInto(parent);
+  }
+}
+
+std::vector<uint64_t> TilePrefetcher::Request(const geo::TileKey& key) {
+  ++user_requests_;
+  std::vector<uint64_t> result;
+  const std::vector<uint64_t>* cached = cache_.Get(key.Pack());
+  if (cached != nullptr) {
+    ++user_hits_;
+    result = *cached;
+  } else {
+    result = FetchInto(key);
+  }
+  if (options_.enable_prefetch) {
+    int dx = 0, dy = 0;
+    if (has_last_ && last_.zoom == key.zoom) {
+      dx = static_cast<int>(key.x) - static_cast<int>(last_.x);
+      dy = static_cast<int>(key.y) - static_cast<int>(last_.y);
+    }
+    PrefetchAround(key, dx, dy);
+  }
+  last_ = key;
+  has_last_ = true;
+  return result;
+}
+
+}  // namespace lodviz::explore

@@ -1,0 +1,60 @@
+#ifndef LODVIZ_EXPLORE_PREFETCH_H_
+#define LODVIZ_EXPLORE_PREFETCH_H_
+
+#include <functional>
+#include <vector>
+
+#include "explore/cache.h"
+#include "geo/tiles.h"
+
+namespace lodviz::explore {
+
+/// Tile access layer with an LRU cache and a momentum-based prefetcher
+/// (ForeCache/ATLAS-style [16, 33]): after each request, the tiles ahead
+/// in the user's current panning direction (plus the parent for zoom-out)
+/// are fetched speculatively, hiding backend latency from interaction.
+class TilePrefetcher {
+ public:
+  /// `fetch` produces a tile payload (counted as a backend access).
+  using FetchFn = std::function<std::vector<uint64_t>(const geo::TileKey&)>;
+
+  struct Options {
+    size_t cache_capacity = 256;
+    /// Tiles fetched ahead in the movement direction.
+    int lookahead = 2;
+    bool enable_prefetch = true;
+  };
+
+  TilePrefetcher(FetchFn fetch, Options options);
+
+  /// Serves a tile (from cache or backend) and, if enabled, prefetches
+  /// ahead based on the delta from the previous request.
+  std::vector<uint64_t> Request(const geo::TileKey& key);
+
+  uint64_t backend_fetches() const { return backend_fetches_; }
+  /// Fraction of user requests served from cache.
+  double UserHitRate() const {
+    return user_requests_
+               ? static_cast<double>(user_hits_) /
+                     static_cast<double>(user_requests_)
+               : 0.0;
+  }
+  uint64_t user_requests() const { return user_requests_; }
+
+ private:
+  std::vector<uint64_t> FetchInto(const geo::TileKey& key);
+  void PrefetchAround(const geo::TileKey& key, int dx, int dy);
+
+  FetchFn fetch_;
+  Options options_;
+  LruCache<uint64_t, std::vector<uint64_t>> cache_;
+  bool has_last_ = false;
+  geo::TileKey last_{};
+  uint64_t backend_fetches_ = 0;
+  uint64_t user_requests_ = 0;
+  uint64_t user_hits_ = 0;
+};
+
+}  // namespace lodviz::explore
+
+#endif  // LODVIZ_EXPLORE_PREFETCH_H_

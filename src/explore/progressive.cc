@@ -1,0 +1,62 @@
+#include "explore/progressive.h"
+
+#include <cmath>
+
+namespace lodviz::explore {
+
+void ProgressiveAggregator::ProcessChunk(const double* values, size_t n) {
+  for (size_t i = 0; i < n; ++i) moments_.Add(values[i]);
+}
+
+ProgressiveEstimate ProgressiveAggregator::Estimate() const {
+  ProgressiveEstimate est;
+  est.rows_seen = moments_.count();
+  est.mean = moments_.mean();
+  est.complete = complete_;
+  if (complete_) {
+    est.ci95 = 0.0;
+  } else if (moments_.count() > 1) {
+    double se = std::sqrt(moments_.sample_variance() /
+                          static_cast<double>(moments_.count()));
+    // Finite-population correction when the population is known.
+    if (population_ > 0 && moments_.count() < population_) {
+      double fpc = std::sqrt(1.0 - static_cast<double>(moments_.count()) /
+                                       static_cast<double>(population_));
+      se *= fpc;
+    }
+    est.ci95 = 1.96 * se;
+  }
+  uint64_t scale = population_ > 0 ? population_ : moments_.count();
+  est.sum_estimate = est.mean * static_cast<double>(scale);
+  return est;
+}
+
+std::vector<ProgressiveEstimate> RunProgressive(std::vector<double> values,
+                                                size_t chunk_size,
+                                                double epsilon,
+                                                uint64_t seed) {
+  // Shuffle so each prefix is a uniform sample.
+  Rng rng(seed);
+  for (size_t i = values.size(); i > 1; --i) {
+    std::swap(values[i - 1], values[rng.Uniform(i)]);
+  }
+
+  ProgressiveAggregator agg(values.size());
+  std::vector<ProgressiveEstimate> trajectory;
+  size_t pos = 0;
+  while (pos < values.size()) {
+    size_t n = std::min(chunk_size, values.size() - pos);
+    agg.ProcessChunk(values.data() + pos, n);
+    pos += n;
+    if (pos >= values.size()) agg.MarkComplete();
+    ProgressiveEstimate est = agg.Estimate();
+    trajectory.push_back(est);
+    if (!est.complete && est.rows_seen > 30 &&
+        est.ci95 <= epsilon * std::abs(est.mean)) {
+      break;  // early answer is good enough
+    }
+  }
+  return trajectory;
+}
+
+}  // namespace lodviz::explore

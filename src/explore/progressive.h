@@ -1,0 +1,62 @@
+#ifndef LODVIZ_EXPLORE_PROGRESSIVE_H_
+#define LODVIZ_EXPLORE_PROGRESSIVE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/random.h"
+#include "stats/moments.h"
+
+namespace lodviz::explore {
+
+/// A progressive (online-aggregation) estimate with a CLT confidence
+/// interval — the incremental+approximate combination the survey
+/// highlights (sampleAction/BlinkDB/VisReduce [46, 2, 69]): the user sees
+/// an early answer with shrinking error bars instead of waiting for the
+/// full scan.
+struct ProgressiveEstimate {
+  uint64_t rows_seen = 0;
+  double mean = 0.0;
+  /// Half-width of the 95% confidence interval on the mean.
+  double ci95 = 0.0;
+  /// Population-sum estimate (mean * population when known).
+  double sum_estimate = 0.0;
+  bool complete = false;
+};
+
+/// Streams chunks of a (pre-shuffled) value sequence and maintains the
+/// running estimate. Callers poll Estimate() after each ProcessChunk.
+class ProgressiveAggregator {
+ public:
+  /// `population_size` scales the sum estimate; 0 = unknown.
+  explicit ProgressiveAggregator(uint64_t population_size = 0)
+      : population_(population_size) {}
+
+  void ProcessChunk(const double* values, size_t n);
+  void ProcessChunk(const std::vector<double>& values) {
+    ProcessChunk(values.data(), values.size());
+  }
+
+  /// Marks the stream exhausted (estimate becomes exact).
+  void MarkComplete() { complete_ = true; }
+
+  ProgressiveEstimate Estimate() const;
+
+ private:
+  stats::RunningMoments moments_;
+  uint64_t population_;
+  bool complete_ = false;
+};
+
+/// Drives a progressive aggregation over `values`: shuffles (so chunks are
+/// uniform samples), then feeds chunks until the CI half-width falls below
+/// `epsilon * |mean|` or data runs out. Returns the per-chunk estimates —
+/// the convergence trajectory E3 plots.
+std::vector<ProgressiveEstimate> RunProgressive(std::vector<double> values,
+                                                size_t chunk_size,
+                                                double epsilon, uint64_t seed);
+
+}  // namespace lodviz::explore
+
+#endif  // LODVIZ_EXPLORE_PROGRESSIVE_H_

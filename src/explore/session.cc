@@ -1,0 +1,80 @@
+#include "explore/session.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace lodviz::explore {
+
+std::string_view OpKindName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kLoad:
+      return "load";
+    case OpKind::kQuery:
+      return "query";
+    case OpKind::kKeywordSearch:
+      return "search";
+    case OpKind::kFacetSelect:
+      return "facet";
+    case OpKind::kZoom:
+      return "zoom";
+    case OpKind::kPan:
+      return "pan";
+    case OpKind::kDrillDown:
+      return "drill-down";
+    case OpKind::kRollUp:
+      return "roll-up";
+    case OpKind::kRender:
+      return "render";
+  }
+  return "?";
+}
+
+void SessionLog::Record(OpKind kind, std::string detail, double latency_ms,
+                        uint64_t objects_touched) {
+  ops_.push_back({kind, std::move(detail), latency_ms, objects_touched});
+}
+
+double SessionLog::TotalLatencyMs() const {
+  double total = 0;
+  for (const SessionOp& op : ops_) total += op.latency_ms;
+  return total;
+}
+
+double SessionLog::MaxLatencyMs() const {
+  double best = 0;
+  for (const SessionOp& op : ops_) best = std::max(best, op.latency_ms);
+  return best;
+}
+
+double SessionLog::MeanLatencyMs() const {
+  return ops_.empty() ? 0.0 : TotalLatencyMs() / static_cast<double>(ops_.size());
+}
+
+double SessionLog::LatencyQuantileMs(double q) const {
+  if (ops_.empty()) return 0.0;
+  std::vector<double> latencies;
+  latencies.reserve(ops_.size());
+  for (const SessionOp& op : ops_) latencies.push_back(op.latency_ms);
+  std::sort(latencies.begin(), latencies.end());
+  size_t idx = static_cast<size_t>(
+      std::min<double>(latencies.size() - 1,
+                       q * static_cast<double>(latencies.size())));
+  return latencies[idx];
+}
+
+std::string SessionLog::ToString(size_t max_ops) const {
+  std::ostringstream oss;
+  size_t shown = 0;
+  for (const SessionOp& op : ops_) {
+    if (shown++ >= max_ops) {
+      oss << "... (" << ops_.size() - max_ops << " more)\n";
+      break;
+    }
+    oss << OpKindName(op.kind) << " " << op.detail << " — "
+        << op.latency_ms << " ms, " << op.objects_touched << " objects\n";
+  }
+  return oss.str();
+}
+
+}  // namespace lodviz::explore

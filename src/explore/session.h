@@ -1,0 +1,60 @@
+#ifndef LODVIZ_EXPLORE_SESSION_H_
+#define LODVIZ_EXPLORE_SESSION_H_
+
+#include <string>
+#include <vector>
+
+namespace lodviz::explore {
+
+/// Kinds of user operations in an exploratory scenario (Section 2: "users
+/// perform a sequence of operations in which the result of each operation
+/// determines the formulation of the next").
+enum class OpKind {
+  kLoad,
+  kQuery,
+  kKeywordSearch,
+  kFacetSelect,
+  kZoom,
+  kPan,
+  kDrillDown,
+  kRollUp,
+  kRender,
+};
+
+std::string_view OpKindName(OpKind kind);
+
+/// One logged operation with its latency and touched-object count.
+struct SessionOp {
+  OpKind kind = OpKind::kQuery;
+  std::string detail;
+  double latency_ms = 0.0;
+  uint64_t objects_touched = 0;
+};
+
+/// Append-only log of an exploration session, with latency summaries —
+/// the instrument the claim benches use to report per-operation and
+/// cumulative costs.
+class SessionLog {
+ public:
+  void Record(OpKind kind, std::string detail, double latency_ms,
+              uint64_t objects_touched = 0);
+
+  const std::vector<SessionOp>& ops() const { return ops_; }
+  size_t size() const { return ops_.size(); }
+
+  double TotalLatencyMs() const;
+  double MaxLatencyMs() const;
+  double MeanLatencyMs() const;
+  /// Latency at the given quantile (0..1) over all ops.
+  double LatencyQuantileMs(double q) const;
+
+  /// Compact textual trace.
+  std::string ToString(size_t max_ops = 50) const;
+
+ private:
+  std::vector<SessionOp> ops_;
+};
+
+}  // namespace lodviz::explore
+
+#endif  // LODVIZ_EXPLORE_SESSION_H_

@@ -1,0 +1,97 @@
+#ifndef LODVIZ_GEO_GEOMETRY_H_
+#define LODVIZ_GEO_GEOMETRY_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace lodviz::geo {
+
+/// A 2-D point (screen/layout space or lon/lat degrees).
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  bool operator==(const Point& other) const {
+    return x == other.x && y == other.y;
+  }
+};
+
+/// Axis-aligned rectangle [min_x, max_x] x [min_y, max_y].
+struct Rect {
+  double min_x = 0.0;
+  double min_y = 0.0;
+  double max_x = 0.0;
+  double max_y = 0.0;
+
+  static Rect FromPoint(const Point& p) { return {p.x, p.y, p.x, p.y}; }
+
+  static Rect Empty() {
+    return {std::numeric_limits<double>::infinity(),
+            std::numeric_limits<double>::infinity(),
+            -std::numeric_limits<double>::infinity(),
+            -std::numeric_limits<double>::infinity()};
+  }
+
+  bool IsEmpty() const { return min_x > max_x || min_y > max_y; }
+
+  double Width() const { return std::max(0.0, max_x - min_x); }
+  double Height() const { return std::max(0.0, max_y - min_y); }
+  double Area() const { return Width() * Height(); }
+  double Margin() const { return Width() + Height(); }
+
+  Point Center() const { return {(min_x + max_x) / 2, (min_y + max_y) / 2}; }
+
+  bool Contains(const Point& p) const {
+    return p.x >= min_x && p.x <= max_x && p.y >= min_y && p.y <= max_y;
+  }
+  bool Contains(const Rect& r) const {
+    return r.min_x >= min_x && r.max_x <= max_x && r.min_y >= min_y &&
+           r.max_y <= max_y;
+  }
+  bool Intersects(const Rect& r) const {
+    return !(r.min_x > max_x || r.max_x < min_x || r.min_y > max_y ||
+             r.max_y < min_y);
+  }
+
+  /// Grows to cover `r`.
+  void Expand(const Rect& r) {
+    min_x = std::min(min_x, r.min_x);
+    min_y = std::min(min_y, r.min_y);
+    max_x = std::max(max_x, r.max_x);
+    max_y = std::max(max_y, r.max_y);
+  }
+  void Expand(const Point& p) { Expand(FromPoint(p)); }
+
+  /// Area of the union with `r` minus own area (R-tree enlargement cost).
+  double EnlargementFor(const Rect& r) const {
+    Rect u = *this;
+    u.Expand(r);
+    return u.Area() - Area();
+  }
+
+  /// Squared distance from `p` to the nearest point of the rect (0 inside).
+  double DistanceSq(const Point& p) const {
+    double dx = std::max({min_x - p.x, 0.0, p.x - max_x});
+    double dy = std::max({min_y - p.y, 0.0, p.y - max_y});
+    return dx * dx + dy * dy;
+  }
+
+  bool operator==(const Rect& other) const {
+    return min_x == other.min_x && min_y == other.min_y &&
+           max_x == other.max_x && max_y == other.max_y;
+  }
+};
+
+inline double DistanceSq(const Point& a, const Point& b) {
+  double dx = a.x - b.x, dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+inline double Distance(const Point& a, const Point& b) {
+  return std::sqrt(DistanceSq(a, b));
+}
+
+}  // namespace lodviz::geo
+
+#endif  // LODVIZ_GEO_GEOMETRY_H_

@@ -1,0 +1,151 @@
+#include "geo/nanocube.h"
+
+#include <algorithm>
+#include <map>
+
+namespace lodviz::geo {
+
+uint32_t SpatioTemporalCube::BinOf(double t) const {
+  double span = std::max(1e-300, options_.t1 - options_.t0);
+  int64_t bin = static_cast<int64_t>((t - options_.t0) / span *
+                                     options_.time_bins);
+  return static_cast<uint32_t>(
+      std::clamp<int64_t>(bin, 0, options_.time_bins - 1));
+}
+
+Result<SpatioTemporalCube> SpatioTemporalCube::Build(
+    const std::vector<StEvent>& events, const Options& options) {
+  if (options.num_categories == 0) {
+    return Status::InvalidArgument("need at least one category");
+  }
+  if (options.time_bins == 0) {
+    return Status::InvalidArgument("need at least one time bin");
+  }
+  if (!(options.t1 > options.t0)) {
+    return Status::InvalidArgument("need t1 > t0");
+  }
+  SpatioTemporalCube cube(options);
+
+  // One hash update per event at the finest zoom; coarser levels are
+  // aggregated bottom-up from their children (each cell touched once per
+  // level instead of each event touched once per level).
+  using BinCounts = std::map<uint32_t, uint64_t>;
+  std::unordered_map<CellKey, BinCounts, CellKeyHash> level;
+  for (const StEvent& e : events) {
+    if (e.category >= options.num_categories) {
+      return Status::OutOfRange("event category " +
+                                std::to_string(e.category) + " out of range");
+    }
+    uint32_t bin = cube.BinOf(e.time);
+    TileKey tile = cube.scheme_.TileForPoint(options.max_zoom, e.position);
+    ++level[Key(tile, e.category)][bin];
+    ++cube.total_;
+  }
+
+  auto finalize = [&cube](const std::unordered_map<CellKey, BinCounts,
+                                                   CellKeyHash>& cells) {
+    for (const auto& [key, bins] : cells) {
+      CumSeries series;
+      series.reserve(bins.size());
+      uint64_t cum = 0;
+      for (const auto& [bin, count] : bins) {
+        cum += count;
+        series.emplace_back(bin, cum);
+      }
+      cube.cells_.emplace(key, std::move(series));
+    }
+  };
+
+  finalize(level);
+  for (int z = options.max_zoom; z > 0; --z) {
+    std::unordered_map<CellKey, BinCounts, CellKeyHash> parent_level;
+    for (const auto& [key, bins] : level) {
+      TileKey parent = TileKey::Unpack(key.first).Parent();
+      BinCounts& parent_bins = parent_level[Key(parent, key.second)];
+      for (const auto& [bin, count] : bins) parent_bins[bin] += count;
+    }
+    finalize(parent_level);
+    level = std::move(parent_level);
+  }
+  return cube;
+}
+
+uint64_t SpatioTemporalCube::RangeFromSeries(const CumSeries& series,
+                                             uint32_t b_lo, uint32_t b_hi) {
+  if (series.empty() || b_hi < b_lo) return 0;
+  auto cum_through = [&](int64_t bin) -> uint64_t {
+    if (bin < 0) return 0;
+    // Last entry with bin <= `bin`.
+    auto it = std::upper_bound(
+        series.begin(), series.end(), bin,
+        [](int64_t b, const std::pair<uint32_t, uint64_t>& entry) {
+          return b < static_cast<int64_t>(entry.first);
+        });
+    if (it == series.begin()) return 0;
+    return std::prev(it)->second;
+  };
+  return cum_through(b_hi) - cum_through(static_cast<int64_t>(b_lo) - 1);
+}
+
+uint64_t SpatioTemporalCube::Count(uint8_t zoom, const Rect& window,
+                                   double t_lo, double t_hi,
+                                   std::optional<uint16_t> category) const {
+  if (zoom > options_.max_zoom || t_hi <= t_lo) return 0;
+  uint32_t b_lo = BinOf(t_lo);
+  // t_hi is exclusive; subtract epsilon via bin of the previous instant.
+  double span = std::max(1e-300, options_.t1 - options_.t0);
+  double epsilon = span / options_.time_bins / 1000.0;
+  uint32_t b_hi = BinOf(t_hi - epsilon);
+
+  uint64_t total = 0;
+  for (const TileKey& tile : scheme_.TilesInRect(zoom, window)) {
+    if (category.has_value()) {
+      auto it = cells_.find(Key(tile, *category));
+      if (it != cells_.end()) total += RangeFromSeries(it->second, b_lo, b_hi);
+    } else {
+      for (uint16_t c = 0; c < options_.num_categories; ++c) {
+        auto it = cells_.find(Key(tile, c));
+        if (it != cells_.end()) {
+          total += RangeFromSeries(it->second, b_lo, b_hi);
+        }
+      }
+    }
+  }
+  return total;
+}
+
+std::vector<uint64_t> SpatioTemporalCube::TimeSeries(
+    uint8_t zoom, const Rect& window,
+    std::optional<uint16_t> category) const {
+  std::vector<uint64_t> out(options_.time_bins, 0);
+  if (zoom > options_.max_zoom) return out;
+  auto add_series = [&](const CumSeries& series) {
+    uint64_t prev = 0;
+    for (const auto& [bin, cum] : series) {
+      out[bin] += cum - prev;
+      prev = cum;
+    }
+  };
+  for (const TileKey& tile : scheme_.TilesInRect(zoom, window)) {
+    if (category.has_value()) {
+      auto it = cells_.find(Key(tile, *category));
+      if (it != cells_.end()) add_series(it->second);
+    } else {
+      for (uint16_t c = 0; c < options_.num_categories; ++c) {
+        auto it = cells_.find(Key(tile, c));
+        if (it != cells_.end()) add_series(it->second);
+      }
+    }
+  }
+  return out;
+}
+
+size_t SpatioTemporalCube::MemoryUsage() const {
+  size_t bytes = cells_.size() * (sizeof(uint64_t) + sizeof(void*) * 2);
+  for (const auto& [key, series] : cells_) {
+    bytes += series.capacity() * sizeof(std::pair<uint32_t, uint64_t>);
+  }
+  return bytes;
+}
+
+}  // namespace lodviz::geo

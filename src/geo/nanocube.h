@@ -1,0 +1,97 @@
+#ifndef LODVIZ_GEO_NANOCUBE_H_
+#define LODVIZ_GEO_NANOCUBE_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "geo/tiles.h"
+
+namespace lodviz::geo {
+
+/// A spatio-temporal event: projected position, timestamp, small
+/// categorical attribute.
+struct StEvent {
+  Point position;
+  double time = 0.0;
+  uint16_t category = 0;
+};
+
+/// Nanocube-lite [96]: a sparse index over (spatial tile pyramid x time
+/// bins x category) that answers "how many events in this viewport, time
+/// brush, and category?" without touching raw points — the data structure
+/// the survey's Section 4 names as the model for spatio-temporal WoD
+/// exploration. Counts per (tile, category) are stored as cumulative
+/// time-bin series, so a time-range query per tile is two binary
+/// searches.
+class SpatioTemporalCube {
+ public:
+  struct Options {
+    /// Tile pyramid depth; queries may use any zoom in [0, max_zoom].
+    uint8_t max_zoom = 8;
+    /// Temporal resolution.
+    uint32_t time_bins = 256;
+    /// Number of categorical values (categories >= this are rejected).
+    uint16_t num_categories = 1;
+    /// Spatial domain (events outside clamp to the border tiles).
+    Rect domain{0.0, 0.0, 1.0, 1.0};
+    /// Temporal domain [t0, t1); events outside clamp to edge bins.
+    double t0 = 0.0;
+    double t1 = 1.0;
+  };
+
+  /// Builds the cube in one pass over the events.
+  static Result<SpatioTemporalCube> Build(const std::vector<StEvent>& events,
+                                          const Options& options);
+
+  /// Events with position in `window` (at `zoom` granularity — the window
+  /// is expanded to whole tiles), time in [t_lo, t_hi), and, when given,
+  /// the exact category. O(tiles_in_window * log time_bins).
+  uint64_t Count(uint8_t zoom, const Rect& window, double t_lo, double t_hi,
+                 std::optional<uint16_t> category = std::nullopt) const;
+
+  /// Per-time-bin counts for a window (the brushing histogram a UI shows).
+  std::vector<uint64_t> TimeSeries(uint8_t zoom, const Rect& window,
+                                   std::optional<uint16_t> category =
+                                       std::nullopt) const;
+
+  uint64_t total_events() const { return total_; }
+  const Options& options() const { return options_; }
+  size_t MemoryUsage() const;
+
+ private:
+  SpatioTemporalCube(const Options& options)
+      : options_(options), scheme_(options.domain) {}
+
+  uint32_t BinOf(double t) const;
+
+  /// Sparse-map key: (packed tile, category) — injective by construction.
+  using CellKey = std::pair<uint64_t, uint16_t>;
+  struct CellKeyHash {
+    size_t operator()(const CellKey& k) const {
+      uint64_t h = k.first * 0x9E3779B97F4A7C15ULL + k.second;
+      h ^= h >> 29;
+      return static_cast<size_t>(h);
+    }
+  };
+  static CellKey Key(const TileKey& tile, uint16_t category) {
+    return {tile.Pack(), category};
+  }
+
+  // (bin, cumulative-count-through-bin), ascending by bin.
+  using CumSeries = std::vector<std::pair<uint32_t, uint64_t>>;
+  /// Events in the series with bin in [b_lo, b_hi].
+  static uint64_t RangeFromSeries(const CumSeries& series, uint32_t b_lo,
+                                  uint32_t b_hi);
+
+  Options options_;
+  TileScheme scheme_;
+  std::unordered_map<CellKey, CumSeries, CellKeyHash> cells_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace lodviz::geo
+
+#endif  // LODVIZ_GEO_NANOCUBE_H_

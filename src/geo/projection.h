@@ -1,0 +1,27 @@
+#ifndef LODVIZ_GEO_PROJECTION_H_
+#define LODVIZ_GEO_PROJECTION_H_
+
+#include "geo/geometry.h"
+
+namespace lodviz::geo {
+
+/// Equirectangular projection: (lon, lat) degrees -> unit square, with
+/// y increasing northwards. The map renderers and geo benches work in this
+/// projected space.
+inline Point ProjectEquirectangular(double lon_deg, double lat_deg) {
+  return {(lon_deg + 180.0) / 360.0, (lat_deg + 90.0) / 180.0};
+}
+
+/// Inverse of ProjectEquirectangular.
+inline void UnprojectEquirectangular(const Point& p, double* lon_deg,
+                                     double* lat_deg) {
+  *lon_deg = p.x * 360.0 - 180.0;
+  *lat_deg = p.y * 180.0 - 90.0;
+}
+
+/// The projected world domain (unit square).
+inline Rect WorldDomain() { return {0.0, 0.0, 1.0, 1.0}; }
+
+}  // namespace lodviz::geo
+
+#endif  // LODVIZ_GEO_PROJECTION_H_

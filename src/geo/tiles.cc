@@ -1,0 +1,63 @@
+#include "geo/tiles.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lodviz::geo {
+
+TileKey TileScheme::TileForPoint(uint8_t zoom, const Point& p) const {
+  uint32_t n = 1u << zoom;
+  double fx = (p.x - domain_.min_x) / std::max(1e-300, domain_.Width());
+  double fy = (p.y - domain_.min_y) / std::max(1e-300, domain_.Height());
+  auto clamp_tile = [n](double f) {
+    int64_t t = static_cast<int64_t>(f * n);
+    return static_cast<uint32_t>(std::clamp<int64_t>(t, 0, n - 1));
+  };
+  return {zoom, clamp_tile(fx), clamp_tile(fy)};
+}
+
+std::vector<TileKey> TileScheme::TilesInRect(uint8_t zoom,
+                                             const Rect& window) const {
+  TileKey lo = TileForPoint(zoom, {window.min_x, window.min_y});
+  TileKey hi = TileForPoint(zoom, {window.max_x, window.max_y});
+  std::vector<TileKey> out;
+  for (uint32_t x = lo.x; x <= hi.x; ++x) {
+    for (uint32_t y = lo.y; y <= hi.y; ++y) {
+      out.push_back({zoom, x, y});
+    }
+  }
+  return out;
+}
+
+Rect TileScheme::TileBounds(const TileKey& key) const {
+  uint32_t n = 1u << key.zoom;
+  double w = domain_.Width() / n;
+  double h = domain_.Height() / n;
+  double x0 = domain_.min_x + w * key.x;
+  double y0 = domain_.min_y + h * key.y;
+  return {x0, y0, x0 + w, y0 + h};
+}
+
+void TileIndex::Add(uint64_t id, const Point& p) {
+  for (uint8_t z = 0; z <= max_zoom_; ++z) {
+    tiles_[scheme_.TileForPoint(z, p)].push_back(id);
+  }
+}
+
+const std::vector<uint64_t>& TileIndex::Items(const TileKey& key) const {
+  auto it = tiles_.find(key);
+  if (it == tiles_.end()) return empty_;
+  return it->second;
+}
+
+uint64_t TileIndex::Count(const TileKey& key) const {
+  return Items(key).size();
+}
+
+size_t TileIndex::MemoryUsage() const {
+  size_t bytes = tiles_.size() * (sizeof(TileKey) + sizeof(void*) * 4);
+  for (const auto& [k, v] : tiles_) bytes += v.capacity() * sizeof(uint64_t);
+  return bytes;
+}
+
+}  // namespace lodviz::geo

@@ -1,0 +1,111 @@
+#ifndef LODVIZ_GEO_TILES_H_
+#define LODVIZ_GEO_TILES_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "geo/geometry.h"
+
+namespace lodviz::geo {
+
+/// Identifies one tile of a quadtree tiling of a square domain:
+/// zoom level z has 2^z x 2^z tiles.
+struct TileKey {
+  uint8_t zoom = 0;
+  uint32_t x = 0;
+  uint32_t y = 0;
+
+  bool operator==(const TileKey& other) const {
+    return zoom == other.zoom && x == other.x && y == other.y;
+  }
+
+  /// Packs into one 64-bit value (hashing / map keys).
+  uint64_t Pack() const {
+    return (static_cast<uint64_t>(zoom) << 56) |
+           (static_cast<uint64_t>(x) << 28) | static_cast<uint64_t>(y);
+  }
+
+  /// Inverse of Pack.
+  static TileKey Unpack(uint64_t packed) {
+    return {static_cast<uint8_t>(packed >> 56),
+            static_cast<uint32_t>((packed >> 28) & 0x0FFFFFFF),
+            static_cast<uint32_t>(packed & 0x0FFFFFFF)};
+  }
+
+  /// Parent tile one zoom level up (zoom 0 returns itself).
+  TileKey Parent() const {
+    if (zoom == 0) return *this;
+    return {static_cast<uint8_t>(zoom - 1), x / 2, y / 2};
+  }
+
+  /// The four children one zoom level down.
+  std::vector<TileKey> Children() const {
+    uint8_t z = static_cast<uint8_t>(zoom + 1);
+    return {{z, 2 * x, 2 * y},
+            {z, 2 * x + 1, 2 * y},
+            {z, 2 * x, 2 * y + 1},
+            {z, 2 * x + 1, 2 * y + 1}};
+  }
+};
+
+struct TileKeyHash {
+  size_t operator()(const TileKey& k) const {
+    return std::hash<uint64_t>()(k.Pack());
+  }
+};
+
+/// Maps a rectangular data domain onto the quadtree tile grid.
+class TileScheme {
+ public:
+  /// The domain rect is stretched over the whole tile square.
+  explicit TileScheme(Rect domain) : domain_(domain) {}
+
+  const Rect& domain() const { return domain_; }
+
+  /// Tile containing `p` at `zoom` (points outside clamp to edge tiles).
+  TileKey TileForPoint(uint8_t zoom, const Point& p) const;
+
+  /// All tiles intersecting `window` at `zoom`.
+  std::vector<TileKey> TilesInRect(uint8_t zoom, const Rect& window) const;
+
+  /// Domain-space bounds of a tile.
+  Rect TileBounds(const TileKey& key) const;
+
+ private:
+  Rect domain_;
+};
+
+/// Materialized tile -> item-ids map over a point dataset: the server-side
+/// structure behind map panning / tile caching / prefetching experiments
+/// (imMens/Nanocubes-style precomputed tiles [97, 96]).
+class TileIndex {
+ public:
+  TileIndex(TileScheme scheme, uint8_t max_zoom)
+      : scheme_(scheme), max_zoom_(max_zoom) {}
+
+  /// Indexes an item at `p` into every zoom level up to max_zoom.
+  void Add(uint64_t id, const Point& p);
+
+  /// Item ids in one tile (empty vector if none).
+  const std::vector<uint64_t>& Items(const TileKey& key) const;
+
+  /// Number of items in a tile without materializing them.
+  uint64_t Count(const TileKey& key) const;
+
+  const TileScheme& scheme() const { return scheme_; }
+  uint8_t max_zoom() const { return max_zoom_; }
+  size_t tile_count() const { return tiles_.size(); }
+  size_t MemoryUsage() const;
+
+ private:
+  TileScheme scheme_;
+  uint8_t max_zoom_;
+  std::unordered_map<TileKey, std::vector<uint64_t>, TileKeyHash> tiles_;
+  std::vector<uint64_t> empty_;
+};
+
+}  // namespace lodviz::geo
+
+#endif  // LODVIZ_GEO_TILES_H_

@@ -1,0 +1,144 @@
+#include "graph/bundling.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace lodviz::graph {
+
+namespace {
+
+double Length(const geo::Point& a, const geo::Point& b) {
+  return geo::Distance(a, b);
+}
+
+double PolylineLength(const Polyline& line) {
+  double total = 0.0;
+  for (size_t i = 1; i < line.size(); ++i) {
+    total += Length(line[i - 1], line[i]);
+  }
+  return total;
+}
+
+/// Holten/van Wijk edge compatibility: angle * scale * position * visibility
+/// (visibility approximated by position here).
+double Compatibility(const geo::Point& p0, const geo::Point& p1,
+                     const geo::Point& q0, const geo::Point& q1) {
+  geo::Point pv{p1.x - p0.x, p1.y - p0.y};
+  geo::Point qv{q1.x - q0.x, q1.y - q0.y};
+  double lp = std::hypot(pv.x, pv.y);
+  double lq = std::hypot(qv.x, qv.y);
+  if (lp < 1e-9 || lq < 1e-9) return 0.0;
+  double angle = std::abs(pv.x * qv.x + pv.y * qv.y) / (lp * lq);
+  double lavg = (lp + lq) / 2.0;
+  double scale = 2.0 / (lavg / std::min(lp, lq) + std::max(lp, lq) / lavg);
+  geo::Point pm{(p0.x + p1.x) / 2, (p0.y + p1.y) / 2};
+  geo::Point qm{(q0.x + q1.x) / 2, (q0.y + q1.y) / 2};
+  double position = lavg / (lavg + Length(pm, qm));
+  return angle * scale * position;
+}
+
+}  // namespace
+
+uint64_t CountDistinctCells(const std::vector<Polyline>& polylines,
+                            int resolution) {
+  std::unordered_set<uint64_t> cells;
+  auto mark_segment = [&](const geo::Point& a, const geo::Point& b) {
+    double len = Length(a, b);
+    int steps = std::max(1, static_cast<int>(len * resolution * 2));
+    for (int s = 0; s <= steps; ++s) {
+      double t = static_cast<double>(s) / steps;
+      double x = a.x + (b.x - a.x) * t;
+      double y = a.y + (b.y - a.y) * t;
+      int cx = std::clamp(static_cast<int>(x * resolution), 0, resolution - 1);
+      int cy = std::clamp(static_cast<int>(y * resolution), 0, resolution - 1);
+      cells.insert((static_cast<uint64_t>(cx) << 32) |
+                   static_cast<uint32_t>(cy));
+    }
+  };
+  for (const Polyline& line : polylines) {
+    for (size_t i = 1; i < line.size(); ++i) mark_segment(line[i - 1], line[i]);
+  }
+  return cells.size();
+}
+
+BundlingResult BundleEdges(const Graph& g, const Layout& layout,
+                           const BundlingOptions& options) {
+  BundlingResult result;
+  const auto& edges = g.edges();
+  size_t m = edges.size();
+  int p = options.subdivisions;
+
+  // Initialize polylines as straight subdivided lines.
+  result.polylines.resize(m);
+  for (size_t e = 0; e < m; ++e) {
+    const geo::Point& a = layout[edges[e].first];
+    const geo::Point& b = layout[edges[e].second];
+    Polyline& line = result.polylines[e];
+    line.resize(p + 2);
+    for (int i = 0; i <= p + 1; ++i) {
+      double t = static_cast<double>(i) / (p + 1);
+      line[i] = {a.x + (b.x - a.x) * t, a.y + (b.y - a.y) * t};
+    }
+    result.ink_before += Length(a, b);
+  }
+  result.distinct_cells_before = CountDistinctCells(result.polylines, 256);
+
+  // Precompute compatible pairs with their compatibility weights.
+  std::vector<std::vector<std::pair<uint32_t, double>>> compatible(m);
+  for (size_t e = 0; e < m; ++e) {
+    const geo::Point& p0 = layout[edges[e].first];
+    const geo::Point& p1 = layout[edges[e].second];
+    for (size_t f = e + 1; f < m; ++f) {
+      const geo::Point& q0 = layout[edges[f].first];
+      const geo::Point& q1 = layout[edges[f].second];
+      double c = Compatibility(p0, p1, q0, q1);
+      if (c >= options.compatibility_threshold) {
+        compatible[e].emplace_back(static_cast<uint32_t>(f), c);
+        compatible[f].emplace_back(static_cast<uint32_t>(e), c);
+        ++result.compatible_pairs;
+      }
+    }
+  }
+
+  // Iterative refinement: spring to stay smooth + compatibility-weighted
+  // average attraction toward same-index points of compatible edges. The
+  // step decays so bundles converge instead of oscillating.
+  std::vector<Polyline> next = result.polylines;
+  double step = options.step;
+  for (int iter = 0; iter < options.iterations; ++iter) {
+    for (size_t e = 0; e < m; ++e) {
+      Polyline& line = result.polylines[e];
+      for (int i = 1; i <= p; ++i) {
+        double fx = options.stiffness *
+                    (line[i - 1].x + line[i + 1].x - 2 * line[i].x);
+        double fy = options.stiffness *
+                    (line[i - 1].y + line[i + 1].y - 2 * line[i].y);
+        if (!compatible[e].empty()) {
+          double ax = 0.0, ay = 0.0, wsum = 0.0;
+          for (const auto& [f, w] : compatible[e]) {
+            const geo::Point& other = result.polylines[f][i];
+            ax += w * (other.x - line[i].x);
+            ay += w * (other.y - line[i].y);
+            wsum += w;
+          }
+          fx += ax / wsum;
+          fy += ay / wsum;
+        }
+        next[e][i] = {line[i].x + step * fx, line[i].y + step * fy};
+      }
+      next[e][0] = line[0];
+      next[e][p + 1] = line[p + 1];
+    }
+    std::swap(result.polylines, next);
+    if ((iter + 1) % 15 == 0) step *= 0.5;
+  }
+
+  for (const Polyline& line : result.polylines) {
+    result.ink_after += PolylineLength(line);
+  }
+  result.distinct_cells_after = CountDistinctCells(result.polylines, 256);
+  return result;
+}
+
+}  // namespace lodviz::graph

@@ -1,0 +1,89 @@
+#ifndef LODVIZ_GRAPH_GRAPH_H_
+#define LODVIZ_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/triple_store.h"
+
+namespace lodviz::graph {
+
+using NodeId = uint32_t;
+
+/// An undirected graph in CSR form, optionally tied back to RDF terms.
+/// This is the node-link substrate of Section 3.4: RDF entity-to-entity
+/// triples become edges; literals are dropped.
+class Graph {
+ public:
+  /// An empty graph (0 nodes).
+  Graph() = default;
+
+  /// Builds from the entity-link triples of `store` (object is an IRI or
+  /// blank node, subject != object). Parallel edges are deduplicated.
+  static Graph FromTripleStore(const rdf::TripleStore& store);
+
+  /// Builds from an explicit edge list over nodes [0, num_nodes).
+  /// Self-loops are dropped and parallel edges deduplicated.
+  static Graph FromEdges(NodeId num_nodes,
+                         std::vector<std::pair<NodeId, NodeId>> edges);
+
+  NodeId num_nodes() const { return static_cast<NodeId>(offsets_.size() - 1); }
+  size_t num_edges() const { return edges_.size(); }
+
+  /// Neighbors of `u` (sorted, unique).
+  std::span<const NodeId> Neighbors(NodeId u) const {
+    return {adj_.data() + offsets_[u], offsets_[u + 1] - offsets_[u]};
+  }
+
+  size_t Degree(NodeId u) const { return offsets_[u + 1] - offsets_[u]; }
+  double AverageDegree() const {
+    return num_nodes() ? 2.0 * static_cast<double>(num_edges()) /
+                             static_cast<double>(num_nodes())
+                       : 0.0;
+  }
+  size_t MaxDegree() const;
+
+  /// Unique undirected edges (u < v).
+  const std::vector<std::pair<NodeId, NodeId>>& edges() const { return edges_; }
+
+  /// RDF term id of node `u`; kInvalidTermId for synthetic graphs.
+  rdf::TermId node_term(NodeId u) const {
+    return u < terms_.size() ? terms_[u] : rdf::kInvalidTermId;
+  }
+
+  /// Node id for an RDF term; returns false if the term is not a node.
+  bool NodeForTerm(rdf::TermId term, NodeId* out) const;
+
+  /// BFS distances from `source` (unreachable = UINT32_MAX).
+  std::vector<uint32_t> BfsDistances(NodeId source) const;
+
+  /// Connected component id per node (0-based, dense).
+  std::vector<NodeId> ConnectedComponents(NodeId* num_components = nullptr) const;
+
+  /// k-core decomposition: per-node core number.
+  std::vector<uint32_t> CoreNumbers() const;
+
+  /// Induced subgraph on `nodes`; `old_to_new` (optional) receives the
+  /// node-id mapping.
+  Graph InducedSubgraph(const std::vector<NodeId>& nodes,
+                        std::unordered_map<NodeId, NodeId>* old_to_new =
+                            nullptr) const;
+
+  size_t MemoryUsage() const;
+
+ private:
+  void BuildCsr(NodeId num_nodes,
+                std::vector<std::pair<NodeId, NodeId>> edges);
+
+  std::vector<size_t> offsets_ = {0};  // size num_nodes + 1
+  std::vector<NodeId> adj_;
+  std::vector<std::pair<NodeId, NodeId>> edges_;  // u < v, unique
+  std::vector<rdf::TermId> terms_;
+  std::unordered_map<rdf::TermId, NodeId> term_to_node_;
+};
+
+}  // namespace lodviz::graph
+
+#endif  // LODVIZ_GRAPH_GRAPH_H_

@@ -1,0 +1,226 @@
+#include "hier/hetree.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace lodviz::hier {
+
+HETree::HETree(std::shared_ptr<const SortedData> data, const Options& options)
+    : data_(std::move(data)), options_(options) {
+  // Root covers everything.
+  Node root;
+  root.first = 0;
+  root.last = data_->items.size();
+  root.lo = data_->items.front().value;
+  root.hi = data_->items.back().value;
+  root.stats = StatsForItemRange(root.first, root.last);
+  root.is_leaf = root.last - root.first <= options_.leaf_capacity;
+  root.depth = 0;
+  nodes_.push_back(std::move(root));
+}
+
+Result<HETree> HETree::Build(std::vector<Item> items, const Options& options) {
+  if (items.empty()) return Status::InvalidArgument("HETree needs items");
+  if (options.fanout < 2) return Status::InvalidArgument("fanout must be >= 2");
+  if (options.leaf_capacity < 1) {
+    return Status::InvalidArgument("leaf_capacity must be >= 1");
+  }
+  auto data = std::make_shared<SortedData>();
+  std::sort(items.begin(), items.end(),
+            [](const Item& a, const Item& b) { return a.value < b.value; });
+  size_t n = items.size();
+  data->items = std::move(items);
+  data->prefix_sum.resize(n + 1, 0.0);
+  data->prefix_sumsq.resize(n + 1, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    double v = data->items[i].value;
+    data->prefix_sum[i + 1] = data->prefix_sum[i] + v;
+    data->prefix_sumsq[i + 1] = data->prefix_sumsq[i] + v * v;
+  }
+  HETree tree(std::move(data), options);
+  if (!options.lazy) tree.MaterializeAll();
+  return tree;
+}
+
+Result<HETree> HETree::BuildFromProperty(const rdf::TripleStore& store,
+                                         rdf::TermId predicate,
+                                         const Options& options) {
+  std::vector<Item> items;
+  const rdf::Dictionary& dict = store.dict();
+  rdf::TriplePattern pat(rdf::kInvalidTermId, predicate, rdf::kInvalidTermId);
+  store.Scan(pat, [&](const rdf::Triple& t) {
+    const rdf::Term& obj = dict.term(t.o);
+    double value = 0.0;
+    if (obj.IsTemporalLiteral()) {
+      Result<int64_t> v = obj.AsEpochSeconds();
+      if (!v.ok()) return true;
+      value = static_cast<double>(v.ValueOrDie());
+    } else {
+      Result<double> v = obj.AsDouble();
+      if (!v.ok()) return true;
+      value = v.ValueOrDie();
+    }
+    items.push_back({value, t.s});
+    return true;
+  });
+  if (items.empty()) {
+    return Status::NotFound("predicate has no numeric/temporal objects");
+  }
+  return Build(std::move(items), options);
+}
+
+NodeStats HETree::StatsForItemRange(size_t first, size_t last) const {
+  NodeStats s;
+  if (last <= first) return s;
+  s.count = last - first;
+  s.min = data_->items[first].value;
+  s.max = data_->items[last - 1].value;
+  s.sum = data_->prefix_sum[last] - data_->prefix_sum[first];
+  double sumsq = data_->prefix_sumsq[last] - data_->prefix_sumsq[first];
+  double n = static_cast<double>(s.count);
+  s.mean = s.sum / n;
+  s.variance = std::max(0.0, sumsq / n - s.mean * s.mean);
+  return s;
+}
+
+size_t HETree::LowerBound(double value) const {
+  auto it = std::lower_bound(
+      data_->items.begin(), data_->items.end(), value,
+      [](const Item& item, double v) { return item.value < v; });
+  return static_cast<size_t>(it - data_->items.begin());
+}
+
+size_t HETree::UpperBound(double value) const {
+  auto it = std::upper_bound(
+      data_->items.begin(), data_->items.end(), value,
+      [](double v, const Item& item) { return v < item.value; });
+  return static_cast<size_t>(it - data_->items.begin());
+}
+
+void HETree::MaterializeChildren(NodeId id) {
+  Node& parent = nodes_[id];
+  if (parent.children_materialized || parent.is_leaf) return;
+  size_t first = parent.first, last = parent.last;
+  size_t count = last - first;
+  std::vector<std::pair<size_t, size_t>> ranges;  // item ranges
+  std::vector<std::pair<double, double>> bounds;  // value ranges
+
+  if (options_.kind == Kind::kContent) {
+    // Equal item counts per child.
+    size_t k = std::min(options_.fanout, count);
+    for (size_t c = 0; c < k; ++c) {
+      size_t b = first + c * count / k;
+      size_t e = first + (c + 1) * count / k;
+      if (e <= b) continue;
+      ranges.emplace_back(b, e);
+      bounds.emplace_back(data_->items[b].value, data_->items[e - 1].value);
+    }
+  } else {
+    // Equal value sub-ranges; empty sub-ranges are skipped.
+    double lo = parent.lo, hi = parent.hi;
+    if (hi <= lo) {
+      // Degenerate single-value range: fall back to content split so the
+      // tree still terminates.
+      size_t k = std::min(options_.fanout, count);
+      for (size_t c = 0; c < k; ++c) {
+        size_t b = first + c * count / k;
+        size_t e = first + (c + 1) * count / k;
+        if (e > b) {
+          ranges.emplace_back(b, e);
+          bounds.emplace_back(data_->items[b].value, data_->items[e - 1].value);
+        }
+      }
+    } else {
+      double width = (hi - lo) / static_cast<double>(options_.fanout);
+      size_t prev = first;
+      for (size_t c = 0; c < options_.fanout; ++c) {
+        double chi = (c + 1 == options_.fanout) ? hi : lo + width * (c + 1);
+        size_t e = (c + 1 == options_.fanout) ? last : UpperBound(chi);
+        e = std::min(e, last);
+        if (e > prev) {
+          ranges.emplace_back(prev, e);
+          bounds.emplace_back(lo + width * c, chi);
+        }
+        prev = std::max(prev, e);
+      }
+    }
+  }
+
+  std::vector<NodeId> child_ids;
+  for (size_t i = 0; i < ranges.size(); ++i) {
+    Node child;
+    child.first = ranges[i].first;
+    child.last = ranges[i].second;
+    child.lo = bounds[i].first;
+    child.hi = bounds[i].second;
+    child.stats = StatsForItemRange(child.first, child.last);
+    child.is_leaf = (child.last - child.first) <= options_.leaf_capacity ||
+                    ranges.size() <= 1;
+    child.parent = id;
+    child.depth = nodes_[id].depth + 1;
+    child_ids.push_back(static_cast<NodeId>(nodes_.size()));
+    nodes_.push_back(std::move(child));
+  }
+  Node& parent2 = nodes_[id];  // re-fetch (vector may have grown)
+  parent2.children = std::move(child_ids);
+  parent2.children_materialized = true;
+}
+
+const std::vector<HETree::NodeId>& HETree::Children(NodeId id) {
+  MaterializeChildren(id);
+  return nodes_[id].children;
+}
+
+void HETree::MaterializeAll() {
+  // BFS materialization of the entire tree.
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    MaterializeChildren(static_cast<NodeId>(i));
+  }
+}
+
+std::vector<HETree::NodeId> HETree::NodesAtDepth(uint32_t depth) {
+  std::vector<NodeId> frontier = {root()};
+  for (uint32_t d = 0; d < depth; ++d) {
+    std::vector<NodeId> next;
+    for (NodeId id : frontier) {
+      if (nodes_[id].is_leaf) {
+        next.push_back(id);  // leaves stay visible below their depth
+      } else {
+        for (NodeId c : Children(id)) next.push_back(c);
+      }
+    }
+    frontier = std::move(next);
+  }
+  return frontier;
+}
+
+NodeStats HETree::RangeStats(double lo, double hi) const {
+  if (hi < lo) return {};
+  size_t first = LowerBound(lo);
+  size_t last = UpperBound(hi);
+  return StatsForItemRange(first, last);
+}
+
+std::vector<Item> HETree::LeafItems(NodeId id) const {
+  const Node& n = nodes_[id];
+  return std::vector<Item>(data_->items.begin() + n.first,
+                           data_->items.begin() + n.last);
+}
+
+HETree HETree::Adapt(const Options& new_options) const {
+  LODVIZ_CHECK(new_options.fanout >= 2);
+  LODVIZ_CHECK(new_options.leaf_capacity >= 1);
+  return HETree(data_, new_options);
+}
+
+size_t HETree::MemoryUsage() const {
+  size_t bytes = nodes_.capacity() * sizeof(Node);
+  for (const Node& n : nodes_) bytes += n.children.capacity() * sizeof(NodeId);
+  bytes += data_->items.capacity() * sizeof(Item) +
+           data_->prefix_sum.capacity() * sizeof(double) * 2;
+  return bytes;
+}
+
+}  // namespace lodviz::hier

@@ -1,0 +1,126 @@
+#include "onto/containment.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lodviz::onto {
+
+namespace {
+
+/// Relative placement of a subtree: radius of the node's circle and the
+/// offsets of each descendant circle from the node's own center.
+struct SubLayout {
+  double radius = 0.0;
+  // (class_idx, dx, dy, r) relative to this subtree's center.
+  std::vector<ContainmentCircle> circles;
+};
+
+/// Packs `items` (radii) on a ring; returns ring radius and center angles.
+/// Guarantees adjacent chords >= spacing * (r_i + r_j).
+double RingRadius(const std::vector<double>& radii, double spacing) {
+  if (radii.size() == 1) return 0.0;
+  // Required perimeter: each adjacent pair needs arc >= spacing*(ri+rj);
+  // summing over the cycle counts each radius twice.
+  double perimeter = 0.0;
+  double max_r = 0.0;
+  for (double r : radii) {
+    perimeter += 2.0 * spacing * r;
+    max_r = std::max(max_r, r);
+  }
+  // The chord is shorter than the arc, so enforce a floor that keeps even
+  // two large circles apart; also keep the ring wider than the biggest
+  // child so circles never reach the center.
+  return std::max(perimeter / (2.0 * M_PI), max_r * spacing);
+}
+
+SubLayout LayoutSubtree(const ClassHierarchy& h, int32_t node,
+                        const ContainmentOptions& options) {
+  const ClassInfo& info = h.classes()[node];
+  SubLayout out;
+
+  // Base radius from the node's own weight.
+  double own = std::sqrt(1.0 + static_cast<double>(info.direct_instances));
+
+  if (info.children.empty()) {
+    out.radius = own;
+    out.circles.push_back({node, 0.0, 0.0, out.radius});
+    return out;
+  }
+
+  std::vector<SubLayout> child_layouts;
+  std::vector<double> child_radii;
+  for (int32_t c : info.children) {
+    child_layouts.push_back(LayoutSubtree(h, c, options));
+    child_radii.push_back(child_layouts.back().radius);
+  }
+
+  double ring = RingRadius(child_radii, options.sibling_spacing);
+  double max_child = *std::max_element(child_radii.begin(), child_radii.end());
+  out.radius =
+      std::max(own, (ring + max_child) * options.parent_padding);
+
+  // Place children around the ring, angle share proportional to radius.
+  double total = 0.0;
+  for (double r : child_radii) total += r;
+  double angle = 0.0;
+  for (size_t i = 0; i < child_layouts.size(); ++i) {
+    double share = 2.0 * M_PI * child_radii[i] / std::max(1e-12, total);
+    double theta = angle + share / 2.0;
+    angle += share;
+    double dx = ring * std::cos(theta);
+    double dy = ring * std::sin(theta);
+    for (ContainmentCircle circle : child_layouts[i].circles) {
+      circle.cx += dx;
+      circle.cy += dy;
+      out.circles.push_back(circle);
+    }
+  }
+  out.circles.push_back({node, 0.0, 0.0, out.radius});
+  return out;
+}
+
+}  // namespace
+
+std::vector<ContainmentCircle> CropCirclesLayout(
+    const ClassHierarchy& hierarchy, const ContainmentOptions& options) {
+  std::vector<ContainmentCircle> out;
+  if (hierarchy.roots().empty()) return out;
+
+  // Treat the forest as children of a virtual root.
+  std::vector<SubLayout> root_layouts;
+  std::vector<double> root_radii;
+  for (int32_t root : hierarchy.roots()) {
+    root_layouts.push_back(LayoutSubtree(hierarchy, root, options));
+    root_radii.push_back(root_layouts.back().radius);
+  }
+  double ring = RingRadius(root_radii, options.sibling_spacing);
+  double max_root = *std::max_element(root_radii.begin(), root_radii.end());
+  double world = (ring + max_root) * options.parent_padding;
+
+  double total = 0.0;
+  for (double r : root_radii) total += r;
+  double angle = 0.0;
+  for (size_t i = 0; i < root_layouts.size(); ++i) {
+    double share = 2.0 * M_PI * root_radii[i] / std::max(1e-12, total);
+    double theta = angle + share / 2.0;
+    angle += share;
+    double dx = root_layouts.size() == 1 ? 0.0 : ring * std::cos(theta);
+    double dy = root_layouts.size() == 1 ? 0.0 : ring * std::sin(theta);
+    for (ContainmentCircle circle : root_layouts[i].circles) {
+      circle.cx += dx;
+      circle.cy += dy;
+      out.push_back(circle);
+    }
+  }
+
+  // Fit into the unit square centered at (0.5, 0.5).
+  double scale = 0.5 / world;
+  for (ContainmentCircle& c : out) {
+    c.cx = 0.5 + c.cx * scale;
+    c.cy = 0.5 + c.cy * scale;
+    c.r *= scale;
+  }
+  return out;
+}
+
+}  // namespace lodviz::onto

@@ -1,0 +1,35 @@
+#ifndef LODVIZ_ONTO_CONTAINMENT_H_
+#define LODVIZ_ONTO_CONTAINMENT_H_
+
+#include <vector>
+
+#include "onto/hierarchy.h"
+
+namespace lodviz::onto {
+
+/// One class rendered as a circle; children are strictly inside their
+/// parent (geometric containment, CropCircles [137]).
+struct ContainmentCircle {
+  int32_t class_idx = -1;
+  double cx = 0.0;
+  double cy = 0.0;
+  double r = 0.0;
+};
+
+struct ContainmentOptions {
+  /// Padding factor between a child ring and the parent border (> 1).
+  double parent_padding = 1.25;
+  /// Slack between adjacent siblings on the ring (> 1).
+  double sibling_spacing = 1.5;
+};
+
+/// CropCircles-style containment layout: class circles sized by subtree
+/// instance count, nested inside their parents, the whole forest fitted
+/// into the unit square. Invariants (tested): every child circle lies
+/// strictly inside its parent; sibling circles do not overlap.
+std::vector<ContainmentCircle> CropCirclesLayout(
+    const ClassHierarchy& hierarchy, const ContainmentOptions& options = {});
+
+}  // namespace lodviz::onto
+
+#endif  // LODVIZ_ONTO_CONTAINMENT_H_

@@ -1,0 +1,56 @@
+#include "rdf/dictionary.h"
+
+namespace lodviz::rdf {
+
+Dictionary::Dictionary() {
+  terms_.emplace_back();  // sentinel for kInvalidTermId
+}
+
+std::string Dictionary::MakeKey(const Term& term) {
+  std::string key;
+  key.reserve(term.lexical.size() + term.datatype.size() +
+              term.language.size() + 4);
+  key += static_cast<char>('0' + static_cast<int>(term.kind));
+  key += term.lexical;
+  key += '\x01';
+  key += term.datatype;
+  key += '\x01';
+  key += term.language;
+  return key;
+}
+
+TermId Dictionary::Intern(const Term& term) {
+  std::string key = MakeKey(term);
+  auto it = index_.find(key);
+  if (it != index_.end()) return it->second;
+  TermId id = static_cast<TermId>(terms_.size());
+  terms_.push_back(term);
+  index_.emplace(std::move(key), id);
+  return id;
+}
+
+TermId Dictionary::Lookup(const Term& term) const {
+  auto it = index_.find(MakeKey(term));
+  if (it == index_.end()) return kInvalidTermId;
+  return it->second;
+}
+
+Result<Term> Dictionary::GetTerm(TermId id) const {
+  if (!Contains(id)) {
+    return Status::NotFound("term id " + std::to_string(id) + " not in dictionary");
+  }
+  return terms_[id];
+}
+
+size_t Dictionary::MemoryUsage() const {
+  size_t bytes = terms_.capacity() * sizeof(Term);
+  for (const Term& t : terms_) {
+    bytes += t.lexical.capacity() + t.datatype.capacity() + t.language.capacity();
+  }
+  // unordered_map overhead: key strings + node + bucket pointers (approx).
+  bytes += index_.size() * (sizeof(void*) * 4 + sizeof(TermId));
+  for (const auto& [k, v] : index_) bytes += k.capacity();
+  return bytes;
+}
+
+}  // namespace lodviz::rdf

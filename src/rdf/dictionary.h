@@ -1,0 +1,70 @@
+#ifndef LODVIZ_RDF_DICTIONARY_H_
+#define LODVIZ_RDF_DICTIONARY_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "rdf/term.h"
+
+namespace lodviz::rdf {
+
+/// Dense integer id assigned to an interned term. Id 0 is reserved
+/// (kInvalidTermId); valid ids start at 1.
+using TermId = uint32_t;
+
+inline constexpr TermId kInvalidTermId = 0;
+
+/// Bidirectional term <-> id mapping (dictionary encoding).
+///
+/// All higher layers (triple store, SPARQL engine, graph, cube) operate on
+/// TermIds; strings are touched only at parse/render boundaries. This is the
+/// standard RDF-store compression that makes billion-triple handling
+/// feasible.
+class Dictionary {
+ public:
+  Dictionary();
+
+  Dictionary(const Dictionary&) = delete;
+  Dictionary& operator=(const Dictionary&) = delete;
+  Dictionary(Dictionary&&) = default;
+  Dictionary& operator=(Dictionary&&) = default;
+
+  /// Interns `term`, returning its id (existing id if already present).
+  TermId Intern(const Term& term);
+
+  /// Shorthand interners.
+  TermId InternIri(std::string iri) { return Intern(Term::Iri(std::move(iri))); }
+  TermId InternLiteral(std::string value, std::string datatype = "") {
+    return Intern(Term::Literal(std::move(value), std::move(datatype)));
+  }
+
+  /// Looks up an already-interned term; kInvalidTermId if absent.
+  TermId Lookup(const Term& term) const;
+
+  /// Returns the term for `id`; error if out of range.
+  Result<Term> GetTerm(TermId id) const;
+
+  /// Unchecked const access for hot paths; id must be valid.
+  const Term& term(TermId id) const { return terms_[id]; }
+
+  bool Contains(TermId id) const { return id >= 1 && id < terms_.size(); }
+
+  /// Number of interned terms.
+  size_t size() const { return terms_.size() - 1; }
+
+  /// Approximate heap footprint in bytes (for memory experiments).
+  size_t MemoryUsage() const;
+
+ private:
+  static std::string MakeKey(const Term& term);
+
+  std::vector<Term> terms_;  // terms_[0] is an unused sentinel
+  std::unordered_map<std::string, TermId> index_;
+};
+
+}  // namespace lodviz::rdf
+
+#endif  // LODVIZ_RDF_DICTIONARY_H_

@@ -1,0 +1,67 @@
+#ifndef LODVIZ_RDF_TRIPLE_H_
+#define LODVIZ_RDF_TRIPLE_H_
+
+#include <tuple>
+
+#include "rdf/dictionary.h"
+
+namespace lodviz::rdf {
+
+/// A dictionary-encoded RDF statement.
+struct Triple {
+  TermId s = kInvalidTermId;
+  TermId p = kInvalidTermId;
+  TermId o = kInvalidTermId;
+
+  Triple() = default;
+  Triple(TermId subject, TermId predicate, TermId object)
+      : s(subject), p(predicate), o(object) {}
+
+  bool operator==(const Triple& other) const {
+    return s == other.s && p == other.p && o == other.o;
+  }
+  bool operator!=(const Triple& other) const { return !(*this == other); }
+};
+
+/// Orderings backing the three triple-store indexes.
+struct OrderSpo {
+  bool operator()(const Triple& a, const Triple& b) const {
+    return std::tie(a.s, a.p, a.o) < std::tie(b.s, b.p, b.o);
+  }
+};
+struct OrderPos {
+  bool operator()(const Triple& a, const Triple& b) const {
+    return std::tie(a.p, a.o, a.s) < std::tie(b.p, b.o, b.s);
+  }
+};
+struct OrderOsp {
+  bool operator()(const Triple& a, const Triple& b) const {
+    return std::tie(a.o, a.s, a.p) < std::tie(b.o, b.s, b.p);
+  }
+};
+
+/// A triple pattern: kInvalidTermId (0) fields are wildcards.
+struct TriplePattern {
+  TermId s = kInvalidTermId;
+  TermId p = kInvalidTermId;
+  TermId o = kInvalidTermId;
+
+  TriplePattern() = default;
+  TriplePattern(TermId subject, TermId predicate, TermId object)
+      : s(subject), p(predicate), o(object) {}
+
+  bool Matches(const Triple& t) const {
+    return (s == kInvalidTermId || s == t.s) &&
+           (p == kInvalidTermId || p == t.p) &&
+           (o == kInvalidTermId || o == t.o);
+  }
+
+  /// Number of bound positions (0..3).
+  int BoundCount() const {
+    return (s != kInvalidTermId) + (p != kInvalidTermId) + (o != kInvalidTermId);
+  }
+};
+
+}  // namespace lodviz::rdf
+
+#endif  // LODVIZ_RDF_TRIPLE_H_

@@ -1,0 +1,159 @@
+#include "rdf/triple_store.h"
+
+#include <algorithm>
+
+namespace lodviz::rdf {
+
+TripleStore::TripleStore(size_t compaction_threshold)
+    : compaction_threshold_(compaction_threshold) {}
+
+Triple TripleStore::Add(const Term& s, const Term& p, const Term& o) {
+  Triple t(dict_.Intern(s), dict_.Intern(p), dict_.Intern(o));
+  AddEncoded(t);
+  return t;
+}
+
+void TripleStore::AddEncoded(const Triple& t) {
+  pending_.push_back(t);
+  ++pred_counts_[t.p];
+  MaybeCompact();
+}
+
+void TripleStore::MaybeCompact() const {
+  if (pending_.size() >= compaction_threshold_) Compact();
+}
+
+void TripleStore::Compact() const {
+  if (pending_.empty()) return;
+  spo_.insert(spo_.end(), pending_.begin(), pending_.end());
+  pending_.clear();
+  std::sort(spo_.begin(), spo_.end(), OrderSpo());
+  spo_.erase(std::unique(spo_.begin(), spo_.end()), spo_.end());
+  pos_ = spo_;
+  std::sort(pos_.begin(), pos_.end(), OrderPos());
+  osp_ = spo_;
+  std::sort(osp_.begin(), osp_.end(), OrderOsp());
+}
+
+namespace {
+
+/// Scans [lo, hi) of a sorted index, filtering by `pattern`.
+bool ScanRange(const std::vector<Triple>& index,
+               std::vector<Triple>::const_iterator lo,
+               std::vector<Triple>::const_iterator hi,
+               const TriplePattern& pattern,
+               const std::function<bool(const Triple&)>& fn) {
+  (void)index;
+  for (auto it = lo; it != hi; ++it) {
+    if (pattern.Matches(*it) && !fn(*it)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void TripleStore::Scan(const TriplePattern& pattern,
+                       const std::function<bool(const Triple&)>& fn) const {
+  bool keep_going = true;
+  if (!spo_.empty() || !pending_.empty()) {
+    if (pattern.s != kInvalidTermId) {
+      // SPO index: range over (s) or (s,p) prefix.
+      Triple lo(pattern.s, pattern.p, 0);
+      Triple hi(pattern.s,
+                pattern.p != kInvalidTermId ? pattern.p : ~TermId(0),
+                ~TermId(0));
+      auto b = std::lower_bound(spo_.begin(), spo_.end(), lo, OrderSpo());
+      auto e = std::upper_bound(spo_.begin(), spo_.end(), hi, OrderSpo());
+      keep_going = ScanRange(spo_, b, e, pattern, fn);
+    } else if (pattern.p != kInvalidTermId) {
+      // POS index: range over (p) or (p,o) prefix.
+      Triple lo(0, pattern.p, pattern.o);
+      Triple hi(~TermId(0), pattern.p,
+                pattern.o != kInvalidTermId ? pattern.o : ~TermId(0));
+      auto b = std::lower_bound(pos_.begin(), pos_.end(), lo, OrderPos());
+      auto e = std::upper_bound(pos_.begin(), pos_.end(), hi, OrderPos());
+      keep_going = ScanRange(pos_, b, e, pattern, fn);
+    } else if (pattern.o != kInvalidTermId) {
+      // OSP index: range over (o).
+      Triple lo(0, 0, pattern.o);
+      Triple hi(~TermId(0), ~TermId(0), pattern.o);
+      auto b = std::lower_bound(osp_.begin(), osp_.end(), lo, OrderOsp());
+      auto e = std::upper_bound(osp_.begin(), osp_.end(), hi, OrderOsp());
+      keep_going = ScanRange(osp_, b, e, pattern, fn);
+    } else {
+      keep_going = ScanRange(spo_, spo_.begin(), spo_.end(), pattern, fn);
+    }
+  }
+  if (!keep_going) return;
+  for (const Triple& t : pending_) {
+    if (pattern.Matches(t) && !fn(t)) return;
+  }
+}
+
+std::vector<Triple> TripleStore::Match(const TriplePattern& pattern) const {
+  std::vector<Triple> out;
+  Scan(pattern, [&](const Triple& t) {
+    out.push_back(t);
+    return true;
+  });
+  return out;
+}
+
+uint64_t TripleStore::Count(const TriplePattern& pattern) const {
+  uint64_t n = 0;
+  Scan(pattern, [&](const Triple&) {
+    ++n;
+    return true;
+  });
+  return n;
+}
+
+double TripleStore::EstimateSelectivity(const TriplePattern& pattern) const {
+  double total = static_cast<double>(size());
+  if (total == 0) return 0.0;
+  if (pattern.BoundCount() == 0) return 1.0;
+  double est = total;
+  if (pattern.p != kInvalidTermId) {
+    auto it = pred_counts_.find(pattern.p);
+    est = (it == pred_counts_.end()) ? 0.0 : static_cast<double>(it->second);
+  }
+  // Heuristic per-position shrink factors for bound subject/object.
+  if (pattern.s != kInvalidTermId) est /= std::max(1.0, total / 100.0);
+  if (pattern.o != kInvalidTermId) est /= std::max(1.0, total / 1000.0);
+  return std::min(1.0, est / total);
+}
+
+std::vector<TermId> TripleStore::DistinctSubjects() const {
+  Compact();
+  std::vector<TermId> out;
+  TermId last = kInvalidTermId;
+  for (const Triple& t : spo_) {
+    if (t.s != last) {
+      out.push_back(t.s);
+      last = t.s;
+    }
+  }
+  return out;
+}
+
+std::vector<TermId> TripleStore::DistinctObjects(TermId p) const {
+  Compact();
+  std::vector<TermId> out;
+  TriplePattern pat(kInvalidTermId, p, kInvalidTermId);
+  Scan(pat, [&](const Triple& t) {
+    out.push_back(t.o);
+    return true;
+  });
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+size_t TripleStore::MemoryUsage() const {
+  return dict_.MemoryUsage() +
+         (spo_.capacity() + pos_.capacity() + osp_.capacity() +
+          pending_.capacity()) *
+             sizeof(Triple);
+}
+
+}  // namespace lodviz::rdf

@@ -1,0 +1,97 @@
+#ifndef LODVIZ_RDF_TRIPLE_STORE_H_
+#define LODVIZ_RDF_TRIPLE_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/dictionary.h"
+#include "rdf/triple.h"
+
+namespace lodviz::rdf {
+
+/// In-memory triple store with three sorted permutation indexes
+/// (SPO, POS, OSP) and an unsorted insert buffer for dynamic arrival.
+///
+/// The survey's "dynamic setting" precludes heavyweight preprocessing:
+/// inserts are O(1) appends into a pending buffer; queries merge the sorted
+/// indexes with a linear scan of the buffer, and the buffer is folded into
+/// the indexes once it exceeds a threshold (amortized incremental indexing).
+///
+/// Not thread-safe; one store per exploration session.
+class TripleStore {
+ public:
+  /// `compaction_threshold`: pending-buffer size that triggers a fold into
+  /// the sorted indexes.
+  explicit TripleStore(size_t compaction_threshold = 1 << 16);
+
+  TripleStore(const TripleStore&) = delete;
+  TripleStore& operator=(const TripleStore&) = delete;
+  TripleStore(TripleStore&&) = default;
+  TripleStore& operator=(TripleStore&&) = default;
+
+  Dictionary& dict() { return dict_; }
+  const Dictionary& dict() const { return dict_; }
+
+  /// Interns the terms and inserts the triple. Duplicates are removed on
+  /// the next compaction.
+  Triple Add(const Term& s, const Term& p, const Term& o);
+
+  /// Inserts an already-encoded triple.
+  void AddEncoded(const Triple& t);
+
+  /// Total triples (post-dedup count may be lower until compaction).
+  size_t size() const { return spo_.size() + pending_.size(); }
+
+  /// Streams every triple matching `pattern` to `fn`; stop early by
+  /// returning false from `fn`. Uses the best permutation index.
+  void Scan(const TriplePattern& pattern,
+            const std::function<bool(const Triple&)>& fn) const;
+
+  /// Materializes all matches.
+  std::vector<Triple> Match(const TriplePattern& pattern) const;
+
+  /// Number of matches.
+  uint64_t Count(const TriplePattern& pattern) const;
+
+  /// Estimated fraction of the store matched by `pattern`, from predicate
+  /// statistics; used by the SPARQL join orderer.
+  double EstimateSelectivity(const TriplePattern& pattern) const;
+
+  /// Distinct predicates with occurrence counts.
+  const std::unordered_map<TermId, uint64_t>& predicate_counts() const {
+    return pred_counts_;
+  }
+
+  /// Distinct subjects that have at least one triple (from the SPO index +
+  /// buffer; deduplicated).
+  std::vector<TermId> DistinctSubjects() const;
+
+  /// Distinct objects of triples with predicate `p`.
+  std::vector<TermId> DistinctObjects(TermId p) const;
+
+  /// Folds the pending buffer into the sorted indexes and deduplicates.
+  void Compact() const;
+
+  /// Approximate heap bytes including the dictionary.
+  size_t MemoryUsage() const;
+
+ private:
+  void MaybeCompact() const;
+
+  Dictionary dict_;
+  size_t compaction_threshold_;
+
+  // Sorted permutation indexes (mutable: compaction is logically const).
+  mutable std::vector<Triple> spo_;
+  mutable std::vector<Triple> pos_;
+  mutable std::vector<Triple> osp_;
+  mutable std::vector<Triple> pending_;
+
+  std::unordered_map<TermId, uint64_t> pred_counts_;
+};
+
+}  // namespace lodviz::rdf
+
+#endif  // LODVIZ_RDF_TRIPLE_STORE_H_

@@ -1,0 +1,46 @@
+#ifndef LODVIZ_RDF_VOCAB_H_
+#define LODVIZ_RDF_VOCAB_H_
+
+namespace lodviz::rdf::vocab {
+
+// RDF / RDFS core.
+inline constexpr char kRdfType[] =
+    "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+inline constexpr char kRdfsLabel[] =
+    "http://www.w3.org/2000/01/rdf-schema#label";
+inline constexpr char kRdfsComment[] =
+    "http://www.w3.org/2000/01/rdf-schema#comment";
+inline constexpr char kRdfsSubClassOf[] =
+    "http://www.w3.org/2000/01/rdf-schema#subClassOf";
+inline constexpr char kRdfsClass[] =
+    "http://www.w3.org/2000/01/rdf-schema#Class";
+
+// XSD datatypes.
+inline constexpr char kXsdInteger[] = "http://www.w3.org/2001/XMLSchema#integer";
+inline constexpr char kXsdDecimal[] = "http://www.w3.org/2001/XMLSchema#decimal";
+inline constexpr char kXsdDouble[] = "http://www.w3.org/2001/XMLSchema#double";
+inline constexpr char kXsdFloat[] = "http://www.w3.org/2001/XMLSchema#float";
+inline constexpr char kXsdBoolean[] = "http://www.w3.org/2001/XMLSchema#boolean";
+inline constexpr char kXsdString[] = "http://www.w3.org/2001/XMLSchema#string";
+inline constexpr char kXsdDateTime[] =
+    "http://www.w3.org/2001/XMLSchema#dateTime";
+inline constexpr char kXsdDate[] = "http://www.w3.org/2001/XMLSchema#date";
+
+// W3C Data Cube vocabulary (statistical WoD, Section 3.3 of the survey).
+inline constexpr char kQbObservation[] =
+    "http://purl.org/linked-data/cube#Observation";
+inline constexpr char kQbDataSet[] = "http://purl.org/linked-data/cube#dataSet";
+inline constexpr char kQbDimension[] =
+    "http://purl.org/linked-data/cube#DimensionProperty";
+inline constexpr char kQbMeasure[] =
+    "http://purl.org/linked-data/cube#MeasureProperty";
+
+// WGS84 geo vocabulary (geo-spatial WoD, Section 3.3).
+inline constexpr char kGeoLat[] =
+    "http://www.w3.org/2003/01/geo/wgs84_pos#lat";
+inline constexpr char kGeoLong[] =
+    "http://www.w3.org/2003/01/geo/wgs84_pos#long";
+
+}  // namespace lodviz::rdf::vocab
+
+#endif  // LODVIZ_RDF_VOCAB_H_

@@ -1,0 +1,51 @@
+#ifndef LODVIZ_REC_RECOMMENDER_H_
+#define LODVIZ_REC_RECOMMENDER_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "stats/profile.h"
+#include "viz/types.h"
+
+namespace lodviz::rec {
+
+/// A scored visualization suggestion with its justification — what the
+/// survey's Table 1 "Recomm." column denotes (LinkDaViz, Vis Wizard,
+/// LDVizWiz, LDVM [129, 131, 11, 29]): map the dataset's data types to
+/// suitable visualization types.
+struct Recommendation {
+  viz::VisSpec spec;
+  double score = 0.0;
+  std::string reason;
+};
+
+/// Rule-based recommender over dataset profiles with a learned user
+/// preference layer (Table 1 "Preferences"): accepted/rejected feedback
+/// multiplies per-kind weights, personalizing future rankings.
+class Recommender {
+ public:
+  Recommender() = default;
+
+  /// Ranks visualization candidates for the dataset, best first.
+  std::vector<Recommendation> Recommend(const stats::DatasetProfile& profile,
+                                        size_t top_k = 5) const;
+
+  /// Explicit preference multiplier for a visualization kind (1 = neutral).
+  void SetPreference(viz::VisKind kind, double multiplier);
+  double preference(viz::VisKind kind) const;
+
+  /// Online feedback: `accepted` nudges the kind's weight up, otherwise
+  /// down. Weights stay within [0.25, 4].
+  void RecordFeedback(viz::VisKind kind, bool accepted);
+
+ private:
+  std::unordered_map<uint8_t, double> preferences_;
+};
+
+/// The data types present in a profile, in Table 1 terms (N/T/S/H/G).
+std::vector<viz::DataType> DetectDataTypes(const stats::DatasetProfile& profile);
+
+}  // namespace lodviz::rec
+
+#endif  // LODVIZ_REC_RECOMMENDER_H_

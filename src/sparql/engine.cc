@@ -1,0 +1,719 @@
+#include "sparql/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "common/string_util.h"
+#include "rdf/vocab.h"
+#include "sparql/parser.h"
+
+namespace lodviz::sparql {
+
+namespace {
+
+using rdf::kInvalidTermId;
+using rdf::Term;
+using rdf::TermId;
+
+/// A (partial) solution: variable name -> bound term id.
+using Binding = std::unordered_map<std::string, TermId>;
+
+/// Collects variables of a pattern in order of first appearance.
+void CollectVars(const GraphPattern& group, std::vector<std::string>* out,
+                 std::set<std::string>* seen) {
+  auto add = [&](const NodeOrVar& n) {
+    if (IsVar(n) && seen->insert(AsVar(n).name).second) {
+      out->push_back(AsVar(n).name);
+    }
+  };
+  for (const auto& t : group.triples) {
+    add(t.s);
+    add(t.p);
+    add(t.o);
+  }
+  for (const auto& u : group.union_branches) CollectVars(u, out, seen);
+  for (const auto& o : group.optionals) CollectVars(o, out, seen);
+}
+
+/// Expression evaluation value: a term, or an evaluation error that makes
+/// the enclosing FILTER reject the row (SPARQL error semantics).
+struct EvalContext {
+  const rdf::Dictionary* dict;
+  const Binding* binding;
+};
+
+Result<Term> EvalExpr(const Expr& e, const EvalContext& ctx);
+
+Result<bool> EffectiveBool(const Term& t) {
+  if (!t.is_literal()) {
+    return Status::InvalidArgument("EBV of non-literal");
+  }
+  if (t.datatype == rdf::vocab::kXsdBoolean) return t.lexical == "true";
+  if (t.IsNumericLiteral()) {
+    LODVIZ_ASSIGN_OR_RETURN(double v, t.AsDouble());
+    return v != 0.0;
+  }
+  return !t.lexical.empty();
+}
+
+Term BoolTerm(bool b) { return Term::BoolLiteral(b); }
+
+/// Three-way comparison following lodviz's pragmatic SPARQL ordering:
+/// numeric if both numeric, temporal if both temporal, else lexical form.
+Result<int> CompareTerms(const Term& a, const Term& b) {
+  if (a.IsNumericLiteral() && b.IsNumericLiteral()) {
+    LODVIZ_ASSIGN_OR_RETURN(double x, a.AsDouble());
+    LODVIZ_ASSIGN_OR_RETURN(double y, b.AsDouble());
+    if (x < y) return -1;
+    if (x > y) return 1;
+    return 0;
+  }
+  if (a.IsTemporalLiteral() && b.IsTemporalLiteral()) {
+    LODVIZ_ASSIGN_OR_RETURN(int64_t x, a.AsEpochSeconds());
+    LODVIZ_ASSIGN_OR_RETURN(int64_t y, b.AsEpochSeconds());
+    if (x < y) return -1;
+    if (x > y) return 1;
+    return 0;
+  }
+  int c = a.lexical.compare(b.lexical);
+  return c < 0 ? -1 : (c > 0 ? 1 : 0);
+}
+
+Result<Term> EvalBinary(const Expr& e, const EvalContext& ctx) {
+  if (e.bin_op == BinOp::kAnd || e.bin_op == BinOp::kOr) {
+    LODVIZ_ASSIGN_OR_RETURN(Term lhs, EvalExpr(*e.args[0], ctx));
+    LODVIZ_ASSIGN_OR_RETURN(bool l, EffectiveBool(lhs));
+    if (e.bin_op == BinOp::kAnd && !l) return BoolTerm(false);
+    if (e.bin_op == BinOp::kOr && l) return BoolTerm(true);
+    LODVIZ_ASSIGN_OR_RETURN(Term rhs, EvalExpr(*e.args[1], ctx));
+    LODVIZ_ASSIGN_OR_RETURN(bool r, EffectiveBool(rhs));
+    return BoolTerm(r);
+  }
+
+  LODVIZ_ASSIGN_OR_RETURN(Term lhs, EvalExpr(*e.args[0], ctx));
+  LODVIZ_ASSIGN_OR_RETURN(Term rhs, EvalExpr(*e.args[1], ctx));
+
+  switch (e.bin_op) {
+    case BinOp::kEq:
+      if (lhs.IsNumericLiteral() && rhs.IsNumericLiteral()) {
+        LODVIZ_ASSIGN_OR_RETURN(int c, CompareTerms(lhs, rhs));
+        return BoolTerm(c == 0);
+      }
+      return BoolTerm(lhs == rhs);
+    case BinOp::kNe:
+      if (lhs.IsNumericLiteral() && rhs.IsNumericLiteral()) {
+        LODVIZ_ASSIGN_OR_RETURN(int c, CompareTerms(lhs, rhs));
+        return BoolTerm(c != 0);
+      }
+      return BoolTerm(!(lhs == rhs));
+    case BinOp::kLt:
+    case BinOp::kLe:
+    case BinOp::kGt:
+    case BinOp::kGe: {
+      LODVIZ_ASSIGN_OR_RETURN(int c, CompareTerms(lhs, rhs));
+      switch (e.bin_op) {
+        case BinOp::kLt:
+          return BoolTerm(c < 0);
+        case BinOp::kLe:
+          return BoolTerm(c <= 0);
+        case BinOp::kGt:
+          return BoolTerm(c > 0);
+        default:
+          return BoolTerm(c >= 0);
+      }
+    }
+    case BinOp::kAdd:
+    case BinOp::kSub:
+    case BinOp::kMul:
+    case BinOp::kDiv: {
+      LODVIZ_ASSIGN_OR_RETURN(double x, lhs.AsDouble());
+      LODVIZ_ASSIGN_OR_RETURN(double y, rhs.AsDouble());
+      double v = 0;
+      switch (e.bin_op) {
+        case BinOp::kAdd:
+          v = x + y;
+          break;
+        case BinOp::kSub:
+          v = x - y;
+          break;
+        case BinOp::kMul:
+          v = x * y;
+          break;
+        default:
+          if (y == 0.0) return Status::InvalidArgument("division by zero");
+          v = x / y;
+      }
+      return Term::DoubleLiteral(v);
+    }
+    default:
+      return Status::Internal("unhandled binary op");
+  }
+}
+
+Result<Term> EvalFunc(const Expr& e, const EvalContext& ctx) {
+  auto arg_term = [&](size_t i) -> Result<Term> {
+    return EvalExpr(*e.args[i], ctx);
+  };
+  switch (e.func) {
+    case FuncOp::kBound: {
+      if (e.args.size() != 1 || e.args[0]->kind != Expr::Kind::kVar) {
+        return Status::InvalidArgument("BOUND needs a variable");
+      }
+      auto it = ctx.binding->find(e.args[0]->var);
+      return BoolTerm(it != ctx.binding->end() && it->second != kInvalidTermId);
+    }
+    case FuncOp::kIsIri: {
+      LODVIZ_ASSIGN_OR_RETURN(Term t, arg_term(0));
+      return BoolTerm(t.is_iri());
+    }
+    case FuncOp::kIsLiteral: {
+      LODVIZ_ASSIGN_OR_RETURN(Term t, arg_term(0));
+      return BoolTerm(t.is_literal());
+    }
+    case FuncOp::kIsBlank: {
+      LODVIZ_ASSIGN_OR_RETURN(Term t, arg_term(0));
+      return BoolTerm(t.is_blank());
+    }
+    case FuncOp::kStr: {
+      LODVIZ_ASSIGN_OR_RETURN(Term t, arg_term(0));
+      return Term::Literal(t.lexical);
+    }
+    case FuncOp::kContains: {
+      LODVIZ_ASSIGN_OR_RETURN(Term a, arg_term(0));
+      LODVIZ_ASSIGN_OR_RETURN(Term b, arg_term(1));
+      return BoolTerm(a.lexical.find(b.lexical) != std::string::npos);
+    }
+    case FuncOp::kStrStarts: {
+      LODVIZ_ASSIGN_OR_RETURN(Term a, arg_term(0));
+      LODVIZ_ASSIGN_OR_RETURN(Term b, arg_term(1));
+      return BoolTerm(a.lexical.rfind(b.lexical, 0) == 0);
+    }
+    case FuncOp::kLang: {
+      LODVIZ_ASSIGN_OR_RETURN(Term t, arg_term(0));
+      return Term::Literal(t.language);
+    }
+    case FuncOp::kDatatype: {
+      LODVIZ_ASSIGN_OR_RETURN(Term t, arg_term(0));
+      if (!t.is_literal()) return Status::InvalidArgument("DATATYPE of non-literal");
+      return Term::Iri(t.datatype.empty() ? rdf::vocab::kXsdString : t.datatype);
+    }
+  }
+  return Status::Internal("unhandled function");
+}
+
+Result<Term> EvalExpr(const Expr& e, const EvalContext& ctx) {
+  switch (e.kind) {
+    case Expr::Kind::kLiteral:
+      return e.literal;
+    case Expr::Kind::kVar: {
+      auto it = ctx.binding->find(e.var);
+      if (it == ctx.binding->end() || it->second == kInvalidTermId) {
+        return Status::NotFound("unbound variable ?" + e.var);
+      }
+      return ctx.dict->term(it->second);
+    }
+    case Expr::Kind::kBinary:
+      return EvalBinary(e, ctx);
+    case Expr::Kind::kUnary: {
+      LODVIZ_ASSIGN_OR_RETURN(Term t, EvalExpr(*e.args[0], ctx));
+      if (e.un_op == UnOp::kNot) {
+        LODVIZ_ASSIGN_OR_RETURN(bool b, EffectiveBool(t));
+        return BoolTerm(!b);
+      }
+      LODVIZ_ASSIGN_OR_RETURN(double v, t.AsDouble());
+      return Term::DoubleLiteral(-v);
+    }
+    case Expr::Kind::kFunc:
+      return EvalFunc(e, ctx);
+  }
+  return Status::Internal("unhandled expr kind");
+}
+
+/// FILTER semantics: keep the row iff the expression evaluates to a true
+/// EBV; evaluation errors reject the row.
+bool PassesFilter(const Expr& e, const EvalContext& ctx) {
+  Result<Term> t = EvalExpr(e, ctx);
+  if (!t.ok()) return false;
+  Result<bool> b = EffectiveBool(t.ValueOrDie());
+  return b.ok() && b.ValueOrDie();
+}
+
+/// The evaluator proper (one per query execution).
+class Evaluator {
+ public:
+  Evaluator(const rdf::TripleStore* store, bool optimize)
+      : store_(store), optimize_(optimize) {}
+
+  uint64_t intermediate_rows() const { return intermediate_rows_; }
+
+  std::vector<Binding> EvalGroup(const GraphPattern& group,
+                                 std::vector<Binding> seeds) {
+    std::vector<Binding> solutions = EvalBgp(group.triples, std::move(seeds));
+
+    if (!group.union_branches.empty()) {
+      std::vector<Binding> unioned;
+      for (const GraphPattern& branch : group.union_branches) {
+        std::vector<Binding> branch_solutions = EvalGroup(branch, solutions);
+        unioned.insert(unioned.end(),
+                       std::make_move_iterator(branch_solutions.begin()),
+                       std::make_move_iterator(branch_solutions.end()));
+      }
+      solutions = std::move(unioned);
+    }
+
+    for (const GraphPattern& opt : group.optionals) {
+      std::vector<Binding> next;
+      for (const Binding& sol : solutions) {
+        std::vector<Binding> extended = EvalGroup(opt, {sol});
+        if (extended.empty()) {
+          next.push_back(sol);
+        } else {
+          next.insert(next.end(), std::make_move_iterator(extended.begin()),
+                      std::make_move_iterator(extended.end()));
+        }
+      }
+      solutions = std::move(next);
+    }
+
+    if (!group.filters.empty()) {
+      std::vector<Binding> kept;
+      for (Binding& sol : solutions) {
+        EvalContext ctx{&store_->dict(), &sol};
+        bool pass = true;
+        for (const ExprPtr& f : group.filters) {
+          if (!PassesFilter(*f, ctx)) {
+            pass = false;
+            break;
+          }
+        }
+        if (pass) kept.push_back(std::move(sol));
+      }
+      solutions = std::move(kept);
+    }
+    return solutions;
+  }
+
+ private:
+  /// Returns true if the constant term exists in the dictionary and writes
+  /// its id; a missing constant can never match.
+  bool ResolveConst(const Term& t, TermId* id) const {
+    *id = store_->dict().Lookup(t);
+    return *id != kInvalidTermId;
+  }
+
+  /// Instantiates a pattern under a binding. Returns false if a constant
+  /// (or bound var) cannot match anything.
+  bool Instantiate(const TriplePatternAst& ast, const Binding& b,
+                   rdf::TriplePattern* out) const {
+    auto fill = [&](const NodeOrVar& n, TermId* slot) {
+      if (IsVar(n)) {
+        auto it = b.find(AsVar(n).name);
+        *slot = (it == b.end()) ? kInvalidTermId : it->second;
+        return true;
+      }
+      return ResolveConst(AsTerm(n), slot);
+    };
+    return fill(ast.s, &out->s) && fill(ast.p, &out->p) && fill(ast.o, &out->o);
+  }
+
+  /// Estimated cost of evaluating `ast` under current bound-variable set.
+  double EstimateCost(const TriplePatternAst& ast,
+                      const std::set<std::string>& bound) const {
+    rdf::TriplePattern pat;
+    Binding fake;
+    for (const std::string& v : bound) fake[v] = 1;  // any non-zero id
+    if (!Instantiate(ast, fake, &pat)) return 0.0;  // dead pattern: free
+    return store_->EstimateSelectivity(pat) * static_cast<double>(store_->size());
+  }
+
+  std::vector<Binding> EvalBgp(const std::vector<TriplePatternAst>& triples,
+                               std::vector<Binding> seeds) {
+    if (triples.empty()) return seeds;
+
+    std::vector<const TriplePatternAst*> remaining;
+    for (const auto& t : triples) remaining.push_back(&t);
+
+    std::set<std::string> bound;
+    if (!seeds.empty()) {
+      for (const auto& [k, v] : seeds.front()) bound.insert(k);
+    }
+
+    std::vector<Binding> current = std::move(seeds);
+    while (!remaining.empty()) {
+      size_t pick = 0;
+      if (optimize_) {
+        double best = std::numeric_limits<double>::infinity();
+        for (size_t i = 0; i < remaining.size(); ++i) {
+          double cost = EstimateCost(*remaining[i], bound);
+          if (cost < best) {
+            best = cost;
+            pick = i;
+          }
+        }
+      }
+      const TriplePatternAst& ast = *remaining[pick];
+      remaining.erase(remaining.begin() + pick);
+
+      std::vector<Binding> next;
+      for (const Binding& sol : current) {
+        rdf::TriplePattern pat;
+        if (!Instantiate(ast, sol, &pat)) continue;
+        store_->Scan(pat, [&](const rdf::Triple& t) {
+          Binding extended = sol;
+          bool ok = true;
+          auto bind = [&](const NodeOrVar& n, TermId value) {
+            if (!IsVar(n)) return;
+            auto [it, inserted] = extended.emplace(AsVar(n).name, value);
+            if (!inserted && it->second != value) ok = false;
+          };
+          bind(ast.s, t.s);
+          if (ok) bind(ast.p, t.p);
+          if (ok) bind(ast.o, t.o);
+          if (ok) next.push_back(std::move(extended));
+          return true;
+        });
+      }
+      intermediate_rows_ += next.size();
+      current = std::move(next);
+      auto note = [&](const NodeOrVar& n) {
+        if (IsVar(n)) bound.insert(AsVar(n).name);
+      };
+      note(ast.s);
+      note(ast.p);
+      note(ast.o);
+      if (current.empty()) break;
+    }
+    return current;
+  }
+
+  const rdf::TripleStore* store_;
+  bool optimize_;
+  uint64_t intermediate_rows_ = 0;
+};
+
+std::string RowKey(const std::vector<ResultCell>& row) {
+  std::string key;
+  for (const ResultCell& c : row) {
+    key += c.bound ? c.term.ToNTriples() : "~";
+    key += '\x01';
+  }
+  return key;
+}
+
+}  // namespace
+
+QueryEngine::QueryEngine(const rdf::TripleStore* store, Options options)
+    : store_(store), options_(options) {}
+
+Result<ResultTable> QueryEngine::ExecuteString(std::string_view text) const {
+  LODVIZ_ASSIGN_OR_RETURN(Query q, ParseQuery(text));
+  return Execute(q);
+}
+
+Result<std::vector<rdf::ParsedTriple>> QueryEngine::ExecuteGraphString(
+    std::string_view text) const {
+  LODVIZ_ASSIGN_OR_RETURN(Query q, ParseQuery(text));
+  return ExecuteGraph(q);
+}
+
+Result<std::vector<rdf::ParsedTriple>> QueryEngine::ExecuteGraph(
+    const Query& query) const {
+  const rdf::Dictionary& dict = store_->dict();
+  std::vector<rdf::ParsedTriple> out;
+  std::set<std::string> seen;
+  auto emit = [&](Term s, Term p, Term o) {
+    std::string key = s.ToNTriples() + "\x01" + p.ToNTriples() + "\x01" +
+                      o.ToNTriples();
+    if (seen.insert(std::move(key)).second) {
+      out.push_back({std::move(s), std::move(p), std::move(o)});
+    }
+  };
+
+  if (query.form == QueryForm::kConstruct) {
+    Evaluator evaluator(store_, options_.optimize_join_order);
+    std::vector<Binding> solutions =
+        evaluator.EvalGroup(query.where, {Binding{}});
+    intermediate_rows_ = evaluator.intermediate_rows();
+    for (const Binding& sol : solutions) {
+      for (const TriplePatternAst& tmpl : query.construct_template) {
+        auto resolve = [&](const NodeOrVar& n, Term* t) {
+          if (!IsVar(n)) {
+            *t = AsTerm(n);
+            return true;
+          }
+          auto it = sol.find(AsVar(n).name);
+          if (it == sol.end() || it->second == kInvalidTermId) return false;
+          *t = dict.term(it->second);
+          return true;
+        };
+        Term s, p, o;
+        if (!resolve(tmpl.s, &s) || !resolve(tmpl.p, &p) ||
+            !resolve(tmpl.o, &o)) {
+          continue;  // unbound variable: skip this template instance
+        }
+        if (s.is_literal() || !p.is_iri()) continue;  // invalid RDF
+        emit(std::move(s), std::move(p), std::move(o));
+      }
+    }
+    return out;
+  }
+
+  if (query.form == QueryForm::kDescribe) {
+    // Collect the resources to describe.
+    std::vector<TermId> resources;
+    std::vector<std::string> target_vars;
+    for (const NodeOrVar& target : query.describe_targets) {
+      if (IsVar(target)) {
+        target_vars.push_back(AsVar(target).name);
+      } else {
+        TermId id = dict.Lookup(AsTerm(target));
+        if (id != kInvalidTermId) resources.push_back(id);
+      }
+    }
+    if (!target_vars.empty()) {
+      Evaluator evaluator(store_, options_.optimize_join_order);
+      std::vector<Binding> solutions =
+          evaluator.EvalGroup(query.where, {Binding{}});
+      intermediate_rows_ = evaluator.intermediate_rows();
+      for (const Binding& sol : solutions) {
+        for (const std::string& var : target_vars) {
+          auto it = sol.find(var);
+          if (it != sol.end() && it->second != kInvalidTermId) {
+            resources.push_back(it->second);
+          }
+        }
+      }
+    }
+    std::sort(resources.begin(), resources.end());
+    resources.erase(std::unique(resources.begin(), resources.end()),
+                    resources.end());
+
+    // Emit every triple where the resource is subject or object.
+    for (TermId r : resources) {
+      store_->Scan({r, kInvalidTermId, kInvalidTermId},
+                   [&](const rdf::Triple& t) {
+                     emit(dict.term(t.s), dict.term(t.p), dict.term(t.o));
+                     return true;
+                   });
+      store_->Scan({kInvalidTermId, kInvalidTermId, r},
+                   [&](const rdf::Triple& t) {
+                     emit(dict.term(t.s), dict.term(t.p), dict.term(t.o));
+                     return true;
+                   });
+    }
+    return out;
+  }
+
+  return Status::InvalidArgument(
+      "ExecuteGraph expects a CONSTRUCT or DESCRIBE query");
+}
+
+Result<ResultTable> QueryEngine::Execute(const Query& query) const {
+  if (query.form == QueryForm::kConstruct ||
+      query.form == QueryForm::kDescribe) {
+    return Status::InvalidArgument(
+        "use ExecuteGraph for CONSTRUCT/DESCRIBE queries");
+  }
+  Evaluator evaluator(store_, options_.optimize_join_order);
+  std::vector<Binding> solutions =
+      evaluator.EvalGroup(query.where, {Binding{}});
+  intermediate_rows_ = evaluator.intermediate_rows();
+
+  const rdf::Dictionary& dict = store_->dict();
+
+  if (query.form == QueryForm::kAsk) {
+    ResultTable table;
+    table.ask_result = !solutions.empty();
+    return table;
+  }
+
+  // Determine output columns.
+  std::vector<std::string> columns = query.select_vars;
+  if (columns.empty() && query.aggregates.empty()) {
+    std::set<std::string> seen;
+    CollectVars(query.where, &columns, &seen);
+  }
+
+  auto cell_for = [&](const Binding& b, const std::string& var) {
+    ResultCell cell;
+    auto it = b.find(var);
+    if (it == b.end() || it->second == kInvalidTermId) {
+      cell.bound = false;
+    } else {
+      cell.term = dict.term(it->second);
+    }
+    return cell;
+  };
+
+  // ---- Aggregation path ----
+  if (!query.aggregates.empty()) {
+    std::vector<std::string> out_columns = query.group_by;
+    for (const Aggregate& a : query.aggregates) out_columns.push_back(a.alias);
+    ResultTable table(out_columns);
+
+    // Group solutions by the group-by key.
+    std::map<std::string, std::vector<const Binding*>> groups;
+    for (const Binding& sol : solutions) {
+      std::string key;
+      for (const std::string& v : query.group_by) {
+        auto it = sol.find(v);
+        key += (it != sol.end()) ? std::to_string(it->second) : "~";
+        key += '|';
+      }
+      groups[key].push_back(&sol);
+    }
+    if (groups.empty() && query.group_by.empty()) {
+      groups[""] = {};  // aggregates over zero rows still yield one row
+    }
+
+    for (const auto& [key, members] : groups) {
+      std::vector<ResultCell> row;
+      if (!members.empty()) {
+        for (const std::string& v : query.group_by) {
+          row.push_back(cell_for(*members.front(), v));
+        }
+      } else {
+        for (size_t i = 0; i < query.group_by.size(); ++i) {
+          row.push_back(ResultCell{{}, false});
+        }
+      }
+      for (const Aggregate& agg : query.aggregates) {
+        if (agg.fn == Aggregate::Fn::kCount && agg.var.empty()) {
+          row.push_back(ResultCell{Term::IntLiteral(
+              static_cast<int64_t>(members.size()))});
+          continue;
+        }
+        // Collect the argument terms (bound only).
+        std::vector<Term> values;
+        std::set<std::string> distinct_seen;
+        for (const Binding* b : members) {
+          auto it = b->find(agg.var);
+          if (it == b->end() || it->second == kInvalidTermId) continue;
+          Term t = dict.term(it->second);
+          if (agg.distinct && !distinct_seen.insert(t.ToNTriples()).second) {
+            continue;
+          }
+          values.push_back(std::move(t));
+        }
+        switch (agg.fn) {
+          case Aggregate::Fn::kCount:
+            row.push_back(ResultCell{
+                Term::IntLiteral(static_cast<int64_t>(values.size()))});
+            break;
+          case Aggregate::Fn::kSum:
+          case Aggregate::Fn::kAvg: {
+            double sum = 0;
+            uint64_t n = 0;
+            for (const Term& t : values) {
+              Result<double> v = t.AsDouble();
+              if (v.ok()) {
+                sum += v.ValueOrDie();
+                ++n;
+              }
+            }
+            double out = agg.fn == Aggregate::Fn::kSum
+                             ? sum
+                             : (n ? sum / static_cast<double>(n) : 0.0);
+            row.push_back(ResultCell{Term::DoubleLiteral(out)});
+            break;
+          }
+          case Aggregate::Fn::kMin:
+          case Aggregate::Fn::kMax: {
+            if (values.empty()) {
+              row.push_back(ResultCell{{}, false});
+              break;
+            }
+            const Term* best = &values.front();
+            for (const Term& t : values) {
+              Result<int> c = CompareTerms(t, *best);
+              if (c.ok() && ((agg.fn == Aggregate::Fn::kMin &&
+                              c.ValueOrDie() < 0) ||
+                             (agg.fn == Aggregate::Fn::kMax &&
+                              c.ValueOrDie() > 0))) {
+                best = &t;
+              }
+            }
+            row.push_back(ResultCell{*best});
+            break;
+          }
+        }
+      }
+      table.AddRow(std::move(row));
+    }
+    return table;
+  }
+
+  // ---- Plain projection path ----
+  ResultTable table(columns);
+  for (const Binding& sol : solutions) {
+    std::vector<ResultCell> row;
+    row.reserve(columns.size());
+    for (const std::string& v : columns) row.push_back(cell_for(sol, v));
+    table.AddRow(std::move(row));
+  }
+
+  // ORDER BY.
+  if (!query.order_by.empty()) {
+    std::vector<int> key_idx;
+    for (const OrderKey& k : query.order_by) {
+      key_idx.push_back(table.ColumnIndex(k.var));
+    }
+    std::vector<std::vector<ResultCell>> rows = table.rows();
+    std::stable_sort(
+        rows.begin(), rows.end(),
+        [&](const std::vector<ResultCell>& a,
+            const std::vector<ResultCell>& b) {
+          for (size_t i = 0; i < key_idx.size(); ++i) {
+            int idx = key_idx[i];
+            if (idx < 0) continue;
+            const ResultCell& ca = a[idx];
+            const ResultCell& cb = b[idx];
+            if (!ca.bound && !cb.bound) continue;
+            if (!ca.bound) return query.order_by[i].ascending;
+            if (!cb.bound) return !query.order_by[i].ascending;
+            Result<int> c = CompareTerms(ca.term, cb.term);
+            int cv = c.ok() ? c.ValueOrDie() : 0;
+            if (cv != 0) {
+              return query.order_by[i].ascending ? cv < 0 : cv > 0;
+            }
+          }
+          return false;
+        });
+    ResultTable sorted(columns);
+    for (auto& r : rows) sorted.AddRow(std::move(r));
+    table = std::move(sorted);
+  }
+
+  // DISTINCT.
+  if (query.distinct) {
+    ResultTable deduped(columns);
+    std::set<std::string> seen;
+    for (const auto& row : table.rows()) {
+      if (seen.insert(RowKey(row)).second) deduped.AddRow(row);
+    }
+    table = std::move(deduped);
+  }
+
+  // OFFSET / LIMIT.
+  if (query.offset > 0 || query.limit >= 0) {
+    ResultTable sliced(columns);
+    int64_t skipped = 0, taken = 0;
+    for (const auto& row : table.rows()) {
+      if (skipped < query.offset) {
+        ++skipped;
+        continue;
+      }
+      if (query.limit >= 0 && taken >= query.limit) break;
+      sliced.AddRow(row);
+      ++taken;
+    }
+    table = std::move(sliced);
+  }
+
+  return table;
+}
+
+}  // namespace lodviz::sparql

@@ -1,0 +1,56 @@
+#ifndef LODVIZ_SPARQL_ENGINE_H_
+#define LODVIZ_SPARQL_ENGINE_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "rdf/ntriples.h"
+#include "rdf/triple_store.h"
+#include "sparql/ast.h"
+#include "sparql/result_table.h"
+
+namespace lodviz::sparql {
+
+/// Executes parsed queries against an in-memory TripleStore using
+/// selectivity-ordered index nested-loop joins (volcano-style, fully
+/// materialized per group).
+class QueryEngine {
+ public:
+  struct Options {
+    /// Greedy selectivity-based join ordering; disable to execute basic
+    /// graph patterns in textual order (used by the E10 bench and the
+    /// order-independence property test).
+    bool optimize_join_order = true;
+  };
+
+  explicit QueryEngine(const rdf::TripleStore* store)
+      : QueryEngine(store, Options()) {}
+  QueryEngine(const rdf::TripleStore* store, Options options);
+
+  /// Parses and executes a SELECT/ASK query.
+  Result<ResultTable> ExecuteString(std::string_view text) const;
+
+  /// Executes an already-parsed SELECT/ASK query.
+  Result<ResultTable> Execute(const Query& query) const;
+
+  /// Parses and executes a CONSTRUCT/DESCRIBE query, yielding triples.
+  Result<std::vector<rdf::ParsedTriple>> ExecuteGraphString(
+      std::string_view text) const;
+
+  /// Executes an already-parsed CONSTRUCT/DESCRIBE query.
+  Result<std::vector<rdf::ParsedTriple>> ExecuteGraph(
+      const Query& query) const;
+
+  /// Rows produced by the most recent BGP evaluation, including
+  /// intermediate join results (cost introspection for E10).
+  uint64_t last_intermediate_rows() const { return intermediate_rows_; }
+
+ private:
+  const rdf::TripleStore* store_;
+  Options options_;
+  mutable uint64_t intermediate_rows_ = 0;
+};
+
+}  // namespace lodviz::sparql
+
+#endif  // LODVIZ_SPARQL_ENGINE_H_

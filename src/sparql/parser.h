@@ -1,0 +1,25 @@
+#ifndef LODVIZ_SPARQL_PARSER_H_
+#define LODVIZ_SPARQL_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "sparql/ast.h"
+
+namespace lodviz::sparql {
+
+/// Parses a SPARQL SELECT/ASK query (the lodviz subset) into an AST.
+///
+/// Supported grammar (informally):
+///   PREFIX p: <iri>
+///   SELECT [DISTINCT] (* | ?v... | aggregates (COUNT/SUM/AVG/MIN/MAX with AS))
+///   ASK
+///   WHERE { triples . FILTER(expr) OPTIONAL {...} {A} UNION {B} }
+///   triples support ';' (same subject) and ',' (same subject+predicate),
+///   and 'a' for rdf:type
+///   GROUP BY ?v... / ORDER BY [ASC|DESC](?v)... / LIMIT n / OFFSET n
+Result<Query> ParseQuery(std::string_view text);
+
+}  // namespace lodviz::sparql
+
+#endif  // LODVIZ_SPARQL_PARSER_H_

@@ -1,0 +1,46 @@
+#ifndef LODVIZ_SPARQL_RESULT_TABLE_H_
+#define LODVIZ_SPARQL_RESULT_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "rdf/term.h"
+
+namespace lodviz::sparql {
+
+/// A materialized query result: column names + rows of terms. Unbound
+/// cells (OPTIONAL misses) hold an empty-IRI sentinel with `bound = false`.
+struct ResultCell {
+  rdf::Term term;
+  bool bound = true;
+};
+
+class ResultTable {
+ public:
+  ResultTable() = default;
+  explicit ResultTable(std::vector<std::string> columns)
+      : columns_(std::move(columns)) {}
+
+  const std::vector<std::string>& columns() const { return columns_; }
+  const std::vector<std::vector<ResultCell>>& rows() const { return rows_; }
+  size_t num_rows() const { return rows_.size(); }
+
+  void AddRow(std::vector<ResultCell> row) { rows_.push_back(std::move(row)); }
+
+  /// Index of a column by name; -1 if absent.
+  int ColumnIndex(std::string_view name) const;
+
+  /// ASCII rendering for CLI examples.
+  std::string ToString(size_t max_rows = 50) const;
+
+  /// For ASK queries: whether any solution existed.
+  bool ask_result = false;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<ResultCell>> rows_;
+};
+
+}  // namespace lodviz::sparql
+
+#endif  // LODVIZ_SPARQL_RESULT_TABLE_H_

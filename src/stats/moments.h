@@ -1,0 +1,106 @@
+#ifndef LODVIZ_STATS_MOMENTS_H_
+#define LODVIZ_STATS_MOMENTS_H_
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace lodviz::stats {
+
+/// Streaming count/mean/variance/min/max/sum via Welford's algorithm.
+/// Mergeable, so statistics roll up exactly through aggregation
+/// hierarchies (HETree nodes, graph super-nodes).
+class RunningMoments {
+ public:
+  void Add(double x) {
+    ++count_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    sum_ += x;
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+
+  /// Merges another accumulator (parallel/hierarchical aggregation).
+  void Merge(const RunningMoments& other) {
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+      *this = other;
+      return;
+    }
+    double n1 = static_cast<double>(count_);
+    double n2 = static_cast<double>(other.count_);
+    double delta = other.mean_ - mean_;
+    double n = n1 + n2;
+    mean_ += delta * n2 / n;
+    m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+    count_ += other.count_;
+    sum_ += other.sum_;
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+
+  uint64_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  double sum() const { return sum_; }
+  /// Population variance.
+  double variance() const {
+    return count_ ? m2_ / static_cast<double>(count_) : 0.0;
+  }
+  /// Sample variance (n-1 denominator).
+  double sample_variance() const {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const {
+    return count_ ? min_ : std::numeric_limits<double>::quiet_NaN();
+  }
+  double max() const {
+    return count_ ? max_ : std::numeric_limits<double>::quiet_NaN();
+  }
+
+ private:
+  uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Streaming Pearson correlation between paired observations.
+class Correlation {
+ public:
+  void Add(double x, double y) {
+    ++count_;
+    double n = static_cast<double>(count_);
+    double dx = x - mean_x_;
+    double dy = y - mean_y_;
+    mean_x_ += dx / n;
+    mean_y_ += dy / n;
+    m2x_ += dx * (x - mean_x_);
+    m2y_ += dy * (y - mean_y_);
+    cov_ += dx * (y - mean_y_);
+  }
+
+  uint64_t count() const { return count_; }
+
+  /// Pearson r in [-1, 1]; 0 when degenerate.
+  double Pearson() const {
+    if (count_ < 2) return 0.0;
+    double denom = std::sqrt(m2x_ * m2y_);
+    if (denom <= 0.0) return 0.0;
+    return cov_ / denom;
+  }
+
+ private:
+  uint64_t count_ = 0;
+  double mean_x_ = 0.0, mean_y_ = 0.0;
+  double m2x_ = 0.0, m2y_ = 0.0;
+  double cov_ = 0.0;
+};
+
+}  // namespace lodviz::stats
+
+#endif  // LODVIZ_STATS_MOMENTS_H_

@@ -1,0 +1,158 @@
+#include "stats/profile.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "rdf/vocab.h"
+#include "stats/sampler.h"
+#include "stats/sketch.h"
+
+namespace lodviz::stats {
+
+std::string_view ValueKindToString(ValueKind kind) {
+  switch (kind) {
+    case ValueKind::kNumeric:
+      return "numeric";
+    case ValueKind::kTemporal:
+      return "temporal";
+    case ValueKind::kCategorical:
+      return "categorical";
+    case ValueKind::kText:
+      return "text";
+    case ValueKind::kEntity:
+      return "entity";
+  }
+  return "?";
+}
+
+const PropertyProfile* DatasetProfile::FindProperty(
+    std::string_view iri) const {
+  for (const PropertyProfile& p : properties) {
+    if (p.predicate_iri == iri) return &p;
+  }
+  return nullptr;
+}
+
+Result<PropertyProfile> ProfileProperty(const rdf::TripleStore& store,
+                                        rdf::TermId predicate,
+                                        const ProfilerOptions& options) {
+  const rdf::Dictionary& dict = store.dict();
+  if (!dict.Contains(predicate)) {
+    return Status::NotFound("predicate id not in dictionary");
+  }
+  PropertyProfile profile;
+  profile.predicate = predicate;
+  profile.predicate_iri = dict.term(predicate).lexical;
+
+  ReservoirSampler<rdf::TermId> reservoir(options.sample_per_predicate,
+                                          options.seed);
+  HyperLogLog distinct(12);
+  rdf::TriplePattern pat(rdf::kInvalidTermId, predicate, rdf::kInvalidTermId);
+  store.Scan(pat, [&](const rdf::Triple& t) {
+    ++profile.count;
+    reservoir.Add(t.o);
+    distinct.Add(t.o);
+    return true;
+  });
+  profile.distinct_estimate = distinct.Estimate();
+  if (profile.count == 0) return profile;
+
+  // Classify sampled objects.
+  uint64_t numeric = 0, temporal = 0, entity = 0, other = 0;
+  std::unordered_map<rdf::TermId, uint64_t> value_counts;
+  for (rdf::TermId oid : reservoir.sample()) {
+    const rdf::Term& term = dict.term(oid);
+    ++value_counts[oid];
+    if (term.is_iri() || term.is_blank()) {
+      ++entity;
+    } else if (term.IsTemporalLiteral()) {
+      ++temporal;
+    } else if (term.IsNumericLiteral()) {
+      ++numeric;
+    } else {
+      ++other;
+    }
+  }
+  uint64_t sampled = reservoir.sample().size();
+  auto majority = [&](uint64_t n) { return n * 2 > sampled; };
+  if (majority(entity)) {
+    profile.kind = ValueKind::kEntity;
+  } else if (majority(temporal)) {
+    profile.kind = ValueKind::kTemporal;
+  } else if (majority(numeric)) {
+    profile.kind = ValueKind::kNumeric;
+  } else {
+    double ratio = profile.distinct_estimate /
+                   std::max<double>(1.0, static_cast<double>(profile.count));
+    bool categorical =
+        profile.distinct_estimate <=
+            static_cast<double>(options.categorical_max_distinct) ||
+        ratio < options.categorical_distinct_ratio;
+    profile.kind = categorical ? ValueKind::kCategorical : ValueKind::kText;
+  }
+
+  // Numeric/temporal moments over the sample.
+  if (profile.kind == ValueKind::kNumeric ||
+      profile.kind == ValueKind::kTemporal) {
+    for (rdf::TermId oid : reservoir.sample()) {
+      const rdf::Term& term = dict.term(oid);
+      if (profile.kind == ValueKind::kNumeric) {
+        Result<double> v = term.AsDouble();
+        if (v.ok()) profile.moments.Add(v.ValueOrDie());
+      } else {
+        Result<int64_t> v = term.AsEpochSeconds();
+        if (v.ok()) profile.moments.Add(static_cast<double>(v.ValueOrDie()));
+      }
+    }
+  }
+
+  // Top values (categorical / entity kinds are the interesting cases).
+  std::vector<std::pair<rdf::TermId, uint64_t>> sorted(value_counts.begin(),
+                                                       value_counts.end());
+  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  size_t k = std::min(options.top_k, sorted.size());
+  for (size_t i = 0; i < k; ++i) {
+    profile.top_values.emplace_back(dict.term(sorted[i].first).lexical,
+                                    sorted[i].second);
+  }
+
+  profile.is_geo_coordinate =
+      profile.predicate_iri == rdf::vocab::kGeoLat ||
+      profile.predicate_iri == rdf::vocab::kGeoLong;
+  return profile;
+}
+
+Result<DatasetProfile> ProfileDataset(const rdf::TripleStore& store,
+                                      const ProfilerOptions& options) {
+  DatasetProfile out;
+  // DistinctSubjects compacts (deduplicates) the store, so take the
+  // triple count afterwards for a consistent snapshot.
+  out.subject_count = store.DistinctSubjects().size();
+  out.triple_count = store.size();
+
+  bool has_lat = false, has_long = false;
+  for (const auto& [pred, count] : store.predicate_counts()) {
+    LODVIZ_ASSIGN_OR_RETURN(PropertyProfile profile,
+                            ProfileProperty(store, pred, options));
+    if (profile.predicate_iri == rdf::vocab::kGeoLat) has_lat = true;
+    if (profile.predicate_iri == rdf::vocab::kGeoLong) has_long = true;
+    if (profile.predicate_iri == rdf::vocab::kRdfsSubClassOf && count > 0) {
+      out.has_class_hierarchy = true;
+    }
+    if (profile.kind == ValueKind::kEntity) {
+      out.entity_link_count += profile.count;
+    }
+    out.properties.push_back(std::move(profile));
+  }
+  out.has_spatial = has_lat && has_long;
+  std::sort(out.properties.begin(), out.properties.end(),
+            [](const PropertyProfile& a, const PropertyProfile& b) {
+              return a.predicate_iri < b.predicate_iri;
+            });
+  return out;
+}
+
+}  // namespace lodviz::stats

@@ -1,0 +1,81 @@
+#ifndef LODVIZ_STATS_PROFILE_H_
+#define LODVIZ_STATS_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "rdf/triple_store.h"
+#include "stats/histogram.h"
+#include "stats/moments.h"
+
+namespace lodviz::stats {
+
+/// The value kind of an RDF property, inferred from its objects. This is
+/// the "Data Types" dimension of the survey's Table 1 (N / T / S / H / G)
+/// at the property granularity.
+enum class ValueKind {
+  kNumeric,      ///< xsd numeric literals (Table 1 "N")
+  kTemporal,     ///< xsd:dateTime / xsd:date (Table 1 "T")
+  kCategorical,  ///< low-cardinality strings or IRIs
+  kText,         ///< high-cardinality free text
+  kEntity,       ///< IRIs linking to other resources (graph edges, "G")
+};
+
+std::string_view ValueKindToString(ValueKind kind);
+
+/// Statistical profile of one predicate.
+struct PropertyProfile {
+  rdf::TermId predicate = rdf::kInvalidTermId;
+  std::string predicate_iri;
+  ValueKind kind = ValueKind::kText;
+  uint64_t count = 0;              ///< triples with this predicate
+  double distinct_estimate = 0.0;  ///< HLL estimate of distinct objects
+  RunningMoments moments;          ///< numeric/temporal values only
+  /// Top object values by frequency (categorical kinds), value -> count.
+  std::vector<std::pair<std::string, uint64_t>> top_values;
+  /// True if this predicate is a WGS84 latitude/longitude coordinate.
+  bool is_geo_coordinate = false;
+};
+
+/// Whole-dataset profile: per-property statistics plus dataset-level
+/// signals (spatial pairs, class hierarchy presence) used by the
+/// visualization recommender.
+struct DatasetProfile {
+  uint64_t triple_count = 0;
+  uint64_t subject_count = 0;
+  std::vector<PropertyProfile> properties;
+  bool has_spatial = false;       ///< both geo:lat and geo:long observed
+  bool has_class_hierarchy = false;  ///< rdfs:subClassOf edges present
+  uint64_t entity_link_count = 0;    ///< triples whose object is an IRI
+
+  /// Profile of a predicate by IRI; nullptr if absent.
+  const PropertyProfile* FindProperty(std::string_view iri) const;
+};
+
+struct ProfilerOptions {
+  /// Max object values examined per predicate (reservoir-sampled above).
+  size_t sample_per_predicate = 10000;
+  /// Distinct-ratio below which string values are categorical not text.
+  double categorical_distinct_ratio = 0.5;
+  /// Absolute distinct count below which values are categorical.
+  uint64_t categorical_max_distinct = 64;
+  /// Number of top values kept for categorical properties.
+  size_t top_k = 10;
+  uint64_t seed = 42;
+};
+
+/// Scans `store` and produces a DatasetProfile. Cost is one pass per
+/// predicate over (up to) sample_per_predicate objects.
+Result<DatasetProfile> ProfileDataset(const rdf::TripleStore& store,
+                                      const ProfilerOptions& options = {});
+
+/// Profiles a single predicate.
+Result<PropertyProfile> ProfileProperty(const rdf::TripleStore& store,
+                                        rdf::TermId predicate,
+                                        const ProfilerOptions& options = {});
+
+}  // namespace lodviz::stats
+
+#endif  // LODVIZ_STATS_PROFILE_H_

@@ -1,0 +1,88 @@
+#include "stats/quantile.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lodviz::stats {
+
+P2Quantile::P2Quantile(double q) : q_(q) {
+  desired_ = {1, 1 + 2 * q, 1 + 4 * q, 3 + 2 * q, 5};
+  increments_ = {0, q / 2, q, (1 + q) / 2, 1};
+  positions_ = {1, 2, 3, 4, 5};
+}
+
+double P2Quantile::Parabolic(int i, double d) const {
+  return heights_[i] +
+         d / (positions_[i + 1] - positions_[i - 1]) *
+             ((positions_[i] - positions_[i - 1] + d) *
+                  (heights_[i + 1] - heights_[i]) /
+                  (positions_[i + 1] - positions_[i]) +
+              (positions_[i + 1] - positions_[i] - d) *
+                  (heights_[i] - heights_[i - 1]) /
+                  (positions_[i] - positions_[i - 1]));
+}
+
+double P2Quantile::Linear(int i, double d) const {
+  int j = i + static_cast<int>(d);
+  return heights_[i] + d * (heights_[j] - heights_[i]) /
+                           (positions_[j] - positions_[i]);
+}
+
+void P2Quantile::Add(double x) {
+  if (count_ < 5) {
+    heights_[count_] = x;
+    ++count_;
+    if (count_ == 5) std::sort(heights_.begin(), heights_.end());
+    return;
+  }
+  ++count_;
+
+  int k;
+  if (x < heights_[0]) {
+    heights_[0] = x;
+    k = 0;
+  } else if (x < heights_[1]) {
+    k = 0;
+  } else if (x < heights_[2]) {
+    k = 1;
+  } else if (x < heights_[3]) {
+    k = 2;
+  } else if (x <= heights_[4]) {
+    k = 3;
+  } else {
+    heights_[4] = x;
+    k = 3;
+  }
+
+  for (int i = k + 1; i < 5; ++i) positions_[i] += 1;
+  for (int i = 0; i < 5; ++i) desired_[i] += increments_[i];
+
+  for (int i = 1; i <= 3; ++i) {
+    double d = desired_[i] - positions_[i];
+    if ((d >= 1 && positions_[i + 1] - positions_[i] > 1) ||
+        (d <= -1 && positions_[i - 1] - positions_[i] < -1)) {
+      double ds = d >= 0 ? 1.0 : -1.0;
+      double candidate = Parabolic(i, ds);
+      if (heights_[i - 1] < candidate && candidate < heights_[i + 1]) {
+        heights_[i] = candidate;
+      } else {
+        heights_[i] = Linear(i, ds);
+      }
+      positions_[i] += ds;
+    }
+  }
+}
+
+double P2Quantile::Estimate() const {
+  if (count_ == 0) return 0.0;
+  if (count_ < 5) {
+    // Exact small-sample quantile over the sorted prefix.
+    std::array<double, 5> tmp = heights_;
+    std::sort(tmp.begin(), tmp.begin() + count_);
+    size_t idx = static_cast<size_t>(q_ * static_cast<double>(count_ - 1));
+    return tmp[idx];
+  }
+  return heights_[2];
+}
+
+}  // namespace lodviz::stats

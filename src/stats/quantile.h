@@ -1,0 +1,39 @@
+#ifndef LODVIZ_STATS_QUANTILE_H_
+#define LODVIZ_STATS_QUANTILE_H_
+
+#include <array>
+#include <cstdint>
+
+namespace lodviz::stats {
+
+/// P² (Jain & Chlamtac) streaming quantile estimator: O(1) memory per
+/// tracked quantile, no stored samples. Used for approximate medians /
+/// percentiles in dataset profiles and progressive answers.
+class P2Quantile {
+ public:
+  /// q in (0, 1), e.g. 0.5 for the median.
+  explicit P2Quantile(double q);
+
+  void Add(double x);
+
+  /// Current estimate; exact until 5 observations, then P² interpolation.
+  double Estimate() const;
+
+  uint64_t count() const { return count_; }
+  double quantile() const { return q_; }
+
+ private:
+  double Parabolic(int i, double d) const;
+  double Linear(int i, double d) const;
+
+  double q_;
+  uint64_t count_ = 0;
+  std::array<double, 5> heights_{};   // marker heights
+  std::array<double, 5> positions_{}; // actual marker positions
+  std::array<double, 5> desired_{};   // desired marker positions
+  std::array<double, 5> increments_{};
+};
+
+}  // namespace lodviz::stats
+
+#endif  // LODVIZ_STATS_QUANTILE_H_

@@ -1,0 +1,115 @@
+#ifndef LODVIZ_STATS_SAMPLER_H_
+#define LODVIZ_STATS_SAMPLER_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.h"
+
+namespace lodviz::stats {
+
+/// Classic reservoir sampling (Vitter's algorithm R): a uniform sample of
+/// fixed size k over a stream of unknown length — the data-reduction
+/// primitive behind the sampling-based systems the survey cites
+/// [46, 105, 2, 69, 17].
+template <typename T>
+class ReservoirSampler {
+ public:
+  ReservoirSampler(size_t capacity, uint64_t seed)
+      : capacity_(capacity), rng_(seed) {}
+
+  void Add(const T& item) {
+    ++seen_;
+    if (reservoir_.size() < capacity_) {
+      reservoir_.push_back(item);
+      return;
+    }
+    uint64_t j = rng_.Uniform(seen_);
+    if (j < capacity_) reservoir_[j] = item;
+  }
+
+  const std::vector<T>& sample() const { return reservoir_; }
+  uint64_t seen() const { return seen_; }
+  size_t capacity() const { return capacity_; }
+
+  /// Scale factor from sample aggregate to population estimate.
+  double ScaleFactor() const {
+    if (reservoir_.empty()) return 0.0;
+    return static_cast<double>(seen_) / static_cast<double>(reservoir_.size());
+  }
+
+ private:
+  size_t capacity_;
+  Rng rng_;
+  uint64_t seen_ = 0;
+  std::vector<T> reservoir_;
+};
+
+/// Keeps each element independently with probability p (filtering-style
+/// reduction; sample size is binomial).
+template <typename T>
+class BernoulliSampler {
+ public:
+  BernoulliSampler(double probability, uint64_t seed)
+      : p_(probability), rng_(seed) {}
+
+  void Add(const T& item) {
+    ++seen_;
+    if (rng_.Bernoulli(p_)) sample_.push_back(item);
+  }
+
+  const std::vector<T>& sample() const { return sample_; }
+  uint64_t seen() const { return seen_; }
+  double probability() const { return p_; }
+
+ private:
+  double p_;
+  Rng rng_;
+  uint64_t seen_ = 0;
+  std::vector<T> sample_;
+};
+
+/// Stratified reservoir sampling: an independent reservoir per stratum key,
+/// guaranteeing representation of rare groups (BlinkDB-style [2]).
+template <typename T, typename Key>
+class StratifiedSampler {
+ public:
+  StratifiedSampler(size_t per_stratum_capacity, uint64_t seed)
+      : capacity_(per_stratum_capacity), seed_(seed) {}
+
+  void Add(const Key& key, const T& item) {
+    auto it = strata_.find(key);
+    if (it == strata_.end()) {
+      it = strata_
+               .emplace(key, ReservoirSampler<T>(
+                                 capacity_, seed_ ^ Hash(key) ^ 0x5bd1e995ULL))
+               .first;
+    }
+    it->second.Add(item);
+  }
+
+  const std::unordered_map<Key, ReservoirSampler<T>>& strata() const {
+    return strata_;
+  }
+
+  /// Union of all per-stratum samples.
+  std::vector<T> Flatten() const {
+    std::vector<T> out;
+    for (const auto& [k, r] : strata_) {
+      out.insert(out.end(), r.sample().begin(), r.sample().end());
+    }
+    return out;
+  }
+
+ private:
+  static uint64_t Hash(const Key& key) { return std::hash<Key>()(key); }
+
+  size_t capacity_;
+  uint64_t seed_;
+  std::unordered_map<Key, ReservoirSampler<T>> strata_;
+};
+
+}  // namespace lodviz::stats
+
+#endif  // LODVIZ_STATS_SAMPLER_H_

@@ -1,0 +1,88 @@
+#ifndef LODVIZ_STORAGE_BTREE_H_
+#define LODVIZ_STORAGE_BTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/buffer_pool.h"
+
+namespace lodviz::storage {
+
+/// 128-bit key ordered lexicographically (hi, lo). Triple permutations are
+/// packed into this: e.g. SPO order uses hi = (s << 32) | p, lo = o.
+struct Key128 {
+  uint64_t hi = 0;
+  uint64_t lo = 0;
+
+  bool operator==(const Key128& other) const {
+    return hi == other.hi && lo == other.lo;
+  }
+  bool operator<(const Key128& other) const {
+    return hi != other.hi ? hi < other.hi : lo < other.lo;
+  }
+  bool operator<=(const Key128& other) const { return !(other < *this); }
+
+  static Key128 Min() { return {0, 0}; }
+  static Key128 Max() { return {~0ULL, ~0ULL}; }
+};
+
+/// Disk-resident B+-tree with fixed-size Key128 keys and uint64 values,
+/// living entirely in buffer-pool pages. Supports point insert, point
+/// lookup, ordered range scans, and sorted bulk load. Set semantics:
+/// inserting an existing key overwrites its value.
+class BTree {
+ public:
+  struct Item {
+    Key128 key;
+    uint64_t value = 0;
+  };
+
+  /// Creates an empty tree, allocating its root in `pool`.
+  static Result<BTree> Create(BufferPool* pool);
+
+  /// Reattaches to an existing tree rooted at `root`.
+  static BTree Attach(BufferPool* pool, PageId root, uint64_t size);
+
+  /// Builds a packed tree from strictly-ascending items (leaves ~100% full).
+  static Result<BTree> BulkLoad(BufferPool* pool,
+                                const std::vector<Item>& sorted_items);
+
+  Status Insert(const Key128& key, uint64_t value);
+
+  /// Value for `key`; NotFound if absent.
+  Result<uint64_t> Lookup(const Key128& key) const;
+
+  /// Streams items with lo <= key <= hi in key order; return false from
+  /// `fn` to stop early.
+  Status RangeScan(const Key128& lo, const Key128& hi,
+                   const std::function<bool(const Item&)>& fn) const;
+
+  PageId root() const { return root_; }
+  uint64_t size() const { return size_; }
+  int height() const { return height_; }
+
+ private:
+  BTree(BufferPool* pool, PageId root, uint64_t size, int height)
+      : pool_(pool), root_(root), size_(size), height_(height) {}
+
+  struct SplitResult {
+    bool split = false;
+    Key128 separator;   // first key of the new right sibling's subtree
+    PageId right = kInvalidPageId;
+    bool inserted = false;  // false when an existing key was overwritten
+  };
+
+  Result<SplitResult> InsertRec(PageId page, const Key128& key,
+                                uint64_t value);
+
+  BufferPool* pool_;
+  PageId root_;
+  uint64_t size_ = 0;
+  int height_ = 1;
+};
+
+}  // namespace lodviz::storage
+
+#endif  // LODVIZ_STORAGE_BTREE_H_

@@ -1,0 +1,126 @@
+#include "storage/buffer_pool.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace lodviz::storage {
+
+PageRef::PageRef(BufferPool* pool, int32_t frame) : pool_(pool), frame_(frame) {}
+
+PageRef::~PageRef() { Release(); }
+
+PageRef::PageRef(PageRef&& other) noexcept
+    : pool_(other.pool_), frame_(other.frame_) {
+  other.pool_ = nullptr;
+  other.frame_ = -1;
+}
+
+PageRef& PageRef::operator=(PageRef&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    frame_ = other.frame_;
+    other.pool_ = nullptr;
+    other.frame_ = -1;
+  }
+  return *this;
+}
+
+uint8_t* PageRef::data() { return pool_->frames_[frame_].data.get(); }
+const uint8_t* PageRef::data() const {
+  return pool_->frames_[frame_].data.get();
+}
+PageId PageRef::page_id() const { return pool_->frames_[frame_].page_id; }
+void PageRef::MarkDirty() { pool_->frames_[frame_].dirty = true; }
+
+void PageRef::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(frame_);
+    pool_ = nullptr;
+    frame_ = -1;
+  }
+}
+
+BufferPool::BufferPool(PageFile* file, size_t capacity_pages) : file_(file) {
+  LODVIZ_CHECK(capacity_pages >= 4) << "buffer pool too small";
+  frames_.resize(capacity_pages);
+  for (Frame& f : frames_) f.data = std::make_unique<uint8_t[]>(kPageSize);
+}
+
+Result<int32_t> BufferPool::GetVictimFrame() {
+  int32_t victim = -1;
+  uint64_t best_tick = ~0ULL;
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    const Frame& f = frames_[i];
+    if (f.page_id == kInvalidPageId) return static_cast<int32_t>(i);
+    if (f.pin_count == 0 && f.lru_tick < best_tick) {
+      best_tick = f.lru_tick;
+      victim = static_cast<int32_t>(i);
+    }
+  }
+  if (victim < 0) {
+    return Status::ResourceExhausted("all buffer pool frames are pinned");
+  }
+  Frame& f = frames_[victim];
+  if (f.dirty) {
+    LODVIZ_RETURN_NOT_OK(file_->WritePage(f.page_id, f.data.get()));
+    f.dirty = false;
+  }
+  page_table_.erase(f.page_id);
+  f.page_id = kInvalidPageId;
+  ++evictions_;
+  return victim;
+}
+
+Result<PageRef> BufferPool::Fetch(PageId id) {
+  auto it = page_table_.find(id);
+  if (it != page_table_.end()) {
+    ++hits_;
+    Frame& f = frames_[it->second];
+    ++f.pin_count;
+    f.lru_tick = ++tick_;
+    return PageRef(this, it->second);
+  }
+  ++misses_;
+  LODVIZ_ASSIGN_OR_RETURN(int32_t frame, GetVictimFrame());
+  Frame& f = frames_[frame];
+  LODVIZ_RETURN_NOT_OK(file_->ReadPage(id, f.data.get()));
+  f.page_id = id;
+  f.pin_count = 1;
+  f.dirty = false;
+  f.lru_tick = ++tick_;
+  page_table_[id] = frame;
+  return PageRef(this, frame);
+}
+
+Result<PageRef> BufferPool::NewPage() {
+  LODVIZ_ASSIGN_OR_RETURN(PageId id, file_->AllocatePage());
+  LODVIZ_ASSIGN_OR_RETURN(int32_t frame, GetVictimFrame());
+  Frame& f = frames_[frame];
+  std::memset(f.data.get(), 0, kPageSize);
+  f.page_id = id;
+  f.pin_count = 1;
+  f.dirty = true;
+  f.lru_tick = ++tick_;
+  page_table_[id] = frame;
+  return PageRef(this, frame);
+}
+
+Status BufferPool::FlushAll() {
+  for (Frame& f : frames_) {
+    if (f.page_id != kInvalidPageId && f.dirty) {
+      LODVIZ_RETURN_NOT_OK(file_->WritePage(f.page_id, f.data.get()));
+      f.dirty = false;
+    }
+  }
+  return Status::OK();
+}
+
+void BufferPool::Unpin(int32_t frame) {
+  Frame& f = frames_[frame];
+  LODVIZ_CHECK(f.pin_count > 0) << "unpin of unpinned frame";
+  --f.pin_count;
+}
+
+}  // namespace lodviz::storage

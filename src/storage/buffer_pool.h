@@ -1,0 +1,105 @@
+#ifndef LODVIZ_STORAGE_BUFFER_POOL_H_
+#define LODVIZ_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/page_file.h"
+
+namespace lodviz::storage {
+
+class BufferPool;
+
+/// RAII pin on a buffered page. While alive, the frame cannot be evicted.
+/// Move-only; unpins on destruction.
+class PageRef {
+ public:
+  PageRef() = default;
+  PageRef(BufferPool* pool, int32_t frame);
+  ~PageRef();
+
+  PageRef(const PageRef&) = delete;
+  PageRef& operator=(const PageRef&) = delete;
+  PageRef(PageRef&& other) noexcept;
+  PageRef& operator=(PageRef&& other) noexcept;
+
+  bool valid() const { return pool_ != nullptr; }
+  uint8_t* data();
+  const uint8_t* data() const;
+  PageId page_id() const;
+
+  /// Marks the page dirty so it is written back before eviction.
+  void MarkDirty();
+
+  /// Releases the pin early.
+  void Release();
+
+ private:
+  BufferPool* pool_ = nullptr;
+  int32_t frame_ = -1;
+};
+
+/// Fixed-capacity page cache over a PageFile with LRU eviction of unpinned
+/// frames. This is what lets lodviz explore datasets larger than memory —
+/// the survey's "systems should be integrated with disk structures,
+/// retrieving data dynamically during runtime" (Section 4).
+class BufferPool {
+ public:
+  BufferPool(PageFile* file, size_t capacity_pages);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Pins page `id`, reading it from disk on a miss.
+  Result<PageRef> Fetch(PageId id);
+
+  /// Allocates a new page on disk and pins it (already zeroed).
+  Result<PageRef> NewPage();
+
+  /// Writes back all dirty frames.
+  Status FlushAll();
+
+  size_t capacity() const { return frames_.size(); }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t evictions() const { return evictions_; }
+  double HitRate() const {
+    uint64_t total = hits_ + misses_;
+    return total ? static_cast<double>(hits_) / static_cast<double>(total) : 0.0;
+  }
+  void ResetCounters() { hits_ = misses_ = evictions_ = 0; }
+
+  /// Bytes held by page frames.
+  size_t MemoryUsage() const { return frames_.size() * kPageSize; }
+
+ private:
+  friend class PageRef;
+
+  struct Frame {
+    PageId page_id = kInvalidPageId;
+    uint32_t pin_count = 0;
+    bool dirty = false;
+    uint64_t lru_tick = 0;
+    std::unique_ptr<uint8_t[]> data;
+  };
+
+  /// Finds a free or evictable frame; error if all frames are pinned.
+  Result<int32_t> GetVictimFrame();
+
+  void Unpin(int32_t frame);
+
+  PageFile* file_;
+  std::vector<Frame> frames_;
+  std::unordered_map<PageId, int32_t> page_table_;
+  uint64_t tick_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace lodviz::storage
+
+#endif  // LODVIZ_STORAGE_BUFFER_POOL_H_

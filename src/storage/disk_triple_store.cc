@@ -1,0 +1,102 @@
+#include "storage/disk_triple_store.h"
+
+#include <algorithm>
+
+namespace lodviz::storage {
+
+Result<std::unique_ptr<DiskTripleStore>> DiskTripleStore::Create(
+    const std::string& path, size_t pool_pages) {
+  auto store = std::unique_ptr<DiskTripleStore>(new DiskTripleStore());
+  store->file_ = std::make_unique<PageFile>();
+  LODVIZ_RETURN_NOT_OK(store->file_->Open(path, /*truncate=*/true));
+  store->pool_ = std::make_unique<BufferPool>(store->file_.get(), pool_pages);
+  LODVIZ_ASSIGN_OR_RETURN(BTree spo, BTree::Create(store->pool_.get()));
+  LODVIZ_ASSIGN_OR_RETURN(BTree pos, BTree::Create(store->pool_.get()));
+  store->spo_ = std::make_unique<BTree>(std::move(spo));
+  store->pos_ = std::make_unique<BTree>(std::move(pos));
+  return store;
+}
+
+Status DiskTripleStore::Insert(const rdf::Triple& t) {
+  LODVIZ_RETURN_NOT_OK(spo_->Insert(SpoKey(t), 0));
+  return pos_->Insert(PosKey(t), 0);
+}
+
+Status DiskTripleStore::BulkLoad(std::vector<rdf::Triple> triples) {
+  std::vector<BTree::Item> items(triples.size());
+  for (size_t i = 0; i < triples.size(); ++i) items[i].key = SpoKey(triples[i]);
+  std::sort(items.begin(), items.end(),
+            [](const BTree::Item& a, const BTree::Item& b) {
+              return a.key < b.key;
+            });
+  items.erase(std::unique(items.begin(), items.end(),
+                          [](const BTree::Item& a, const BTree::Item& b) {
+                            return a.key == b.key;
+                          }),
+              items.end());
+  LODVIZ_ASSIGN_OR_RETURN(BTree spo, BTree::BulkLoad(pool_.get(), items));
+  *spo_ = std::move(spo);
+
+  items.clear();
+  items.resize(triples.size());
+  for (size_t i = 0; i < triples.size(); ++i) items[i].key = PosKey(triples[i]);
+  std::sort(items.begin(), items.end(),
+            [](const BTree::Item& a, const BTree::Item& b) {
+              return a.key < b.key;
+            });
+  items.erase(std::unique(items.begin(), items.end(),
+                          [](const BTree::Item& a, const BTree::Item& b) {
+                            return a.key == b.key;
+                          }),
+              items.end());
+  LODVIZ_ASSIGN_OR_RETURN(BTree pos, BTree::BulkLoad(pool_.get(), items));
+  *pos_ = std::move(pos);
+  return Status::OK();
+}
+
+Status DiskTripleStore::Scan(
+    const rdf::TriplePattern& pattern,
+    const std::function<bool(const rdf::Triple&)>& fn) const {
+  using rdf::kInvalidTermId;
+  auto emit = [&](const rdf::Triple& t) {
+    return !pattern.Matches(t) || fn(t);
+  };
+
+  if (pattern.s != kInvalidTermId) {
+    // SPO range on (s) or (s, p).
+    uint64_t hi_lo = static_cast<uint64_t>(pattern.s) << 32;
+    Key128 lo{hi_lo | (pattern.p != kInvalidTermId ? pattern.p : 0), 0};
+    Key128 hi{hi_lo | (pattern.p != kInvalidTermId ? pattern.p : 0xFFFFFFFFULL),
+              ~0ULL};
+    return spo_->RangeScan(lo, hi, [&](const BTree::Item& item) {
+      return emit(FromSpoKey(item.key));
+    });
+  }
+  if (pattern.p != kInvalidTermId) {
+    // POS range on (p) or (p, o).
+    uint64_t hi_lo = static_cast<uint64_t>(pattern.p) << 32;
+    Key128 lo{hi_lo | (pattern.o != kInvalidTermId ? pattern.o : 0), 0};
+    Key128 hi{hi_lo | (pattern.o != kInvalidTermId ? pattern.o : 0xFFFFFFFFULL),
+              ~0ULL};
+    return pos_->RangeScan(lo, hi, [&](const BTree::Item& item) {
+      return emit(FromPosKey(item.key));
+    });
+  }
+  // Full scan (also covers object-only patterns; no OSP tree on disk).
+  return spo_->RangeScan(Key128::Min(), Key128::Max(),
+                         [&](const BTree::Item& item) {
+                           return emit(FromSpoKey(item.key));
+                         });
+}
+
+uint64_t DiskTripleStore::Count(const rdf::TriplePattern& pattern) const {
+  uint64_t n = 0;
+  Status s = Scan(pattern, [&](const rdf::Triple&) {
+    ++n;
+    return true;
+  });
+  (void)s;
+  return n;
+}
+
+}  // namespace lodviz::storage

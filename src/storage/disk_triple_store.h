@@ -1,0 +1,80 @@
+#ifndef LODVIZ_STORAGE_DISK_TRIPLE_STORE_H_
+#define LODVIZ_STORAGE_DISK_TRIPLE_STORE_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "rdf/triple.h"
+#include "storage/btree.h"
+#include "storage/buffer_pool.h"
+#include "storage/page_file.h"
+
+namespace lodviz::storage {
+
+/// Disk-resident triple indexes (SPO + POS B+-trees in one page file)
+/// behind a bounded buffer pool: the out-of-core backend the survey calls
+/// for in Section 4 ("systems should be integrated with disk structures,
+/// retrieving data dynamically during runtime"). The dictionary stays in
+/// memory (it is orders of magnitude smaller than the triples).
+///
+/// Memory use is capped at `pool_pages` * 8 KiB regardless of dataset size.
+class DiskTripleStore {
+ public:
+  /// Creates a fresh store at `path` with a `pool_pages`-page buffer pool.
+  static Result<std::unique_ptr<DiskTripleStore>> Create(
+      const std::string& path, size_t pool_pages);
+
+  /// Inserts one (already dictionary-encoded) triple.
+  Status Insert(const rdf::Triple& t);
+
+  /// Bulk-loads sorted-agnostic triples (sorts internally, packs leaves).
+  /// Call on an empty store.
+  Status BulkLoad(std::vector<rdf::Triple> triples);
+
+  /// Streams triples matching `pattern` (same wildcard semantics as the
+  /// in-memory TripleStore). Uses the SPO tree when the subject is bound,
+  /// the POS tree when only the predicate/object are, else a full scan.
+  Status Scan(const rdf::TriplePattern& pattern,
+              const std::function<bool(const rdf::Triple&)>& fn) const;
+
+  uint64_t Count(const rdf::TriplePattern& pattern) const;
+
+  uint64_t size() const { return spo_->size(); }
+
+  BufferPool& pool() { return *pool_; }
+  const BufferPool& pool() const { return *pool_; }
+  PageFile& file() { return *file_; }
+
+  /// Buffer pool + bookkeeping bytes (excludes the OS page cache).
+  size_t MemoryUsage() const { return pool_->MemoryUsage(); }
+
+ private:
+  DiskTripleStore() = default;
+
+  static Key128 SpoKey(const rdf::Triple& t) {
+    return {(static_cast<uint64_t>(t.s) << 32) | t.p, t.o};
+  }
+  static Key128 PosKey(const rdf::Triple& t) {
+    return {(static_cast<uint64_t>(t.p) << 32) | t.o, t.s};
+  }
+  static rdf::Triple FromSpoKey(const Key128& k) {
+    return rdf::Triple(static_cast<rdf::TermId>(k.hi >> 32),
+                       static_cast<rdf::TermId>(k.hi & 0xFFFFFFFF),
+                       static_cast<rdf::TermId>(k.lo));
+  }
+  static rdf::Triple FromPosKey(const Key128& k) {
+    return rdf::Triple(static_cast<rdf::TermId>(k.lo),
+                       static_cast<rdf::TermId>(k.hi >> 32),
+                       static_cast<rdf::TermId>(k.hi & 0xFFFFFFFF));
+  }
+
+  std::unique_ptr<PageFile> file_;
+  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<BTree> spo_;
+  std::unique_ptr<BTree> pos_;
+};
+
+}  // namespace lodviz::storage
+
+#endif  // LODVIZ_STORAGE_DISK_TRIPLE_STORE_H_

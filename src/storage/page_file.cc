@@ -1,0 +1,66 @@
+#include "storage/page_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace lodviz::storage {
+
+PageFile::~PageFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status PageFile::Open(const std::string& path, bool truncate) {
+  if (fd_ >= 0) return Status::InvalidArgument("PageFile already open");
+  int flags = O_RDWR | O_CREAT | (truncate ? O_TRUNC : 0);
+  fd_ = ::open(path.c_str(), flags, 0644);
+  if (fd_ < 0) {
+    return Status::IoError("open '" + path + "': " + std::strerror(errno));
+  }
+  path_ = path;
+  off_t size = ::lseek(fd_, 0, SEEK_END);
+  if (size < 0) return Status::IoError("lseek failed");
+  num_pages_ = static_cast<uint32_t>(static_cast<uint64_t>(size) / kPageSize);
+  return Status::OK();
+}
+
+Status PageFile::Close() {
+  if (fd_ >= 0) {
+    if (::close(fd_) != 0) return Status::IoError("close failed");
+    fd_ = -1;
+  }
+  return Status::OK();
+}
+
+Result<PageId> PageFile::AllocatePage() {
+  if (fd_ < 0) return Status::InvalidArgument("PageFile not open");
+  PageId id = num_pages_;
+  char zeros[kPageSize] = {};
+  LODVIZ_RETURN_NOT_OK(WritePage(id, zeros));  // bumps num_pages_ to id + 1
+  return id;
+}
+
+Status PageFile::ReadPage(PageId id, void* buf) {
+  ssize_t n = ::pread(fd_, buf, kPageSize,
+                      static_cast<off_t>(id) * static_cast<off_t>(kPageSize));
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IoError("short read of page " + std::to_string(id));
+  }
+  ++reads_;
+  return Status::OK();
+}
+
+Status PageFile::WritePage(PageId id, const void* buf) {
+  ssize_t n = ::pwrite(fd_, buf, kPageSize,
+                       static_cast<off_t>(id) * static_cast<off_t>(kPageSize));
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IoError("short write of page " + std::to_string(id));
+  }
+  ++writes_;
+  if (id >= num_pages_) num_pages_ = id + 1;
+  return Status::OK();
+}
+
+}  // namespace lodviz::storage

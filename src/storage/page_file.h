@@ -1,0 +1,59 @@
+#ifndef LODVIZ_STORAGE_PAGE_FILE_H_
+#define LODVIZ_STORAGE_PAGE_FILE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+
+namespace lodviz::storage {
+
+/// Fixed page size used by the whole storage layer.
+inline constexpr size_t kPageSize = 8192;
+
+using PageId = uint32_t;
+inline constexpr PageId kInvalidPageId = ~PageId(0);
+
+/// A file laid out as an array of kPageSize pages, accessed with
+/// pread/pwrite. Counts physical I/Os so the disk-vs-memory experiments
+/// can report them.
+class PageFile {
+ public:
+  PageFile() = default;
+  virtual ~PageFile();
+
+  PageFile(const PageFile&) = delete;
+  PageFile& operator=(const PageFile&) = delete;
+
+  /// Creates (truncating) or opens the file at `path`.
+  Status Open(const std::string& path, bool truncate);
+  Status Close();
+
+  bool is_open() const { return fd_ >= 0; }
+
+  /// Appends a zeroed page; returns its id. Virtual so tests can inject
+  /// I/O failures (see storage_test.cc).
+  virtual Result<PageId> AllocatePage();
+
+  /// Reads page `id` into `buf` (kPageSize bytes).
+  virtual Status ReadPage(PageId id, void* buf);
+
+  /// Writes `buf` (kPageSize bytes) to page `id`.
+  virtual Status WritePage(PageId id, const void* buf);
+
+  uint32_t num_pages() const { return num_pages_; }
+  uint64_t reads() const { return reads_; }
+  uint64_t writes() const { return writes_; }
+  void ResetCounters() { reads_ = writes_ = 0; }
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+  uint32_t num_pages_ = 0;
+  uint64_t reads_ = 0;
+  uint64_t writes_ = 0;
+};
+
+}  // namespace lodviz::storage
+
+#endif  // LODVIZ_STORAGE_PAGE_FILE_H_

@@ -1,0 +1,62 @@
+#include "viz/m4.h"
+
+#include <algorithm>
+
+namespace lodviz::viz {
+
+std::vector<Sample> M4Downsample(const std::vector<Sample>& samples,
+                                 int pixel_width) {
+  if (samples.empty() || pixel_width <= 0) return {};
+  double t0 = samples.front().t;
+  double t1 = samples.back().t;
+  double span = std::max(1e-300, t1 - t0);
+
+  struct ColumnAgg {
+    bool any = false;
+    size_t first = 0, last = 0, min = 0, max = 0;  // indexes into samples
+  };
+  std::vector<ColumnAgg> columns(pixel_width);
+  for (size_t i = 0; i < samples.size(); ++i) {
+    int col = static_cast<int>((samples[i].t - t0) / span * pixel_width);
+    col = std::clamp(col, 0, pixel_width - 1);
+    ColumnAgg& agg = columns[col];
+    if (!agg.any) {
+      agg.any = true;
+      agg.first = agg.last = agg.min = agg.max = i;
+      continue;
+    }
+    agg.last = i;
+    if (samples[i].v < samples[agg.min].v) agg.min = i;
+    if (samples[i].v > samples[agg.max].v) agg.max = i;
+  }
+
+  std::vector<size_t> keep;
+  for (const ColumnAgg& agg : columns) {
+    if (!agg.any) continue;
+    keep.push_back(agg.first);
+    keep.push_back(agg.min);
+    keep.push_back(agg.max);
+    keep.push_back(agg.last);
+  }
+  std::sort(keep.begin(), keep.end());
+  keep.erase(std::unique(keep.begin(), keep.end()), keep.end());
+
+  std::vector<Sample> out;
+  out.reserve(keep.size());
+  for (size_t i : keep) out.push_back(samples[i]);
+  return out;
+}
+
+std::vector<Sample> StrideDownsample(const std::vector<Sample>& samples,
+                                     size_t max_points) {
+  if (samples.size() <= max_points || max_points == 0) return samples;
+  std::vector<Sample> out;
+  out.reserve(max_points);
+  for (size_t k = 0; k < max_points; ++k) {
+    out.push_back(samples[k * samples.size() / max_points]);
+  }
+  out.back() = samples.back();
+  return out;
+}
+
+}  // namespace lodviz::viz

@@ -1,0 +1,33 @@
+#ifndef LODVIZ_VIZ_M4_H_
+#define LODVIZ_VIZ_M4_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lodviz::viz {
+
+/// A time-series sample.
+struct Sample {
+  double t = 0.0;
+  double v = 0.0;
+};
+
+/// M4 aggregation (VDDA [73, 74]): for a line chart w pixels wide, keep
+/// only min/max/first/last of each pixel column. The rendered line is
+/// pixel-identical to drawing every raw point, with at most 4w points —
+/// the "pixel-perfect" data reduction the survey cites for
+/// visualization-driven query rewriting.
+///
+/// `samples` must be sorted by t. Returns samples sorted by t.
+std::vector<Sample> M4Downsample(const std::vector<Sample>& samples,
+                                 int pixel_width);
+
+/// Naive every-k-th-point downsampling to the same point budget —
+/// the baseline M4 beats in E2.
+std::vector<Sample> StrideDownsample(const std::vector<Sample>& samples,
+                                     size_t max_points);
+
+}  // namespace lodviz::viz
+
+#endif  // LODVIZ_VIZ_M4_H_

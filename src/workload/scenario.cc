@@ -1,0 +1,93 @@
+#include "workload/scenario.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+
+namespace lodviz::workload {
+
+std::vector<RangeQuery> ExplorationRangeScenario(double domain_lo,
+                                                 double domain_hi,
+                                                 size_t num_queries,
+                                                 uint64_t seed) {
+  Rng rng(seed);
+  std::vector<RangeQuery> queries;
+  double span = domain_hi - domain_lo;
+  double focus = domain_lo + span * rng.UniformDouble();
+  double width = span * 0.5;  // first queries are broad
+
+  for (size_t q = 0; q < num_queries; ++q) {
+    if (rng.Bernoulli(0.15)) {
+      // Jump to a new focus and widen (new overview).
+      focus = domain_lo + span * rng.UniformDouble();
+      width = span * rng.UniformDouble(0.3, 0.6);
+    } else if (rng.Bernoulli(0.5)) {
+      // Zoom in around the focus.
+      width = std::max(span * 0.002, width * rng.UniformDouble(0.4, 0.8));
+    } else {
+      // Pan: shift the focus by a fraction of the current width.
+      focus += width * rng.UniformDouble(-0.6, 0.6);
+    }
+    double lo = std::clamp(focus - width / 2, domain_lo, domain_hi);
+    double hi = std::clamp(focus + width / 2, domain_lo, domain_hi);
+    if (hi <= lo) hi = std::min(domain_hi, lo + span * 0.001);
+    queries.push_back({lo, hi});
+  }
+  return queries;
+}
+
+std::vector<geo::TileKey> PanZoomTileScenario(uint8_t max_zoom,
+                                              size_t num_requests,
+                                              uint64_t seed) {
+  Rng rng(seed);
+  std::vector<geo::TileKey> requests;
+  uint8_t zoom = max_zoom / 2;
+  auto dim = [&](uint8_t z) { return 1u << z; };
+  int64_t x = rng.Uniform(dim(zoom));
+  int64_t y = rng.Uniform(dim(zoom));
+  int dx = 1, dy = 0;
+
+  for (size_t q = 0; q < num_requests; ++q) {
+    requests.push_back({zoom, static_cast<uint32_t>(x),
+                        static_cast<uint32_t>(y)});
+    double action = rng.UniformDouble();
+    if (action < 0.70) {
+      // Keep panning with momentum; occasionally turn.
+      if (rng.Bernoulli(0.2)) {
+        dx = static_cast<int>(rng.Uniform(3)) - 1;
+        dy = static_cast<int>(rng.Uniform(3)) - 1;
+        if (dx == 0 && dy == 0) dx = 1;
+      }
+      x += dx;
+      y += dy;
+    } else if (action < 0.85 && zoom < max_zoom) {
+      // Zoom in toward the current tile.
+      ++zoom;
+      x = 2 * x + rng.Uniform(2);
+      y = 2 * y + rng.Uniform(2);
+    } else if (zoom > 0) {
+      // Zoom out.
+      --zoom;
+      x /= 2;
+      y /= 2;
+    }
+    int64_t n = dim(zoom);
+    x = std::clamp<int64_t>(x, 0, n - 1);
+    y = std::clamp<int64_t>(y, 0, n - 1);
+  }
+  return requests;
+}
+
+std::vector<viz::Sample> RandomWalkSeries(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<viz::Sample> series(n);
+  double v = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    v += rng.Normal(0.0, 1.0);
+    series[i] = {static_cast<double>(i), v};
+  }
+  return series;
+}
+
+}  // namespace lodviz::workload

@@ -1,0 +1,40 @@
+#ifndef LODVIZ_WORKLOAD_SCENARIO_H_
+#define LODVIZ_WORKLOAD_SCENARIO_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/tiles.h"
+#include "viz/m4.h"
+
+namespace lodviz::workload {
+
+/// A value-range query [lo, hi).
+struct RangeQuery {
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+/// Generates an exploratory range-query session over the domain
+/// [domain_lo, domain_hi): the user starts with broad overview queries,
+/// then zooms into focus regions with pans, occasionally jumping to a new
+/// focus — the access locality that makes adaptive indexing pay off (E4).
+std::vector<RangeQuery> ExplorationRangeScenario(double domain_lo,
+                                                 double domain_hi,
+                                                 size_t num_queries,
+                                                 uint64_t seed);
+
+/// Generates a pan/zoom tile session at mixed zoom levels: runs of
+/// directional panning (momentum) punctuated by zoom in/out — the access
+/// pattern behind the cache/prefetch experiment (E8).
+std::vector<geo::TileKey> PanZoomTileScenario(uint8_t max_zoom,
+                                              size_t num_requests,
+                                              uint64_t seed);
+
+/// Random-walk time series of `n` points (t = 0..n-1) for the M4
+/// experiments (E2).
+std::vector<viz::Sample> RandomWalkSeries(size_t n, uint64_t seed);
+
+}  // namespace lodviz::workload
+
+#endif  // LODVIZ_WORKLOAD_SCENARIO_H_

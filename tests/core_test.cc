@@ -1,0 +1,278 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/archetype.h"
+#include "core/capabilities.h"
+#include "core/engine.h"
+#include "core/ldvm.h"
+#include "core/registry.h"
+#include "rdf/vocab.h"
+#include "workload/synthetic_lod.h"
+
+namespace lodviz::core {
+namespace {
+
+TEST(RegistryTest, TableShapesMatchThePaper) {
+  EXPECT_EQ(Table1Systems().size(), 11u);
+  EXPECT_EQ(Table2Systems().size(), 21u);
+  for (const auto& s : Table1Systems()) {
+    EXPECT_EQ(s.table, 1);
+    EXPECT_FALSE(s.data_types.empty()) << s.name;
+    EXPECT_FALSE(s.vis_types.empty()) << s.name;
+  }
+  for (const auto& s : Table2Systems()) EXPECT_EQ(s.table, 2);
+}
+
+TEST(RegistryTest, SpotCheckRowsAgainstPaper) {
+  const SurveyedSystem* synopsviz = FindSystem("SynopsViz");
+  ASSERT_NE(synopsviz, nullptr);
+  EXPECT_EQ(synopsviz->year, 2014);
+  // SynopsViz is the only Table-1 system with Incr. + Disk.
+  EXPECT_TRUE(HasCapability(synopsviz->caps, Capability::kIncremental));
+  EXPECT_TRUE(HasCapability(synopsviz->caps, Capability::kDiskBased));
+  EXPECT_TRUE(HasCapability(synopsviz->caps, Capability::kAggregation));
+  EXPECT_FALSE(HasCapability(synopsviz->caps, Capability::kSampling));
+
+  const SurveyedSystem* graphvizdb = FindSystem("graphVizdb");
+  ASSERT_NE(graphvizdb, nullptr);
+  EXPECT_EQ(graphvizdb->year, 2015);
+  EXPECT_TRUE(HasCapability(graphvizdb->caps, Capability::kDiskBased));
+  EXPECT_TRUE(HasCapability(graphvizdb->caps, Capability::kKeywordSearch));
+  EXPECT_FALSE(HasCapability(graphvizdb->caps, Capability::kAggregation));
+
+  const SurveyedSystem* fenfire = FindSystem("Fenfire");
+  ASSERT_NE(fenfire, nullptr);
+  EXPECT_EQ(fenfire->caps, kNoCapabilities);
+
+  EXPECT_EQ(FindSystem("NotARealSystem"), nullptr);
+}
+
+TEST(RegistryTest, PaperCountsReproduced) {
+  // Discussion section: only SynopsViz and VizBoard in Table 1 use
+  // approximation (sampling or aggregation).
+  int approximating = 0;
+  for (const auto& s : Table1Systems()) {
+    if (HasCapability(s.caps, Capability::kSampling) ||
+        HasCapability(s.caps, Capability::kAggregation)) {
+      ++approximating;
+    }
+  }
+  EXPECT_EQ(approximating, 2);
+  // ...and only SynopsViz uses disk at runtime.
+  int disk = 0;
+  for (const auto& s : Table1Systems()) {
+    disk += HasCapability(s.caps, Capability::kDiskBased);
+  }
+  EXPECT_EQ(disk, 1);
+}
+
+TEST(CapabilitiesTest, NamesAndComposition) {
+  CapabilitySet set = Caps(Capability::kFilter, Capability::kDiskBased);
+  EXPECT_TRUE(HasCapability(set, Capability::kFilter));
+  EXPECT_FALSE(HasCapability(set, Capability::kSampling));
+  EXPECT_EQ(AllCapabilities().size(), 9u);
+  EXPECT_EQ(CapabilityName(Capability::kIncremental), "Incr.");
+}
+
+class EngineFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    workload::SyntheticLodOptions opts;
+    opts.num_entities = 400;
+    opts.seed = 99;
+    engine_.LoadSynthetic(opts);
+  }
+  Engine engine_;
+};
+
+TEST_F(EngineFixture, LoadAndQuery) {
+  EXPECT_GT(engine_.store().size(), 2000u);
+  auto result = engine_.Query(
+      "SELECT (COUNT(*) AS ?n) WHERE { ?s <http://lod.example/ontology/age> ?a . }");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->rows()[0][0].term.lexical, "400");
+}
+
+TEST_F(EngineFixture, ProfileIsCachedAndInvalidated) {
+  auto p1 = engine_.Profile();
+  ASSERT_TRUE(p1.ok());
+  uint64_t triples_before = p1->triple_count;
+  // Loading more data invalidates the cache.
+  ASSERT_TRUE(engine_
+                  .LoadNTriples("<http://x/a> <http://x/p> <http://x/b> .\n")
+                  .ok());
+  auto p2 = engine_.Profile();
+  ASSERT_TRUE(p2.ok());
+  EXPECT_EQ(p2->triple_count, triples_before + 1);
+}
+
+TEST_F(EngineFixture, RecommendAndRenderTopChoice) {
+  auto recs = engine_.Recommend(3);
+  ASSERT_FALSE(recs.empty());
+  auto view = engine_.Render(recs.front().spec);
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+  EXPECT_GT(view->render.elements_drawn, 0u);
+  EXPECT_GT(view->pixels_touched, 0u);
+}
+
+TEST_F(EngineFixture, RenderEveryKind) {
+  using viz::VisKind;
+  for (VisKind kind :
+       {VisKind::kScatter, VisKind::kMap, VisKind::kTimeline, VisKind::kChart,
+        VisKind::kPie, VisKind::kTreemap, VisKind::kGraph}) {
+    viz::VisSpec spec;
+    spec.kind = kind;
+    spec.x_property = kind == VisKind::kTimeline
+                          ? "http://lod.example/ontology/created"
+                          : "http://lod.example/ontology/age";
+    spec.y_property = "http://lod.example/ontology/age";
+    if (kind == VisKind::kTreemap) {
+      spec.x_property = "http://lod.example/ontology/category";
+    }
+    auto view = engine_.Render(spec);
+    ASSERT_TRUE(view.ok()) << viz::VisKindName(kind) << ": "
+                           << view.status().ToString();
+    EXPECT_GT(view->render.elements_drawn, 0u) << viz::VisKindName(kind);
+  }
+}
+
+TEST_F(EngineFixture, RenderWithSvg) {
+  viz::VisSpec spec;
+  spec.kind = viz::VisKind::kMap;
+  auto view = engine_.Render(spec, /*with_svg=*/true);
+  ASSERT_TRUE(view.ok());
+  EXPECT_NE(view->svg.find("<svg"), std::string::npos);
+}
+
+TEST_F(EngineFixture, RenderErrorsOnMissingData) {
+  viz::VisSpec spec;
+  spec.kind = viz::VisKind::kScatter;
+  spec.x_property = "http://nowhere/p";
+  spec.y_property = "http://nowhere/q";
+  EXPECT_FALSE(engine_.Render(spec).ok());
+}
+
+TEST_F(EngineFixture, ElementBudgetCapsScatter) {
+  Engine::Options opts;
+  opts.element_budget = 100;
+  Engine small(opts);
+  workload::SyntheticLodOptions lod;
+  lod.num_entities = 500;
+  small.LoadSynthetic(lod);
+  viz::VisSpec spec;
+  spec.kind = viz::VisKind::kScatter;
+  spec.x_property = rdf::vocab::kGeoLong;
+  spec.y_property = rdf::vocab::kGeoLat;
+  auto view = small.Render(spec);
+  ASSERT_TRUE(view.ok());
+  EXPECT_LE(view->render.elements_drawn, 100u);
+}
+
+TEST_F(EngineFixture, MapAggregatesAboveBudget) {
+  Engine::Options opts;
+  opts.element_budget = 50;  // far below 400 geo points
+  Engine small(opts);
+  workload::SyntheticLodOptions lod;
+  lod.num_entities = 400;
+  small.LoadSynthetic(lod);
+  viz::VisSpec spec;
+  spec.kind = viz::VisKind::kMap;
+  auto view = small.Render(spec);
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+  // Clustered markers: bounded by the 48x48 grid, not by point count.
+  EXPECT_LE(view->render.elements_drawn, 48u * 48u);
+  EXPECT_EQ(view->render.input_size, 400u);
+}
+
+TEST_F(EngineFixture, HierarchyGraphSearchFacets) {
+  hier::HETree::Options hopts;
+  auto tree = engine_.BuildHierarchy("http://lod.example/ontology/age", hopts);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->node(tree->root()).stats.count, 400u);
+
+  graph::Graph g = engine_.BuildGraph();
+  EXPECT_GT(g.num_edges(), 100u);
+
+  auto hits = engine_.Search("ancient");
+  EXPECT_FALSE(hits.empty());
+
+  auto browser = engine_.MakeBrowser();
+  EXPECT_GT(browser.num_matching(), 0u);
+
+  // Session recorded all those operations.
+  EXPECT_GE(engine_.session().size(), 2u);
+}
+
+TEST_F(EngineFixture, LdvmDefaultPipelineRuns) {
+  LdvmPipeline pipeline(&engine_);
+  auto view = pipeline.Run();
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+  EXPECT_GT(view->render.elements_drawn, 0u);
+  // The default visual stage picks the recommender's top choice (map for
+  // this spatial dataset).
+  EXPECT_EQ(pipeline.last_spec().kind, viz::VisKind::kMap);
+}
+
+TEST_F(EngineFixture, LdvmCustomStages) {
+  LdvmPipeline pipeline(&engine_);
+  pipeline.WithVisualStage(
+      [](Engine&, const stats::DatasetProfile&) -> Result<viz::VisSpec> {
+        viz::VisSpec spec;
+        spec.kind = viz::VisKind::kChart;
+        spec.x_property = "http://lod.example/ontology/age";
+        return spec;
+      });
+  auto view = pipeline.Run();
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->spec.kind, viz::VisKind::kChart);
+}
+
+TEST_F(EngineFixture, ArchetypeProbesRespectFlags) {
+  // Fenfire: no capabilities — every probe must refuse.
+  ArchetypeAdapter fenfire(*FindSystem("Fenfire"), &engine_);
+  for (Capability cap : AllCapabilities()) {
+    auto r = fenfire.Probe(cap);
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kUnimplemented);
+  }
+
+  // SynopsViz archetype: aggregation/incremental/disk/recommendation/
+  // preferences/statistics all actually execute.
+  ArchetypeAdapter synopsviz(*FindSystem("SynopsViz"), &engine_);
+  for (Capability cap :
+       {Capability::kAggregation, Capability::kIncremental,
+        Capability::kDiskBased, Capability::kRecommendation,
+        Capability::kStatistics}) {
+    auto r = synopsviz.Probe(cap);
+    ASSERT_TRUE(r.ok()) << CapabilityName(cap) << ": "
+                        << r.status().ToString();
+    EXPECT_TRUE(r->executed);
+    EXPECT_GT(r->evidence, 0u);
+  }
+  // ...but sampling is refused (blank in the paper's table).
+  EXPECT_EQ(synopsviz.Probe(Capability::kSampling).status().code(),
+            StatusCode::kUnimplemented);
+}
+
+TEST_F(EngineFixture, LodvizRowExecutesEverything) {
+  ArchetypeAdapter self(LodvizSystem(1), &engine_);
+  auto results = self.ProbeAll();
+  ASSERT_EQ(results.size(), AllCapabilities().size());
+  for (const ProbeResult& r : results) {
+    EXPECT_TRUE(r.executed) << CapabilityName(r.capability);
+  }
+}
+
+TEST_F(EngineFixture, StreamingIngestInvalidatesDerivedState) {
+  auto triples = workload::GenerateSyntheticLodTriples(
+      {.num_entities = 50, .seed = 123});
+  rdf::VectorTripleSource source(triples);
+  size_t before = engine_.store().size();
+  size_t added = engine_.IngestStream(&source, 64);
+  EXPECT_GT(added, 100u);
+  EXPECT_EQ(engine_.store().size(), before + added);
+}
+
+}  // namespace
+}  // namespace lodviz::core

@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "geo/nanocube.h"
+
+namespace lodviz::geo {
+namespace {
+
+std::vector<StEvent> RandomEvents(size_t n, uint64_t seed,
+                                  uint16_t categories) {
+  Rng rng(seed);
+  std::vector<StEvent> events(n);
+  for (size_t i = 0; i < n; ++i) {
+    events[i].position = {rng.UniformDouble(), rng.UniformDouble()};
+    events[i].time = rng.UniformDouble();
+    events[i].category = static_cast<uint16_t>(rng.Uniform(categories));
+  }
+  return events;
+}
+
+/// Exact count over raw events for a tile-aligned window.
+uint64_t Naive(const std::vector<StEvent>& events, const TileScheme& scheme,
+               uint8_t zoom, const Rect& window, double t_lo, double t_hi,
+               std::optional<uint16_t> cat) {
+  // Expand the window to whole tiles (the cube's semantics).
+  auto tiles = scheme.TilesInRect(zoom, window);
+  uint64_t total = 0;
+  for (const StEvent& e : events) {
+    if (e.time < t_lo || e.time >= t_hi) continue;
+    if (cat.has_value() && e.category != *cat) continue;
+    TileKey mine = scheme.TileForPoint(zoom, e.position);
+    for (const TileKey& t : tiles) {
+      if (t == mine) {
+        ++total;
+        break;
+      }
+    }
+  }
+  return total;
+}
+
+SpatioTemporalCube::Options SmallOptions() {
+  SpatioTemporalCube::Options opts;
+  opts.max_zoom = 5;
+  opts.time_bins = 64;
+  opts.num_categories = 3;
+  return opts;
+}
+
+TEST(NanocubeTest, TotalAndFullDomain) {
+  auto events = RandomEvents(5000, 3, 3);
+  auto cube = SpatioTemporalCube::Build(events, SmallOptions());
+  ASSERT_TRUE(cube.ok());
+  EXPECT_EQ(cube->total_events(), 5000u);
+  EXPECT_EQ(cube->Count(0, {0, 0, 1, 1}, 0.0, 1.0), 5000u);
+  // Categories partition the total.
+  uint64_t by_cat = 0;
+  for (uint16_t c = 0; c < 3; ++c) {
+    by_cat += cube->Count(0, {0, 0, 1, 1}, 0.0, 1.0, c);
+  }
+  EXPECT_EQ(by_cat, 5000u);
+}
+
+class NanocubeAgreement : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(NanocubeAgreement, MatchesNaiveOnRandomQueries) {
+  auto opts = SmallOptions();
+  auto events = RandomEvents(3000, GetParam(), 3);
+  auto cube = SpatioTemporalCube::Build(events, opts);
+  ASSERT_TRUE(cube.ok());
+  TileScheme scheme(opts.domain);
+
+  Rng rng(100 + GetParam());
+  for (int q = 0; q < 30; ++q) {
+    uint8_t zoom = static_cast<uint8_t>(rng.Uniform(opts.max_zoom + 1));
+    double x = rng.UniformDouble(0, 0.8), y = rng.UniformDouble(0, 0.8);
+    Rect window{x, y, x + rng.UniformDouble(0.05, 0.2),
+                y + rng.UniformDouble(0.05, 0.2)};
+    double t_lo = rng.UniformDouble(0, 0.7);
+    double t_hi = t_lo + rng.UniformDouble(0.05, 0.3);
+    // Snap times to bin edges so exclusive-bound semantics line up.
+    t_lo = std::floor(t_lo * opts.time_bins) / opts.time_bins;
+    t_hi = std::ceil(t_hi * opts.time_bins) / opts.time_bins;
+    std::optional<uint16_t> cat;
+    if (rng.Bernoulli(0.5)) cat = static_cast<uint16_t>(rng.Uniform(3));
+
+    EXPECT_EQ(cube->Count(zoom, window, t_lo, t_hi, cat),
+              Naive(events, scheme, zoom, window, t_lo, t_hi, cat))
+        << "zoom " << int(zoom) << " q " << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NanocubeAgreement, ::testing::Range<uint64_t>(1, 6));
+
+TEST(NanocubeTest, TimeSeriesSumsToCount) {
+  auto opts = SmallOptions();
+  auto events = RandomEvents(4000, 9, 3);
+  auto cube = SpatioTemporalCube::Build(events, opts);
+  ASSERT_TRUE(cube.ok());
+  Rect window{0.2, 0.2, 0.6, 0.6};
+  auto series = cube->TimeSeries(3, window);
+  ASSERT_EQ(series.size(), opts.time_bins);
+  uint64_t sum = 0;
+  for (uint64_t v : series) sum += v;
+  EXPECT_EQ(sum, cube->Count(3, window, 0.0, 1.0));
+}
+
+TEST(NanocubeTest, ZoomLevelsAgree) {
+  // A tile-aligned window counts identically at every zoom.
+  auto opts = SmallOptions();
+  auto events = RandomEvents(3000, 11, 3);
+  auto cube = SpatioTemporalCube::Build(events, opts);
+  ASSERT_TRUE(cube.ok());
+  Rect quadrant{0.0, 0.0, 0.4999, 0.4999};  // strictly inside tiles
+  uint64_t at1 = cube->Count(1, quadrant, 0.0, 1.0);
+  uint64_t at3 = cube->Count(3, quadrant, 0.0, 1.0);
+  uint64_t at5 = cube->Count(5, quadrant, 0.0, 1.0);
+  EXPECT_EQ(at1, at3);
+  EXPECT_EQ(at3, at5);
+}
+
+TEST(NanocubeTest, ErrorsAndEdges) {
+  auto opts = SmallOptions();
+  EXPECT_FALSE(SpatioTemporalCube::Build(
+                   {{{0.5, 0.5}, 0.5, 99}}, opts)  // bad category
+                   .ok());
+  opts.num_categories = 0;
+  EXPECT_FALSE(SpatioTemporalCube::Build({}, opts).ok());
+  opts = SmallOptions();
+  opts.t1 = opts.t0;
+  EXPECT_FALSE(SpatioTemporalCube::Build({}, opts).ok());
+
+  auto cube = SpatioTemporalCube::Build({}, SmallOptions());
+  ASSERT_TRUE(cube.ok());
+  EXPECT_EQ(cube->Count(0, {0, 0, 1, 1}, 0.0, 1.0), 0u);
+  // Inverted time range.
+  EXPECT_EQ(cube->Count(0, {0, 0, 1, 1}, 0.8, 0.2), 0u);
+  // Zoom beyond the pyramid.
+  EXPECT_EQ(cube->Count(30, {0, 0, 1, 1}, 0.0, 1.0), 0u);
+}
+
+TEST(NanocubeTest, OutOfDomainEventsClampToEdges) {
+  auto opts = SmallOptions();
+  std::vector<StEvent> events = {
+      {{-5.0, 0.5}, -2.0, 0},  // clamps to left edge, first bin
+      {{5.0, 0.5}, 2.0, 0},    // clamps to right edge, last bin
+  };
+  auto cube = SpatioTemporalCube::Build(events, opts);
+  ASSERT_TRUE(cube.ok());
+  EXPECT_EQ(cube->Count(0, {0, 0, 1, 1}, 0.0, 1.0), 2u);
+}
+
+TEST(NanocubeTest, MemoryIsSparse) {
+  // Clustered events touch few tiles: memory far below the dense bound.
+  Rng rng(13);
+  std::vector<StEvent> events(20000);
+  for (auto& e : events) {
+    e.position = {0.5 + rng.Normal(0, 0.01), 0.5 + rng.Normal(0, 0.01)};
+    e.time = rng.UniformDouble();
+    e.category = 0;
+  }
+  auto opts = SmallOptions();
+  opts.max_zoom = 8;
+  auto cube = SpatioTemporalCube::Build(events, opts);
+  ASSERT_TRUE(cube.ok());
+  size_t dense_bound = (1u << 16) * 3 * 64 * 8;  // zoom-8 dense grid
+  EXPECT_LT(cube->MemoryUsage(), dense_bound / 10);
+}
+
+}  // namespace
+}  // namespace lodviz::geo

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "rdf/term.h"
+#include "rdf/vocab.h"
+
+namespace lodviz::rdf {
+namespace {
+
+TEST(TermTest, Constructors) {
+  Term iri = Term::Iri("http://example.org/a");
+  EXPECT_TRUE(iri.is_iri());
+  EXPECT_EQ(iri.ToNTriples(), "<http://example.org/a>");
+
+  Term blank = Term::Blank("b0");
+  EXPECT_TRUE(blank.is_blank());
+  EXPECT_EQ(blank.ToNTriples(), "_:b0");
+
+  Term plain = Term::Literal("hello");
+  EXPECT_TRUE(plain.is_literal());
+  EXPECT_EQ(plain.ToNTriples(), "\"hello\"");
+
+  Term typed = Term::Literal("5", vocab::kXsdInteger);
+  EXPECT_EQ(typed.ToNTriples(),
+            "\"5\"^^<http://www.w3.org/2001/XMLSchema#integer>");
+
+  Term lang = Term::LangLiteral("bonjour", "fr");
+  EXPECT_EQ(lang.ToNTriples(), "\"bonjour\"@fr");
+}
+
+TEST(TermTest, TypedLiteralHelpers) {
+  EXPECT_EQ(Term::IntLiteral(-42).lexical, "-42");
+  EXPECT_EQ(Term::BoolLiteral(true).lexical, "true");
+  EXPECT_DOUBLE_EQ(Term::DoubleLiteral(2.5).AsDouble().ValueOrDie(), 2.5);
+}
+
+TEST(TermTest, NumericDetection) {
+  EXPECT_TRUE(Term::Literal("3.14", vocab::kXsdDouble).IsNumericLiteral());
+  EXPECT_TRUE(Term::Literal("42", vocab::kXsdInteger).IsNumericLiteral());
+  EXPECT_TRUE(Term::Literal("-1e9").IsNumericLiteral());  // untyped numeric
+  EXPECT_FALSE(Term::Literal("abc").IsNumericLiteral());
+  EXPECT_FALSE(Term::Iri("http://x/3").IsNumericLiteral());
+  EXPECT_FALSE(Term::LangLiteral("3", "en").IsNumericLiteral());
+}
+
+TEST(TermTest, TemporalDetection) {
+  EXPECT_TRUE(
+      Term::Literal("2015-01-01", vocab::kXsdDate).IsTemporalLiteral());
+  EXPECT_TRUE(Term::Literal("2015-01-01T10:00:00Z", vocab::kXsdDateTime)
+                  .IsTemporalLiteral());
+  EXPECT_FALSE(Term::Literal("2015-01-01").IsTemporalLiteral());
+}
+
+TEST(TermTest, AsDoubleErrors) {
+  EXPECT_FALSE(Term::Literal("xyz").AsDouble().ok());
+  EXPECT_FALSE(Term::Iri("http://a").AsDouble().ok());
+  EXPECT_FALSE(Term::Literal("1.5extra").AsDouble().ok());
+}
+
+struct EscapeCase {
+  std::string raw;
+};
+
+class EscapeRoundTrip : public ::testing::TestWithParam<EscapeCase> {};
+
+TEST_P(EscapeRoundTrip, RoundTrips) {
+  const std::string& raw = GetParam().raw;
+  std::string escaped = EscapeNTriplesString(raw);
+  Result<std::string> back = UnescapeNTriplesString(escaped);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back.ValueOrDie(), raw);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Strings, EscapeRoundTrip,
+    ::testing::Values(EscapeCase{""}, EscapeCase{"plain"},
+                      EscapeCase{"quote\"inside"}, EscapeCase{"back\\slash"},
+                      EscapeCase{"tab\tand\nnewline\r"},
+                      EscapeCase{"mixed \"\\\t\n all"},
+                      EscapeCase{"utf8 \xC3\xA9\xE2\x82\xAC intact"}));
+
+TEST(EscapeTest, UnescapeUnicode) {
+  EXPECT_EQ(UnescapeNTriplesString("\\u0041").ValueOrDie(), "A");
+  EXPECT_EQ(UnescapeNTriplesString("\\u00e9").ValueOrDie(), "\xC3\xA9");
+  EXPECT_EQ(UnescapeNTriplesString("\\U0001F600").ValueOrDie(),
+            "\xF0\x9F\x98\x80");
+}
+
+TEST(EscapeTest, MalformedEscapesError) {
+  EXPECT_FALSE(UnescapeNTriplesString("dangling\\").ok());
+  EXPECT_FALSE(UnescapeNTriplesString("\\q").ok());
+  EXPECT_FALSE(UnescapeNTriplesString("\\u00").ok());
+  EXPECT_FALSE(UnescapeNTriplesString("\\u00zz").ok());
+}
+
+struct DateCase {
+  std::string text;
+  int64_t expected;
+};
+
+class DateTimeParse : public ::testing::TestWithParam<DateCase> {};
+
+TEST_P(DateTimeParse, ParsesToEpoch) {
+  Result<int64_t> r = ParseDateTime(GetParam().text);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.ValueOrDie(), GetParam().expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Dates, DateTimeParse,
+    ::testing::Values(DateCase{"1970-01-01", 0},
+                      DateCase{"1970-01-02", 86400},
+                      DateCase{"1970-01-01T00:00:01Z", 1},
+                      DateCase{"2000-01-01T00:00:00Z", 946684800},
+                      DateCase{"2016-03-15T12:30:45Z", 1458045045},
+                      DateCase{"1969-12-31", -86400},
+                      DateCase{"2016-02-29", 1456704000}));  // leap day
+
+TEST(DateTimeTest, FormatsBackToCanonical) {
+  EXPECT_EQ(FormatDateTime(0), "1970-01-01T00:00:00Z");
+  EXPECT_EQ(FormatDateTime(1458045045), "2016-03-15T12:30:45Z");
+  EXPECT_EQ(FormatDateTime(-86400), "1969-12-31T00:00:00Z");
+}
+
+TEST(DateTimeTest, RoundTripsThroughFormat) {
+  for (int64_t t : {int64_t{0}, int64_t{123456789}, int64_t{-1000000},
+                    int64_t{4102444800}}) {  // year 2100
+    EXPECT_EQ(ParseDateTime(FormatDateTime(t)).ValueOrDie(), t);
+  }
+}
+
+TEST(DateTimeTest, RejectsMalformed) {
+  EXPECT_FALSE(ParseDateTime("not-a-date").ok());
+  EXPECT_FALSE(ParseDateTime("2016-13-01").ok());
+  EXPECT_FALSE(ParseDateTime("2016-02-30").ok());
+  EXPECT_FALSE(ParseDateTime("2015-02-29").ok());  // not a leap year
+  EXPECT_FALSE(ParseDateTime("2016-01-01T25:00:00Z").ok());
+  EXPECT_FALSE(ParseDateTime("2016-01-01Textra").ok());
+  EXPECT_FALSE(ParseDateTime("2016-01-01T00:00:00Zjunk").ok());
+}
+
+TEST(TermTest, DateTimeLiteralRoundTrip) {
+  Term t = Term::DateTimeLiteral(1458045045);
+  EXPECT_TRUE(t.IsTemporalLiteral());
+  EXPECT_EQ(t.AsEpochSeconds().ValueOrDie(), 1458045045);
+}
+
+TEST(TermTest, Equality) {
+  EXPECT_EQ(Term::Iri("a"), Term::Iri("a"));
+  EXPECT_NE(Term::Iri("a"), Term::Literal("a"));
+  EXPECT_NE(Term::Literal("a", vocab::kXsdString), Term::Literal("a"));
+  EXPECT_NE(Term::LangLiteral("a", "en"), Term::LangLiteral("a", "de"));
+}
+
+}  // namespace
+}  // namespace lodviz::rdf

@@ -1,0 +1,433 @@
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "common/random.h"
+#include "rdf/triple_store.h"
+#include "storage/btree.h"
+#include "storage/buffer_pool.h"
+#include "storage/cracking.h"
+#include "storage/disk_triple_store.h"
+#include "storage/page_file.h"
+
+namespace lodviz::storage {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/lodviz_" + name + "_" +
+         std::to_string(::getpid());
+}
+
+TEST(PageFileTest, AllocateWriteRead) {
+  PageFile file;
+  ASSERT_TRUE(file.Open(TempPath("pf1"), /*truncate=*/true).ok());
+  auto p0 = file.AllocatePage();
+  auto p1 = file.AllocatePage();
+  ASSERT_TRUE(p0.ok() && p1.ok());
+  EXPECT_EQ(p0.ValueOrDie(), 0u);
+  EXPECT_EQ(p1.ValueOrDie(), 1u);
+  EXPECT_EQ(file.num_pages(), 2u);
+
+  char out[kPageSize];
+  for (size_t i = 0; i < kPageSize; ++i) out[i] = static_cast<char>(i % 251);
+  ASSERT_TRUE(file.WritePage(1, out).ok());
+  char in[kPageSize] = {};
+  ASSERT_TRUE(file.ReadPage(1, in).ok());
+  EXPECT_EQ(0, std::memcmp(out, in, kPageSize));
+  EXPECT_GE(file.reads(), 1u);
+  EXPECT_GE(file.writes(), 1u);
+  ASSERT_TRUE(file.Close().ok());
+}
+
+TEST(PageFileTest, ReadPastEndFails) {
+  PageFile file;
+  ASSERT_TRUE(file.Open(TempPath("pf2"), true).ok());
+  char buf[kPageSize];
+  EXPECT_FALSE(file.ReadPage(5, buf).ok());
+}
+
+TEST(BufferPoolTest, HitAndMissAccounting) {
+  PageFile file;
+  ASSERT_TRUE(file.Open(TempPath("bp1"), true).ok());
+  BufferPool pool(&file, 4);
+  auto p = pool.NewPage();
+  ASSERT_TRUE(p.ok());
+  PageId id = p->page_id();
+  p->data()[0] = 42;
+  p->MarkDirty();
+  p->Release();
+
+  auto again = pool.Fetch(id);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->data()[0], 42);
+  EXPECT_EQ(pool.hits(), 1u);
+  EXPECT_EQ(pool.misses(), 0u);
+}
+
+TEST(BufferPoolTest, EvictsLruAndWritesBackDirty) {
+  PageFile file;
+  ASSERT_TRUE(file.Open(TempPath("bp2"), true).ok());
+  BufferPool pool(&file, 4);
+  std::vector<PageId> ids;
+  for (int i = 0; i < 10; ++i) {
+    auto p = pool.NewPage();
+    ASSERT_TRUE(p.ok());
+    p->data()[0] = static_cast<uint8_t>(i);
+    p->MarkDirty();
+    ids.push_back(p->page_id());
+  }
+  EXPECT_GT(pool.evictions(), 0u);
+  // All pages must read back their data even after eviction.
+  for (int i = 0; i < 10; ++i) {
+    auto p = pool.Fetch(ids[i]);
+    ASSERT_TRUE(p.ok());
+    EXPECT_EQ(p->data()[0], static_cast<uint8_t>(i));
+  }
+}
+
+TEST(BufferPoolTest, AllPinnedIsResourceExhausted) {
+  PageFile file;
+  ASSERT_TRUE(file.Open(TempPath("bp3"), true).ok());
+  BufferPool pool(&file, 4);
+  std::vector<PageRef> pins;
+  for (int i = 0; i < 4; ++i) {
+    auto p = pool.NewPage();
+    ASSERT_TRUE(p.ok());
+    pins.push_back(std::move(p).ValueOrDie());
+  }
+  auto fifth = pool.NewPage();
+  EXPECT_FALSE(fifth.ok());
+  EXPECT_EQ(fifth.status().code(), StatusCode::kResourceExhausted);
+  pins.clear();  // unpin
+  EXPECT_TRUE(pool.NewPage().ok());
+}
+
+TEST(BufferPoolTest, FlushAllPersists) {
+  std::string path = TempPath("bp4");
+  PageId id;
+  {
+    PageFile file;
+    ASSERT_TRUE(file.Open(path, true).ok());
+    BufferPool pool(&file, 4);
+    auto p = pool.NewPage();
+    ASSERT_TRUE(p.ok());
+    id = p->page_id();
+    p->data()[100] = 77;
+    p->MarkDirty();
+    p->Release();
+    ASSERT_TRUE(pool.FlushAll().ok());
+  }
+  PageFile file;
+  ASSERT_TRUE(file.Open(path, false).ok());
+  char buf[kPageSize];
+  ASSERT_TRUE(file.ReadPage(id, buf).ok());
+  EXPECT_EQ(buf[100], 77);
+}
+
+Key128 K(uint64_t hi, uint64_t lo = 0) { return {hi, lo}; }
+
+TEST(BTreeTest, InsertAndLookupSmall) {
+  PageFile file;
+  ASSERT_TRUE(file.Open(TempPath("bt1"), true).ok());
+  BufferPool pool(&file, 64);
+  auto tree = BTree::Create(&pool);
+  ASSERT_TRUE(tree.ok());
+  ASSERT_TRUE(tree->Insert(K(5), 50).ok());
+  ASSERT_TRUE(tree->Insert(K(3), 30).ok());
+  ASSERT_TRUE(tree->Insert(K(9), 90).ok());
+  EXPECT_EQ(tree->Lookup(K(3)).ValueOrDie(), 30u);
+  EXPECT_EQ(tree->Lookup(K(5)).ValueOrDie(), 50u);
+  EXPECT_FALSE(tree->Lookup(K(4)).ok());
+  EXPECT_EQ(tree->size(), 3u);
+}
+
+TEST(BTreeTest, OverwriteKeepsSize) {
+  PageFile file;
+  ASSERT_TRUE(file.Open(TempPath("bt2"), true).ok());
+  BufferPool pool(&file, 64);
+  auto tree = BTree::Create(&pool);
+  ASSERT_TRUE(tree.ok());
+  ASSERT_TRUE(tree->Insert(K(1), 10).ok());
+  ASSERT_TRUE(tree->Insert(K(1), 11).ok());
+  EXPECT_EQ(tree->size(), 1u);
+  EXPECT_EQ(tree->Lookup(K(1)).ValueOrDie(), 11u);
+}
+
+/// Model check: random inserts + range scans vs std::map, with a pool far
+/// smaller than the data so splits and evictions are exercised.
+class BTreeModelCheck : public ::testing::TestWithParam<int> {};
+
+TEST_P(BTreeModelCheck, AgreesWithStdMap) {
+  PageFile file;
+  ASSERT_TRUE(
+      file.Open(TempPath("btm" + std::to_string(GetParam())), true).ok());
+  BufferPool pool(&file, 16);
+  auto tree_r = BTree::Create(&pool);
+  ASSERT_TRUE(tree_r.ok());
+  BTree& tree = tree_r.ValueOrDie();
+
+  Rng rng(GetParam());
+  std::map<std::pair<uint64_t, uint64_t>, uint64_t> model;
+  for (int i = 0; i < 20000; ++i) {
+    Key128 key = K(rng.Uniform(5000), rng.Uniform(4));
+    uint64_t value = rng.Next();
+    ASSERT_TRUE(tree.Insert(key, value).ok());
+    model[{key.hi, key.lo}] = value;
+  }
+  EXPECT_EQ(tree.size(), model.size());
+
+  // Point lookups.
+  for (int i = 0; i < 500; ++i) {
+    Key128 key = K(rng.Uniform(5000), rng.Uniform(4));
+    auto it = model.find({key.hi, key.lo});
+    auto r = tree.Lookup(key);
+    if (it == model.end()) {
+      EXPECT_FALSE(r.ok());
+    } else {
+      ASSERT_TRUE(r.ok());
+      EXPECT_EQ(r.ValueOrDie(), it->second);
+    }
+  }
+
+  // Range scans: ordered and complete.
+  for (int i = 0; i < 50; ++i) {
+    uint64_t a = rng.Uniform(5000), b = rng.Uniform(5000);
+    if (a > b) std::swap(a, b);
+    Key128 lo = K(a, 0), hi = K(b, ~0ULL);
+    std::vector<std::pair<uint64_t, uint64_t>> got;
+    ASSERT_TRUE(tree.RangeScan(lo, hi, [&](const BTree::Item& item) {
+                      got.emplace_back(item.key.hi, item.key.lo);
+                      return true;
+                    }).ok());
+    std::vector<std::pair<uint64_t, uint64_t>> want;
+    for (auto it = model.lower_bound({a, 0});
+         it != model.end() && it->first.first <= b; ++it) {
+      want.push_back(it->first);
+    }
+    EXPECT_EQ(got, want);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BTreeModelCheck, ::testing::Range(1, 4));
+
+TEST(BTreeTest, BulkLoadEqualsInserts) {
+  PageFile file;
+  ASSERT_TRUE(file.Open(TempPath("bt3"), true).ok());
+  BufferPool pool(&file, 32);
+
+  std::vector<BTree::Item> items;
+  for (uint64_t i = 0; i < 5000; ++i) items.push_back({K(i * 3, i), i});
+  auto tree = BTree::BulkLoad(&pool, items);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->size(), 5000u);
+  for (uint64_t i : {0ULL, 17ULL, 4999ULL}) {
+    EXPECT_EQ(tree->Lookup(K(i * 3, i)).ValueOrDie(), i);
+  }
+  EXPECT_FALSE(tree->Lookup(K(1, 0)).ok());
+
+  // Full scan yields everything in order.
+  uint64_t n = 0;
+  Key128 prev = Key128::Min();
+  ASSERT_TRUE(tree->RangeScan(Key128::Min(), Key128::Max(),
+                              [&](const BTree::Item& item) {
+                                EXPECT_TRUE(prev <= item.key);
+                                prev = item.key;
+                                ++n;
+                                return true;
+                              })
+                  .ok());
+  EXPECT_EQ(n, 5000u);
+
+  // Inserts still work after bulk load.
+  ASSERT_TRUE(tree->Insert(K(1, 0), 999).ok());
+  EXPECT_EQ(tree->Lookup(K(1, 0)).ValueOrDie(), 999u);
+  EXPECT_EQ(tree->size(), 5001u);
+}
+
+TEST(BTreeTest, EmptyBulkLoad) {
+  PageFile file;
+  ASSERT_TRUE(file.Open(TempPath("bt4"), true).ok());
+  BufferPool pool(&file, 16);
+  auto tree = BTree::BulkLoad(&pool, {});
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->size(), 0u);
+  EXPECT_FALSE(tree->Lookup(K(1)).ok());
+}
+
+TEST(DiskTripleStoreTest, ScanAgreesWithMemoryStore) {
+  Rng rng(77);
+  rdf::TripleStore mem;
+  std::vector<rdf::Triple> triples;
+  for (int i = 0; i < 3000; ++i) {
+    rdf::Triple t(static_cast<rdf::TermId>(1 + rng.Uniform(100)),
+                  static_cast<rdf::TermId>(1 + rng.Uniform(8)),
+                  static_cast<rdf::TermId>(1 + rng.Uniform(200)));
+    mem.AddEncoded(t);
+    triples.push_back(t);
+  }
+  auto disk_r = DiskTripleStore::Create(TempPath("dts1"), /*pool_pages=*/32);
+  ASSERT_TRUE(disk_r.ok());
+  DiskTripleStore& disk = **disk_r;
+  ASSERT_TRUE(disk.BulkLoad(triples).ok());
+  mem.Compact();
+  EXPECT_EQ(disk.size(), mem.Count(rdf::TriplePattern()));
+
+  for (int mask = 0; mask < 8; ++mask) {
+    rdf::TriplePattern pat;
+    if (mask & 1) pat.s = static_cast<rdf::TermId>(1 + rng.Uniform(100));
+    if (mask & 2) pat.p = static_cast<rdf::TermId>(1 + rng.Uniform(8));
+    if (mask & 4) pat.o = static_cast<rdf::TermId>(1 + rng.Uniform(200));
+    EXPECT_EQ(disk.Count(pat), mem.Count(pat)) << "mask=" << mask;
+  }
+}
+
+TEST(DiskTripleStoreTest, InsertAfterBulkLoad) {
+  auto disk_r = DiskTripleStore::Create(TempPath("dts2"), 32);
+  ASSERT_TRUE(disk_r.ok());
+  DiskTripleStore& disk = **disk_r;
+  ASSERT_TRUE(disk.BulkLoad({{1, 2, 3}, {4, 5, 6}}).ok());
+  ASSERT_TRUE(disk.Insert({7, 8, 9}).ok());
+  EXPECT_EQ(disk.Count(rdf::TriplePattern()), 3u);
+  EXPECT_EQ(disk.Count({7, 8, 9}), 1u);
+  EXPECT_EQ(disk.Count({rdf::kInvalidTermId, 8, rdf::kInvalidTermId}), 1u);
+}
+
+TEST(DiskTripleStoreTest, BoundedMemory) {
+  // 50k triples through a 64-page (512 KiB) pool: memory stays capped.
+  Rng rng(5);
+  std::vector<rdf::Triple> triples;
+  for (int i = 0; i < 50000; ++i) {
+    triples.emplace_back(static_cast<rdf::TermId>(1 + rng.Uniform(10000)),
+                         static_cast<rdf::TermId>(1 + rng.Uniform(20)),
+                         static_cast<rdf::TermId>(1 + rng.Uniform(10000)));
+  }
+  auto disk_r = DiskTripleStore::Create(TempPath("dts3"), 64);
+  ASSERT_TRUE(disk_r.ok());
+  DiskTripleStore& disk = **disk_r;
+  ASSERT_TRUE(disk.BulkLoad(triples).ok());
+  EXPECT_LE(disk.MemoryUsage(), 64u * kPageSize);
+  EXPECT_GT(disk.pool().evictions(), 0u);
+  // Queries still work with the tiny pool.
+  EXPECT_GT(disk.Count({rdf::kInvalidTermId, 1, rdf::kInvalidTermId}), 0u);
+}
+
+TEST(CrackingTest, ResultsMatchSortedBaseline) {
+  Rng rng(11);
+  std::vector<double> values;
+  for (int i = 0; i < 20000; ++i) values.push_back(rng.UniformDouble(0, 1000));
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+
+  CrackerColumn cracker(values);
+  for (int q = 0; q < 100; ++q) {
+    double lo = rng.UniformDouble(0, 900);
+    double hi = lo + rng.UniformDouble(0, 100);
+    uint64_t expected = static_cast<uint64_t>(
+        std::lower_bound(sorted.begin(), sorted.end(), hi) -
+        std::lower_bound(sorted.begin(), sorted.end(), lo));
+    EXPECT_EQ(cracker.CountRange(lo, hi), expected) << "query " << q;
+  }
+  EXPECT_GT(cracker.num_cracks(), 0u);
+}
+
+TEST(CrackingTest, RangeReturnsExactValues) {
+  CrackerColumn cracker({5, 1, 9, 3, 7, 2, 8});
+  std::vector<double> got = cracker.Range(3, 8);
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, (std::vector<double>{3, 5, 7}));
+  EXPECT_DOUBLE_EQ(cracker.SumRange(3, 8), 15.0);
+}
+
+TEST(CrackingTest, WorkDecreasesOverSession) {
+  // The adaptive-indexing property: later queries touch fewer elements.
+  Rng rng(13);
+  std::vector<double> values;
+  for (int i = 0; i < 100000; ++i) values.push_back(rng.UniformDouble(0, 1.0));
+  CrackerColumn cracker(values);
+
+  uint64_t before_first = cracker.elements_touched();
+  cracker.CountRange(0.4, 0.6);
+  uint64_t first_cost = cracker.elements_touched() - before_first;
+
+  for (int q = 0; q < 50; ++q) {
+    double lo = rng.UniformDouble(0, 0.9);
+    cracker.CountRange(lo, lo + 0.05);
+  }
+  uint64_t before_last = cracker.elements_touched();
+  cracker.CountRange(0.41, 0.59);
+  uint64_t last_cost = cracker.elements_touched() - before_last;
+  EXPECT_LT(last_cost, first_cost / 2);
+}
+
+/// Failure injection: a PageFile whose reads start failing after a set
+/// number of operations. Verifies errors propagate (not crash) through
+/// the buffer pool and B+-tree.
+class FlakyPageFile : public PageFile {
+ public:
+  explicit FlakyPageFile(uint64_t fail_after) : fail_after_(fail_after) {}
+
+  Status ReadPage(PageId id, void* buf) override {
+    if (ops_++ >= fail_after_) {
+      return Status::IoError("injected read failure");
+    }
+    return PageFile::ReadPage(id, buf);
+  }
+
+ private:
+  uint64_t fail_after_;
+  uint64_t ops_ = 0;
+};
+
+TEST(FailureInjectionTest, ReadErrorsPropagateThroughBTree) {
+  FlakyPageFile file(/*fail_after=*/40);
+  ASSERT_TRUE(file.Open(TempPath("flaky1"), true).ok());
+  BufferPool pool(&file, 8);  // tiny pool forces re-reads
+  auto tree = BTree::Create(&pool);
+  ASSERT_TRUE(tree.ok());
+  Rng rng(1);
+  Status failure = Status::OK();
+  for (int i = 0; i < 100000; ++i) {
+    Status s = tree->Insert({rng.Next(), 0}, 1);
+    if (!s.ok()) {
+      failure = s;
+      break;
+    }
+  }
+  ASSERT_FALSE(failure.ok()) << "injected failure never surfaced";
+  EXPECT_EQ(failure.code(), StatusCode::kIoError);
+}
+
+TEST(FailureInjectionTest, LookupReportsIoError) {
+  FlakyPageFile file(/*fail_after=*/1000000);  // healthy during build
+  ASSERT_TRUE(file.Open(TempPath("flaky2"), true).ok());
+  auto pool = std::make_unique<BufferPool>(&file, 8);
+  std::vector<BTree::Item> items;
+  for (uint64_t i = 0; i < 50000; ++i) items.push_back({{i, 0}, i});
+  auto tree = BTree::BulkLoad(pool.get(), items);
+  ASSERT_TRUE(tree.ok());
+
+  // Rebuild the pool over a now-failing file view: all reads fail.
+  FlakyPageFile dead(/*fail_after=*/0);
+  ASSERT_TRUE(dead.Open(TempPath("flaky2"), false).ok());
+  BufferPool dead_pool(&dead, 8);
+  BTree attached = BTree::Attach(&dead_pool, tree->root(), tree->size());
+  auto r = attached.Lookup({7, 0});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+TEST(CrackingTest, RepeatedQueryIsFree) {
+  CrackerColumn cracker({4, 2, 6, 8, 1});
+  cracker.CountRange(2, 6);
+  uint64_t touched = cracker.elements_touched();
+  cracker.CountRange(2, 6);
+  EXPECT_EQ(cracker.elements_touched(), touched);
+}
+
+}  // namespace
+}  // namespace lodviz::storage
