@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/a1_hetree_ablation"
+  "../bench/a1_hetree_ablation.pdb"
+  "CMakeFiles/a1_hetree_ablation.dir/a1_hetree_ablation.cc.o"
+  "CMakeFiles/a1_hetree_ablation.dir/a1_hetree_ablation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a1_hetree_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/a2_spatial_ablation"
+  "../bench/a2_spatial_ablation.pdb"
+  "CMakeFiles/a2_spatial_ablation.dir/a2_spatial_ablation.cc.o"
+  "CMakeFiles/a2_spatial_ablation.dir/a2_spatial_ablation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a2_spatial_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

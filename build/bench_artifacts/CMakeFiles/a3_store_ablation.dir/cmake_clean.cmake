@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/a3_store_ablation"
+  "../bench/a3_store_ablation.pdb"
+  "CMakeFiles/a3_store_ablation.dir/a3_store_ablation.cc.o"
+  "CMakeFiles/a3_store_ablation.dir/a3_store_ablation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a3_store_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

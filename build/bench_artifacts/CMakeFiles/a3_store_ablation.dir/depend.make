@@ -1,0 +1,2 @@
+# Empty dependencies file for a3_store_ablation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/e10_sparql"
+  "../bench/e10_sparql.pdb"
+  "CMakeFiles/e10_sparql.dir/e10_sparql.cc.o"
+  "CMakeFiles/e10_sparql.dir/e10_sparql.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e10_sparql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/e11_cube"
+  "../bench/e11_cube.pdb"
+  "CMakeFiles/e11_cube.dir/e11_cube.cc.o"
+  "CMakeFiles/e11_cube.dir/e11_cube.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e11_cube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/e12_bundling"
+  "../bench/e12_bundling.pdb"
+  "CMakeFiles/e12_bundling.dir/e12_bundling.cc.o"
+  "CMakeFiles/e12_bundling.dir/e12_bundling.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e12_bundling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/e13_nanocube.cc" "bench_artifacts/CMakeFiles/e13_nanocube.dir/e13_nanocube.cc.o" "gcc" "bench_artifacts/CMakeFiles/e13_nanocube.dir/e13_nanocube.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lodviz_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/lodviz_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparql/CMakeFiles/lodviz_sparql.dir/DependInfo.cmake"
+  "/root/repo/build/src/cube/CMakeFiles/lodviz_cube.dir/DependInfo.cmake"
+  "/root/repo/build/src/rec/CMakeFiles/lodviz_rec.dir/DependInfo.cmake"
+  "/root/repo/build/src/explore/CMakeFiles/lodviz_explore.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/lodviz_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/lodviz_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/viz/CMakeFiles/lodviz_viz.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/lodviz_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/lodviz_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/hier/CMakeFiles/lodviz_hier.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdf/CMakeFiles/lodviz_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lodviz_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

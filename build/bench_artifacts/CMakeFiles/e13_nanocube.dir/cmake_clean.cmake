@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/e13_nanocube"
+  "../bench/e13_nanocube.pdb"
+  "CMakeFiles/e13_nanocube.dir/e13_nanocube.cc.o"
+  "CMakeFiles/e13_nanocube.dir/e13_nanocube.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e13_nanocube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

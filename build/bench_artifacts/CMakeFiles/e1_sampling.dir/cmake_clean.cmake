@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/e1_sampling"
+  "../bench/e1_sampling.pdb"
+  "CMakeFiles/e1_sampling.dir/e1_sampling.cc.o"
+  "CMakeFiles/e1_sampling.dir/e1_sampling.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e1_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/e2_aggregation_m4"
+  "../bench/e2_aggregation_m4.pdb"
+  "CMakeFiles/e2_aggregation_m4.dir/e2_aggregation_m4.cc.o"
+  "CMakeFiles/e2_aggregation_m4.dir/e2_aggregation_m4.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2_aggregation_m4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

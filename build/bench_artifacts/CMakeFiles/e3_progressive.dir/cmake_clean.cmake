@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/e3_progressive"
+  "../bench/e3_progressive.pdb"
+  "CMakeFiles/e3_progressive.dir/e3_progressive.cc.o"
+  "CMakeFiles/e3_progressive.dir/e3_progressive.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e3_progressive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/e4_adaptive_indexing"
+  "../bench/e4_adaptive_indexing.pdb"
+  "CMakeFiles/e4_adaptive_indexing.dir/e4_adaptive_indexing.cc.o"
+  "CMakeFiles/e4_adaptive_indexing.dir/e4_adaptive_indexing.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e4_adaptive_indexing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/e5_hetree"
+  "../bench/e5_hetree.pdb"
+  "CMakeFiles/e5_hetree.dir/e5_hetree.cc.o"
+  "CMakeFiles/e5_hetree.dir/e5_hetree.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e5_hetree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/e6_graph_abstraction"
+  "../bench/e6_graph_abstraction.pdb"
+  "CMakeFiles/e6_graph_abstraction.dir/e6_graph_abstraction.cc.o"
+  "CMakeFiles/e6_graph_abstraction.dir/e6_graph_abstraction.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e6_graph_abstraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

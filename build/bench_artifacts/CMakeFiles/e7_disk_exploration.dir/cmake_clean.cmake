@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/e7_disk_exploration"
+  "../bench/e7_disk_exploration.pdb"
+  "CMakeFiles/e7_disk_exploration.dir/e7_disk_exploration.cc.o"
+  "CMakeFiles/e7_disk_exploration.dir/e7_disk_exploration.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e7_disk_exploration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

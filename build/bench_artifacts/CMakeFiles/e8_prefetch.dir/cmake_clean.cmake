@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/e8_prefetch"
+  "../bench/e8_prefetch.pdb"
+  "CMakeFiles/e8_prefetch.dir/e8_prefetch.cc.o"
+  "CMakeFiles/e8_prefetch.dir/e8_prefetch.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e8_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/e9_recommendation"
+  "../bench/e9_recommendation.pdb"
+  "CMakeFiles/e9_recommendation.dir/e9_recommendation.cc.o"
+  "CMakeFiles/e9_recommendation.dir/e9_recommendation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e9_recommendation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

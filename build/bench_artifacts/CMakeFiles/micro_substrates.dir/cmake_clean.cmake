@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_substrates"
+  "../bench/micro_substrates.pdb"
+  "CMakeFiles/micro_substrates.dir/micro_substrates.cc.o"
+  "CMakeFiles/micro_substrates.dir/micro_substrates.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_substrates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_generic_systems"
+  "../bench/table1_generic_systems.pdb"
+  "CMakeFiles/table1_generic_systems.dir/table1_generic_systems.cc.o"
+  "CMakeFiles/table1_generic_systems.dir/table1_generic_systems.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_generic_systems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_graph_systems"
+  "../bench/table2_graph_systems.pdb"
+  "CMakeFiles/table2_graph_systems.dir/table2_graph_systems.cc.o"
+  "CMakeFiles/table2_graph_systems.dir/table2_graph_systems.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_graph_systems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

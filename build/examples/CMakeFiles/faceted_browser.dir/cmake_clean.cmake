@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faceted_browser.dir/faceted_browser.cpp.o"
+  "CMakeFiles/faceted_browser.dir/faceted_browser.cpp.o.d"
+  "faceted_browser"
+  "faceted_browser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faceted_browser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/progressive_analytics.dir/progressive_analytics.cpp.o"
+  "CMakeFiles/progressive_analytics.dir/progressive_analytics.cpp.o.d"
+  "progressive_analytics"
+  "progressive_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/progressive_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spatiotemporal_explorer.dir/spatiotemporal_explorer.cpp.o"
+  "CMakeFiles/spatiotemporal_explorer.dir/spatiotemporal_explorer.cpp.o.d"
+  "spatiotemporal_explorer"
+  "spatiotemporal_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spatiotemporal_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/statistics_dashboard.dir/statistics_dashboard.cpp.o"
+  "CMakeFiles/statistics_dashboard.dir/statistics_dashboard.cpp.o.d"
+  "statistics_dashboard"
+  "statistics_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/statistics_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wod_browser.dir/wod_browser.cpp.o"
+  "CMakeFiles/wod_browser.dir/wod_browser.cpp.o.d"
+  "wod_browser"
+  "wod_browser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wod_browser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lodviz_common.dir/logging.cc.o"
+  "CMakeFiles/lodviz_common.dir/logging.cc.o.d"
+  "CMakeFiles/lodviz_common.dir/random.cc.o"
+  "CMakeFiles/lodviz_common.dir/random.cc.o.d"
+  "CMakeFiles/lodviz_common.dir/status.cc.o"
+  "CMakeFiles/lodviz_common.dir/status.cc.o.d"
+  "CMakeFiles/lodviz_common.dir/string_util.cc.o"
+  "CMakeFiles/lodviz_common.dir/string_util.cc.o.d"
+  "CMakeFiles/lodviz_common.dir/table_printer.cc.o"
+  "CMakeFiles/lodviz_common.dir/table_printer.cc.o.d"
+  "liblodviz_common.a"
+  "liblodviz_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lodviz_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lodviz_core.dir/archetype.cc.o"
+  "CMakeFiles/lodviz_core.dir/archetype.cc.o.d"
+  "CMakeFiles/lodviz_core.dir/capabilities.cc.o"
+  "CMakeFiles/lodviz_core.dir/capabilities.cc.o.d"
+  "CMakeFiles/lodviz_core.dir/engine.cc.o"
+  "CMakeFiles/lodviz_core.dir/engine.cc.o.d"
+  "CMakeFiles/lodviz_core.dir/ldvm.cc.o"
+  "CMakeFiles/lodviz_core.dir/ldvm.cc.o.d"
+  "CMakeFiles/lodviz_core.dir/registry.cc.o"
+  "CMakeFiles/lodviz_core.dir/registry.cc.o.d"
+  "liblodviz_core.a"
+  "liblodviz_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lodviz_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lodviz_cube.dir/data_cube.cc.o"
+  "CMakeFiles/lodviz_cube.dir/data_cube.cc.o.d"
+  "liblodviz_cube.a"
+  "liblodviz_cube.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lodviz_cube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/explore/browser.cc" "src/explore/CMakeFiles/lodviz_explore.dir/browser.cc.o" "gcc" "src/explore/CMakeFiles/lodviz_explore.dir/browser.cc.o.d"
+  "/root/repo/src/explore/explain.cc" "src/explore/CMakeFiles/lodviz_explore.dir/explain.cc.o" "gcc" "src/explore/CMakeFiles/lodviz_explore.dir/explain.cc.o.d"
+  "/root/repo/src/explore/facets.cc" "src/explore/CMakeFiles/lodviz_explore.dir/facets.cc.o" "gcc" "src/explore/CMakeFiles/lodviz_explore.dir/facets.cc.o.d"
+  "/root/repo/src/explore/interest.cc" "src/explore/CMakeFiles/lodviz_explore.dir/interest.cc.o" "gcc" "src/explore/CMakeFiles/lodviz_explore.dir/interest.cc.o.d"
+  "/root/repo/src/explore/keyword.cc" "src/explore/CMakeFiles/lodviz_explore.dir/keyword.cc.o" "gcc" "src/explore/CMakeFiles/lodviz_explore.dir/keyword.cc.o.d"
+  "/root/repo/src/explore/prefetch.cc" "src/explore/CMakeFiles/lodviz_explore.dir/prefetch.cc.o" "gcc" "src/explore/CMakeFiles/lodviz_explore.dir/prefetch.cc.o.d"
+  "/root/repo/src/explore/progressive.cc" "src/explore/CMakeFiles/lodviz_explore.dir/progressive.cc.o" "gcc" "src/explore/CMakeFiles/lodviz_explore.dir/progressive.cc.o.d"
+  "/root/repo/src/explore/session.cc" "src/explore/CMakeFiles/lodviz_explore.dir/session.cc.o" "gcc" "src/explore/CMakeFiles/lodviz_explore.dir/session.cc.o.d"
+  "/root/repo/src/explore/summary.cc" "src/explore/CMakeFiles/lodviz_explore.dir/summary.cc.o" "gcc" "src/explore/CMakeFiles/lodviz_explore.dir/summary.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lodviz_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdf/CMakeFiles/lodviz_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/lodviz_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/lodviz_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lodviz_explore.dir/browser.cc.o"
+  "CMakeFiles/lodviz_explore.dir/browser.cc.o.d"
+  "CMakeFiles/lodviz_explore.dir/explain.cc.o"
+  "CMakeFiles/lodviz_explore.dir/explain.cc.o.d"
+  "CMakeFiles/lodviz_explore.dir/facets.cc.o"
+  "CMakeFiles/lodviz_explore.dir/facets.cc.o.d"
+  "CMakeFiles/lodviz_explore.dir/interest.cc.o"
+  "CMakeFiles/lodviz_explore.dir/interest.cc.o.d"
+  "CMakeFiles/lodviz_explore.dir/keyword.cc.o"
+  "CMakeFiles/lodviz_explore.dir/keyword.cc.o.d"
+  "CMakeFiles/lodviz_explore.dir/prefetch.cc.o"
+  "CMakeFiles/lodviz_explore.dir/prefetch.cc.o.d"
+  "CMakeFiles/lodviz_explore.dir/progressive.cc.o"
+  "CMakeFiles/lodviz_explore.dir/progressive.cc.o.d"
+  "CMakeFiles/lodviz_explore.dir/session.cc.o"
+  "CMakeFiles/lodviz_explore.dir/session.cc.o.d"
+  "CMakeFiles/lodviz_explore.dir/summary.cc.o"
+  "CMakeFiles/lodviz_explore.dir/summary.cc.o.d"
+  "liblodviz_explore.a"
+  "liblodviz_explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lodviz_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geo/nanocube.cc" "src/geo/CMakeFiles/lodviz_geo.dir/nanocube.cc.o" "gcc" "src/geo/CMakeFiles/lodviz_geo.dir/nanocube.cc.o.d"
+  "/root/repo/src/geo/rtree.cc" "src/geo/CMakeFiles/lodviz_geo.dir/rtree.cc.o" "gcc" "src/geo/CMakeFiles/lodviz_geo.dir/rtree.cc.o.d"
+  "/root/repo/src/geo/tiles.cc" "src/geo/CMakeFiles/lodviz_geo.dir/tiles.cc.o" "gcc" "src/geo/CMakeFiles/lodviz_geo.dir/tiles.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lodviz_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lodviz_geo.dir/nanocube.cc.o"
+  "CMakeFiles/lodviz_geo.dir/nanocube.cc.o.d"
+  "CMakeFiles/lodviz_geo.dir/rtree.cc.o"
+  "CMakeFiles/lodviz_geo.dir/rtree.cc.o.d"
+  "CMakeFiles/lodviz_geo.dir/tiles.cc.o"
+  "CMakeFiles/lodviz_geo.dir/tiles.cc.o.d"
+  "liblodviz_geo.a"
+  "liblodviz_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lodviz_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

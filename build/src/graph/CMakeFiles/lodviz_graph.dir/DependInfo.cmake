@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/bundling.cc" "src/graph/CMakeFiles/lodviz_graph.dir/bundling.cc.o" "gcc" "src/graph/CMakeFiles/lodviz_graph.dir/bundling.cc.o.d"
+  "/root/repo/src/graph/clustering.cc" "src/graph/CMakeFiles/lodviz_graph.dir/clustering.cc.o" "gcc" "src/graph/CMakeFiles/lodviz_graph.dir/clustering.cc.o.d"
+  "/root/repo/src/graph/generators.cc" "src/graph/CMakeFiles/lodviz_graph.dir/generators.cc.o" "gcc" "src/graph/CMakeFiles/lodviz_graph.dir/generators.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/graph/CMakeFiles/lodviz_graph.dir/graph.cc.o" "gcc" "src/graph/CMakeFiles/lodviz_graph.dir/graph.cc.o.d"
+  "/root/repo/src/graph/layout.cc" "src/graph/CMakeFiles/lodviz_graph.dir/layout.cc.o" "gcc" "src/graph/CMakeFiles/lodviz_graph.dir/layout.cc.o.d"
+  "/root/repo/src/graph/sampling.cc" "src/graph/CMakeFiles/lodviz_graph.dir/sampling.cc.o" "gcc" "src/graph/CMakeFiles/lodviz_graph.dir/sampling.cc.o.d"
+  "/root/repo/src/graph/supergraph.cc" "src/graph/CMakeFiles/lodviz_graph.dir/supergraph.cc.o" "gcc" "src/graph/CMakeFiles/lodviz_graph.dir/supergraph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lodviz_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdf/CMakeFiles/lodviz_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/lodviz_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

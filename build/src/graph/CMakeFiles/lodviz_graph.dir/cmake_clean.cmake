@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lodviz_graph.dir/bundling.cc.o"
+  "CMakeFiles/lodviz_graph.dir/bundling.cc.o.d"
+  "CMakeFiles/lodviz_graph.dir/clustering.cc.o"
+  "CMakeFiles/lodviz_graph.dir/clustering.cc.o.d"
+  "CMakeFiles/lodviz_graph.dir/generators.cc.o"
+  "CMakeFiles/lodviz_graph.dir/generators.cc.o.d"
+  "CMakeFiles/lodviz_graph.dir/graph.cc.o"
+  "CMakeFiles/lodviz_graph.dir/graph.cc.o.d"
+  "CMakeFiles/lodviz_graph.dir/layout.cc.o"
+  "CMakeFiles/lodviz_graph.dir/layout.cc.o.d"
+  "CMakeFiles/lodviz_graph.dir/sampling.cc.o"
+  "CMakeFiles/lodviz_graph.dir/sampling.cc.o.d"
+  "CMakeFiles/lodviz_graph.dir/supergraph.cc.o"
+  "CMakeFiles/lodviz_graph.dir/supergraph.cc.o.d"
+  "liblodviz_graph.a"
+  "liblodviz_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lodviz_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lodviz_hier.dir/hetree.cc.o"
+  "CMakeFiles/lodviz_hier.dir/hetree.cc.o.d"
+  "liblodviz_hier.a"
+  "liblodviz_hier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lodviz_hier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

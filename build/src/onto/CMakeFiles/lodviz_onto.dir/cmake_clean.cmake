@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lodviz_onto.dir/containment.cc.o"
+  "CMakeFiles/lodviz_onto.dir/containment.cc.o.d"
+  "CMakeFiles/lodviz_onto.dir/hierarchy.cc.o"
+  "CMakeFiles/lodviz_onto.dir/hierarchy.cc.o.d"
+  "liblodviz_onto.a"
+  "liblodviz_onto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lodviz_onto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

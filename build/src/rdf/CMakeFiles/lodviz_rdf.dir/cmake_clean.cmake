@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lodviz_rdf.dir/dictionary.cc.o"
+  "CMakeFiles/lodviz_rdf.dir/dictionary.cc.o.d"
+  "CMakeFiles/lodviz_rdf.dir/ntriples.cc.o"
+  "CMakeFiles/lodviz_rdf.dir/ntriples.cc.o.d"
+  "CMakeFiles/lodviz_rdf.dir/streaming.cc.o"
+  "CMakeFiles/lodviz_rdf.dir/streaming.cc.o.d"
+  "CMakeFiles/lodviz_rdf.dir/term.cc.o"
+  "CMakeFiles/lodviz_rdf.dir/term.cc.o.d"
+  "CMakeFiles/lodviz_rdf.dir/triple_store.cc.o"
+  "CMakeFiles/lodviz_rdf.dir/triple_store.cc.o.d"
+  "CMakeFiles/lodviz_rdf.dir/turtle.cc.o"
+  "CMakeFiles/lodviz_rdf.dir/turtle.cc.o.d"
+  "liblodviz_rdf.a"
+  "liblodviz_rdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lodviz_rdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rec/recommender.cc" "src/rec/CMakeFiles/lodviz_rec.dir/recommender.cc.o" "gcc" "src/rec/CMakeFiles/lodviz_rec.dir/recommender.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lodviz_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/lodviz_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/viz/CMakeFiles/lodviz_viz.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/lodviz_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/lodviz_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/hier/CMakeFiles/lodviz_hier.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdf/CMakeFiles/lodviz_rdf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

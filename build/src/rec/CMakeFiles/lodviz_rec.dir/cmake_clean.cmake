@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lodviz_rec.dir/recommender.cc.o"
+  "CMakeFiles/lodviz_rec.dir/recommender.cc.o.d"
+  "liblodviz_rec.a"
+  "liblodviz_rec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lodviz_rec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lodviz_sparql.dir/engine.cc.o"
+  "CMakeFiles/lodviz_sparql.dir/engine.cc.o.d"
+  "CMakeFiles/lodviz_sparql.dir/lexer.cc.o"
+  "CMakeFiles/lodviz_sparql.dir/lexer.cc.o.d"
+  "CMakeFiles/lodviz_sparql.dir/parser.cc.o"
+  "CMakeFiles/lodviz_sparql.dir/parser.cc.o.d"
+  "CMakeFiles/lodviz_sparql.dir/result_table.cc.o"
+  "CMakeFiles/lodviz_sparql.dir/result_table.cc.o.d"
+  "liblodviz_sparql.a"
+  "liblodviz_sparql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lodviz_sparql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/histogram.cc" "src/stats/CMakeFiles/lodviz_stats.dir/histogram.cc.o" "gcc" "src/stats/CMakeFiles/lodviz_stats.dir/histogram.cc.o.d"
+  "/root/repo/src/stats/profile.cc" "src/stats/CMakeFiles/lodviz_stats.dir/profile.cc.o" "gcc" "src/stats/CMakeFiles/lodviz_stats.dir/profile.cc.o.d"
+  "/root/repo/src/stats/quantile.cc" "src/stats/CMakeFiles/lodviz_stats.dir/quantile.cc.o" "gcc" "src/stats/CMakeFiles/lodviz_stats.dir/quantile.cc.o.d"
+  "/root/repo/src/stats/sketch.cc" "src/stats/CMakeFiles/lodviz_stats.dir/sketch.cc.o" "gcc" "src/stats/CMakeFiles/lodviz_stats.dir/sketch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lodviz_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdf/CMakeFiles/lodviz_rdf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lodviz_stats.dir/histogram.cc.o"
+  "CMakeFiles/lodviz_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/lodviz_stats.dir/profile.cc.o"
+  "CMakeFiles/lodviz_stats.dir/profile.cc.o.d"
+  "CMakeFiles/lodviz_stats.dir/quantile.cc.o"
+  "CMakeFiles/lodviz_stats.dir/quantile.cc.o.d"
+  "CMakeFiles/lodviz_stats.dir/sketch.cc.o"
+  "CMakeFiles/lodviz_stats.dir/sketch.cc.o.d"
+  "liblodviz_stats.a"
+  "liblodviz_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lodviz_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

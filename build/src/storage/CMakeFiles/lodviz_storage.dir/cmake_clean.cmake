@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lodviz_storage.dir/btree.cc.o"
+  "CMakeFiles/lodviz_storage.dir/btree.cc.o.d"
+  "CMakeFiles/lodviz_storage.dir/buffer_pool.cc.o"
+  "CMakeFiles/lodviz_storage.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/lodviz_storage.dir/cracking.cc.o"
+  "CMakeFiles/lodviz_storage.dir/cracking.cc.o.d"
+  "CMakeFiles/lodviz_storage.dir/disk_triple_store.cc.o"
+  "CMakeFiles/lodviz_storage.dir/disk_triple_store.cc.o.d"
+  "CMakeFiles/lodviz_storage.dir/page_file.cc.o"
+  "CMakeFiles/lodviz_storage.dir/page_file.cc.o.d"
+  "liblodviz_storage.a"
+  "liblodviz_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lodviz_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

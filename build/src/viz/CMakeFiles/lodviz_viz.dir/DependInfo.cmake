@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/viz/canvas.cc" "src/viz/CMakeFiles/lodviz_viz.dir/canvas.cc.o" "gcc" "src/viz/CMakeFiles/lodviz_viz.dir/canvas.cc.o.d"
+  "/root/repo/src/viz/m4.cc" "src/viz/CMakeFiles/lodviz_viz.dir/m4.cc.o" "gcc" "src/viz/CMakeFiles/lodviz_viz.dir/m4.cc.o.d"
+  "/root/repo/src/viz/renderers.cc" "src/viz/CMakeFiles/lodviz_viz.dir/renderers.cc.o" "gcc" "src/viz/CMakeFiles/lodviz_viz.dir/renderers.cc.o.d"
+  "/root/repo/src/viz/svg.cc" "src/viz/CMakeFiles/lodviz_viz.dir/svg.cc.o" "gcc" "src/viz/CMakeFiles/lodviz_viz.dir/svg.cc.o.d"
+  "/root/repo/src/viz/types.cc" "src/viz/CMakeFiles/lodviz_viz.dir/types.cc.o" "gcc" "src/viz/CMakeFiles/lodviz_viz.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lodviz_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/lodviz_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/lodviz_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/hier/CMakeFiles/lodviz_hier.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdf/CMakeFiles/lodviz_rdf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lodviz_viz.dir/canvas.cc.o"
+  "CMakeFiles/lodviz_viz.dir/canvas.cc.o.d"
+  "CMakeFiles/lodviz_viz.dir/m4.cc.o"
+  "CMakeFiles/lodviz_viz.dir/m4.cc.o.d"
+  "CMakeFiles/lodviz_viz.dir/renderers.cc.o"
+  "CMakeFiles/lodviz_viz.dir/renderers.cc.o.d"
+  "CMakeFiles/lodviz_viz.dir/svg.cc.o"
+  "CMakeFiles/lodviz_viz.dir/svg.cc.o.d"
+  "CMakeFiles/lodviz_viz.dir/types.cc.o"
+  "CMakeFiles/lodviz_viz.dir/types.cc.o.d"
+  "liblodviz_viz.a"
+  "liblodviz_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lodviz_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lodviz_workload.dir/scenario.cc.o"
+  "CMakeFiles/lodviz_workload.dir/scenario.cc.o.d"
+  "CMakeFiles/lodviz_workload.dir/synthetic_lod.cc.o"
+  "CMakeFiles/lodviz_workload.dir/synthetic_lod.cc.o.d"
+  "liblodviz_workload.a"
+  "liblodviz_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lodviz_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explore2_test.dir/explore2_test.cc.o"
+  "CMakeFiles/explore2_test.dir/explore2_test.cc.o.d"
+  "explore2_test"
+  "explore2_test.pdb"
+  "explore2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explore2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

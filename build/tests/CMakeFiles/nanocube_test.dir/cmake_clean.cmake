@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nanocube_test.dir/nanocube_test.cc.o"
+  "CMakeFiles/nanocube_test.dir/nanocube_test.cc.o.d"
+  "nanocube_test"
+  "nanocube_test.pdb"
+  "nanocube_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nanocube_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdf_store_test.dir/rdf_store_test.cc.o"
+  "CMakeFiles/rdf_store_test.dir/rdf_store_test.cc.o.d"
+  "rdf_store_test"
+  "rdf_store_test.pdb"
+  "rdf_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdf_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rec_test.dir/rec_test.cc.o"
+  "CMakeFiles/rec_test.dir/rec_test.cc.o.d"
+  "rec_test"
+  "rec_test.pdb"
+  "rec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
