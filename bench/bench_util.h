@@ -4,8 +4,20 @@
 #include <cstdio>
 #include <iostream>
 #include <string>
+#include <utility>
+
+#include "common/check.h"
+#include "common/result.h"
 
 namespace lodviz::bench {
+
+/// Unwraps a Result<T>, aborting loudly (file:line + error) on failure —
+/// bench drivers have no error channel to propagate into.
+template <typename T>
+T Unwrap(Result<T> r) {
+  LODVIZ_CHECK_OK(r);
+  return std::move(r).ValueOrDie();
+}
 
 /// Prints the standard experiment banner tying a bench binary back to the
 /// paper artifact it regenerates (see DESIGN.md's per-experiment index).

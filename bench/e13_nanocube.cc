@@ -101,7 +101,7 @@ int Run() {
         if (q.cat.has_value() && e.category != *q.cat) continue;
         if (q.window.Contains(e.position)) ++local;
       }
-      scan_sum += local;
+      scan_sum = scan_sum + local;
     }
     double scan_ms = sw.ElapsedMillis() * 10.0;
     (void)cube_sum;

@@ -40,7 +40,7 @@ int Run() {
     Stopwatch sw;
     uint64_t count = 0;
     for (double v : column) count += (v >= q.lo && v < q.hi);
-    sink += count;
+    sink = sink + count;
     scan_times.push_back(sw.ElapsedMillis());
   }
 

@@ -8,6 +8,7 @@
 #include <iostream>
 
 #include "bench_util.h"
+#include "common/check.h"
 #include "common/random.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
@@ -72,11 +73,11 @@ int Run() {
     uint64_t touched = 0;
     for (int q = 0; q < 100; ++q) {
       rdf::TermId s = static_cast<rdf::TermId>(1 + rng.Uniform(entities));
-      disk.Scan({s, rdf::kInvalidTermId, rdf::kInvalidTermId},
-                [&](const rdf::Triple&) {
-                  ++touched;
-                  return true;
-                });
+      LODVIZ_CHECK_OK(disk.Scan({s, rdf::kInvalidTermId, rdf::kInvalidTermId},
+                                [&](const rdf::Triple&) {
+                                  ++touched;
+                                  return true;
+                                }));
     }
     double lookup_ms = sw.ElapsedMillis();
     (void)touched;
@@ -125,11 +126,11 @@ int Run() {
     for (const auto& [pred, count] : preds) {
       if (scans++ >= 20) break;
       uint64_t n = 0;
-      disk.Scan({rdf::kInvalidTermId, pred, rdf::kInvalidTermId},
-                [&](const rdf::Triple&) {
-                  ++n;
-                  return n < 5000;
-                });
+      LODVIZ_CHECK_OK(disk.Scan({rdf::kInvalidTermId, pred, rdf::kInvalidTermId},
+                                [&](const rdf::Triple&) {
+                                  ++n;
+                                  return n < 5000;
+                                }));
     }
     double workload_ms = sw.ElapsedMillis();
     pools.AddRow({FormatCount(pages),

@@ -29,7 +29,7 @@ std::vector<Case> MakeCases() {
   std::vector<Case> cases;
 
   {  // Spatial dataset -> map.
-    Case c{"geo points", viz::VisKind::kMap, {}};
+    Case c{"geo points", viz::VisKind::kMap, rdf::TripleStore{}};
     for (int i = 0; i < 200; ++i) {
       std::string s = "http://x/poi" + std::to_string(i);
       c.store.Add(Term::Iri(s), Term::Iri(rdf::vocab::kGeoLat),
@@ -40,7 +40,7 @@ std::vector<Case> MakeCases() {
     cases.push_back(std::move(c));
   }
   {  // Single numeric property -> chart (histogram).
-    Case c{"one numeric property", viz::VisKind::kChart, {}};
+    Case c{"one numeric property", viz::VisKind::kChart, rdf::TripleStore{}};
     for (int i = 0; i < 200; ++i) {
       c.store.Add(Term::Iri("http://x/m" + std::to_string(i)),
                   Term::Iri("http://x/value"), Term::DoubleLiteral(i * 1.7));
@@ -48,7 +48,7 @@ std::vector<Case> MakeCases() {
     cases.push_back(std::move(c));
   }
   {  // Temporal + numeric -> time-series chart.
-    Case c{"time series", viz::VisKind::kChart, {}};
+    Case c{"time series", viz::VisKind::kChart, rdf::TripleStore{}};
     for (int i = 0; i < 200; ++i) {
       std::string s = "http://x/r" + std::to_string(i);
       c.store.Add(Term::Iri(s), Term::Iri("http://x/when"),
@@ -59,7 +59,7 @@ std::vector<Case> MakeCases() {
     cases.push_back(std::move(c));
   }
   {  // Few-valued categorical -> pie.
-    Case c{"small categorical", viz::VisKind::kPie, {}};
+    Case c{"small categorical", viz::VisKind::kPie, rdf::TripleStore{}};
     for (int i = 0; i < 200; ++i) {
       c.store.Add(Term::Iri("http://x/t" + std::to_string(i)),
                   Term::Iri("http://x/status"),
@@ -68,7 +68,7 @@ std::vector<Case> MakeCases() {
     cases.push_back(std::move(c));
   }
   {  // Class hierarchy -> treemap.
-    Case c{"class hierarchy", viz::VisKind::kTreemap, {}};
+    Case c{"class hierarchy", viz::VisKind::kTreemap, rdf::TripleStore{}};
     for (int i = 0; i < 50; ++i) {
       c.store.Add(Term::Iri("http://x/C" + std::to_string(i)),
                   Term::Iri(rdf::vocab::kRdfsSubClassOf),
@@ -77,7 +77,7 @@ std::vector<Case> MakeCases() {
     cases.push_back(std::move(c));
   }
   {  // Dense entity links -> graph.
-    Case c{"dense link graph", viz::VisKind::kGraph, {}};
+    Case c{"dense link graph", viz::VisKind::kGraph, rdf::TripleStore{}};
     for (int i = 0; i < 300; ++i) {
       c.store.Add(Term::Iri("http://x/n" + std::to_string(i)),
                   Term::Iri("http://x/linked"),
@@ -101,7 +101,7 @@ int Run() {
                       "top-1 correct?"});
   int top1 = 0, top3 = 0;
   for (auto& c : cases) {
-    auto profile = stats::ProfileDataset(c.store).ValueOrDie();
+    auto profile = bench::Unwrap(stats::ProfileDataset(c.store));
     auto recs = recommender.Recommend(profile, 3);
     bool in_top3 = false;
     for (const auto& r : recs) in_top3 |= r.spec.kind == c.expected;
@@ -123,7 +123,7 @@ int Run() {
   workload::SyntheticLodOptions lod;
   lod.num_entities = 2000;
   workload::GenerateSyntheticLod(lod, &lod_store);
-  auto profile = stats::ProfileDataset(lod_store).ValueOrDie();
+  auto profile = bench::Unwrap(stats::ProfileDataset(lod_store));
   auto before = recommender.Recommend(profile, 1);
   recommender.SetPreference(viz::VisKind::kMap, 0.25);
   auto after = recommender.Recommend(profile, 1);

@@ -1,0 +1,10 @@
+# Cache preload for one-command reproducible sanitizer builds:
+#
+#   cmake -B build-asan -S . -C cmake/sanitize.cmake
+#   cmake --build build-asan -j && ctest --test-dir build-asan
+#
+# ASan + UBSan over the full tier-1 suite, warnings promoted to errors.
+# For TSan instead: cmake -B build-tsan -S . -DLODVIZ_SANITIZE=thread
+set(CMAKE_BUILD_TYPE RelWithDebInfo CACHE STRING "")
+set(LODVIZ_SANITIZE "address;undefined" CACHE STRING "")
+set(LODVIZ_WERROR ON CACHE BOOL "")

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Full correctness gate: static lint + ASan/UBSan build of the tier-1 suite.
+#
+#   scripts/check.sh            # lint, then sanitized build + ctest
+#   scripts/check.sh --lint     # lint only (fast pre-commit check)
+#
+# Run from the repository root. See README "Correctness tooling".
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+LINT_BUILD=build-lint
+ASAN_BUILD=build-asan
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)"
+
+echo "== [1/2] lodviz_lint =="
+cmake -B "$LINT_BUILD" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$LINT_BUILD" --target lodviz_lint -j "$JOBS" >/dev/null
+"$LINT_BUILD"/tools/lint/lodviz_lint --root . src bench tests tools
+bash scripts/check_no_build_artifacts.sh .
+
+if [ "${1:-}" = "--lint" ]; then
+  echo "check.sh: lint OK (skipping sanitizer build)"
+  exit 0
+fi
+
+echo "== [2/2] ASan+UBSan tier-1 suite =="
+cmake -B "$ASAN_BUILD" -S . -C cmake/sanitize.cmake >/dev/null
+cmake --build "$ASAN_BUILD" -j "$JOBS"
+ctest --test-dir "$ASAN_BUILD" --output-on-failure -j "$JOBS"
+
+echo "check.sh: all gates passed"

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Guard against build artifacts sneaking back into version control (the
+# seed tree shipped a full build/ directory, binaries included).
+# Usage: check_no_build_artifacts.sh [repo-root]
+set -u
+root="${1:-.}"
+
+if ! command -v git >/dev/null 2>&1 ||
+   ! git -C "$root" rev-parse --is-inside-work-tree >/dev/null 2>&1; then
+  echo "check_no_build_artifacts: not a git checkout; skipping"
+  exit 0
+fi
+
+bad=$(git -C "$root" ls-files -- \
+  'build/**' 'build-*/**' 'cmake-build-*/**' \
+  '*.o' '*.a' '*.so' '*.out' \
+  '**/CMakeCache.txt' '**/CTestTestfile.cmake' '**/LastTest.log')
+
+if [ -n "$bad" ]; then
+  echo "check_no_build_artifacts: tracked build artifacts found:"
+  echo "$bad"
+  exit 1
+fi
+echo "check_no_build_artifacts: OK"

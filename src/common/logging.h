@@ -5,6 +5,12 @@
 #include <iostream>
 #include <sstream>
 
+// LODVIZ_CHECK / LODVIZ_CHECK_OK / LODVIZ_DCHECK live in common/check.h
+// (included here so existing users of the macros keep compiling; the old
+// if-based form defined in this header had a dangling-else hazard and only
+// accepted Status).
+#include "common/check.h"  // IWYU pragma: export
+
 namespace lodviz {
 namespace internal_logging {
 
@@ -52,19 +58,5 @@ class LogMessage {
 #define LODVIZ_LOG_ERROR()                                      \
   ::lodviz::internal_logging::LogMessage(                       \
       ::lodviz::internal_logging::LogLevel::kError, __FILE__, __LINE__)
-
-/// Invariant check active in all build types; aborts with a message.
-#define LODVIZ_CHECK(cond)                                                   \
-  if (!(cond))                                                               \
-  ::lodviz::internal_logging::LogMessage(                                    \
-      ::lodviz::internal_logging::LogLevel::kError, __FILE__, __LINE__,      \
-      /*fatal=*/true)                                                        \
-      << "Check failed: " #cond " "
-
-#define LODVIZ_CHECK_OK(expr)                           \
-  do {                                                  \
-    ::lodviz::Status _st = (expr);                      \
-    LODVIZ_CHECK(_st.ok()) << _st.ToString();           \
-  } while (0)
 
 #endif  // LODVIZ_COMMON_LOGGING_H_

@@ -1,0 +1,41 @@
+#ifndef LODVIZ_COMMON_MUTEX_H_
+#define LODVIZ_COMMON_MUTEX_H_
+
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace lodviz {
+
+/// std::mutex wrapper carrying thread-safety annotations so clang's
+/// -Wthread-safety can verify that LODVIZ_GUARDED_BY state is only touched
+/// under the right lock. Zero overhead: it is exactly a std::mutex.
+class LODVIZ_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() LODVIZ_ACQUIRE() { mu_.lock(); }
+  void Unlock() LODVIZ_RELEASE() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock guard for Mutex (annotated scoped capability).
+class LODVIZ_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) LODVIZ_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() LODVIZ_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* mu_;
+};
+
+}  // namespace lodviz
+
+#endif  // LODVIZ_COMMON_MUTEX_H_

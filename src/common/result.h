@@ -1,10 +1,10 @@
 #ifndef LODVIZ_COMMON_RESULT_H_
 #define LODVIZ_COMMON_RESULT_H_
 
-#include <cassert>
 #include <utility>
 #include <variant>
 
+#include "common/check.h"
 #include "common/status.h"
 
 namespace lodviz {
@@ -15,8 +15,13 @@ namespace lodviz {
 ///   Result<Dataset> r = LoadDataset(path);
 ///   if (!r.ok()) return r.status();
 ///   Dataset d = std::move(r).ValueOrDie();
+///
+/// Contract violations (constructing from an OK status, dereferencing an
+/// error) abort in every build mode via LODVIZ_CHECK — silently reading a
+/// default value past an error is how exploration engines serve wrong
+/// answers at scale.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs a Result holding a value (implicit so functions can
   /// `return value;`).
@@ -25,7 +30,8 @@ class Result {
   /// Constructs a Result holding an error (implicit so functions can
   /// `return Status::...;`). Must not be OK.
   Result(Status status) : payload_(std::move(status)) {
-    assert(!std::get<Status>(payload_).ok());
+    LODVIZ_CHECK(!std::get<Status>(payload_).ok())
+        << "Result<T> constructed from an OK Status carries no value";
   }
 
   bool ok() const { return std::holds_alternative<T>(payload_); }
@@ -37,15 +43,15 @@ class Result {
   }
 
   const T& ValueOrDie() const& {
-    assert(ok());
+    LODVIZ_CHECK(ok()) << "Result has no value:" << status().ToString();
     return std::get<T>(payload_);
   }
   T& ValueOrDie() & {
-    assert(ok());
+    LODVIZ_CHECK(ok()) << "Result has no value:" << status().ToString();
     return std::get<T>(payload_);
   }
   T&& ValueOrDie() && {
-    assert(ok());
+    LODVIZ_CHECK(ok()) << "Result has no value:" << status().ToString();
     return std::move(std::get<T>(payload_));
   }
 
@@ -56,8 +62,15 @@ class Result {
   T* operator->() { return &ValueOrDie(); }
 
   /// Returns the value, or `fallback` on error.
-  T ValueOr(T fallback) const {
+  T ValueOr(T fallback) const& {
     if (ok()) return std::get<T>(payload_);
+    return fallback;
+  }
+
+  /// Rvalue overload: moves the value out instead of copying — the hot-path
+  /// form for `SomeLookup(...).ValueOr(default)`.
+  T ValueOr(T fallback) && {
+    if (ok()) return std::move(std::get<T>(payload_));
     return fallback;
   }
 
@@ -66,19 +79,5 @@ class Result {
 };
 
 }  // namespace lodviz
-
-/// Evaluates an expression yielding Result<T>; on error returns the status,
-/// otherwise moves the value into `lhs`.
-#define LODVIZ_ASSIGN_OR_RETURN_IMPL(var, lhs, expr) \
-  auto var = (expr);                                 \
-  if (!var.ok()) return var.status();                \
-  lhs = std::move(var).ValueOrDie();
-
-#define LODVIZ_ASSIGN_OR_RETURN_CONCAT(x, y) x##y
-#define LODVIZ_ASSIGN_OR_RETURN_NAME(x, y) LODVIZ_ASSIGN_OR_RETURN_CONCAT(x, y)
-
-#define LODVIZ_ASSIGN_OR_RETURN(lhs, expr) \
-  LODVIZ_ASSIGN_OR_RETURN_IMPL(            \
-      LODVIZ_ASSIGN_OR_RETURN_NAME(_result_, __LINE__), lhs, expr)
 
 #endif  // LODVIZ_COMMON_RESULT_H_

@@ -34,7 +34,10 @@ std::string_view StatusCodeToString(StatusCode code);
 ///
 ///   Status s = store.Insert(triple);
 ///   if (!s.ok()) return s;
-class Status {
+///
+/// [[nodiscard]]: dropping a Status on the floor silently swallows errors;
+/// every producer's caller must consume or explicitly void-cast it.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}

@@ -1,0 +1,46 @@
+#ifndef LODVIZ_COMMON_THREAD_ANNOTATIONS_H_
+#define LODVIZ_COMMON_THREAD_ANNOTATIONS_H_
+
+/// Clang -Wthread-safety annotation macros (no-ops on other compilers).
+/// Annotating which mutex guards which state turns locking discipline into
+/// a compile-time check instead of a code-review convention; see
+/// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html.
+
+#if defined(__clang__) && !defined(SWIG)
+#define LODVIZ_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define LODVIZ_THREAD_ANNOTATION(x)
+#endif
+
+/// Declares that a field is protected by the given mutex.
+#define LODVIZ_GUARDED_BY(x) LODVIZ_THREAD_ANNOTATION(guarded_by(x))
+
+/// Declares that the pointee of a pointer field is protected by the mutex.
+#define LODVIZ_PT_GUARDED_BY(x) LODVIZ_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Declares that a function may only be called while holding the mutex(es).
+#define LODVIZ_REQUIRES(...) \
+  LODVIZ_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Declares that a function must NOT be called while holding the mutex(es)
+/// (it acquires them itself).
+#define LODVIZ_EXCLUDES(...) \
+  LODVIZ_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Marks a type as a lockable capability ("mutex").
+#define LODVIZ_CAPABILITY(x) LODVIZ_THREAD_ANNOTATION(capability(x))
+
+/// Marks a scoped lock guard type.
+#define LODVIZ_SCOPED_CAPABILITY LODVIZ_THREAD_ANNOTATION(scoped_lockable)
+
+/// Function acquires / releases the capability.
+#define LODVIZ_ACQUIRE(...) \
+  LODVIZ_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define LODVIZ_RELEASE(...) \
+  LODVIZ_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Escape hatch: turns the analysis off for one function body.
+#define LODVIZ_NO_THREAD_SAFETY_ANALYSIS \
+  LODVIZ_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // LODVIZ_COMMON_THREAD_ANNOTATIONS_H_

@@ -27,14 +27,14 @@ std::string_view CapabilityName(Capability cap) {
 }
 
 const std::vector<Capability>& AllCapabilities() {
-  static const auto* kAll = new std::vector<Capability>{
+  static const std::vector<Capability> kAll = {
       Capability::kKeywordSearch, Capability::kFilter,
       Capability::kSampling,      Capability::kAggregation,
       Capability::kIncremental,   Capability::kDiskBased,
       Capability::kRecommendation, Capability::kPreferences,
       Capability::kStatistics,
   };
-  return *kAll;
+  return kAll;
 }
 
 }  // namespace lodviz::core

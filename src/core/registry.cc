@@ -60,7 +60,7 @@ SurveyedSystem Sys2(std::string name, int year, std::string domain,
 
 const std::vector<SurveyedSystem>& Table1Systems() {
   // Rows exactly as in the paper's Table 1 (Generic Visualization Systems).
-  static const auto* kTable = new std::vector<SurveyedSystem>{
+  static const std::vector<SurveyedSystem> kTable = {
       Sys1("Rhizomer", 2006, {N, T, S, H, G}, {Ch, M, Tm, TL},
            Caps(C::kRecommendation)),
       Sys1("VizBoard", 2009, {N, H}, {Ch, Sc, Tm},
@@ -82,13 +82,13 @@ const std::vector<SurveyedSystem>& Table1Systems() {
            Caps(C::kRecommendation, C::kPreferences)),
       Sys1("ViCoMap", 2015, {N, T, S}, {M}, Caps(C::kStatistics)),
   };
-  return *kTable;
+  return kTable;
 }
 
 const std::vector<SurveyedSystem>& Table2Systems() {
   // Rows exactly as in the paper's Table 2 (Graph-based Visualization
   // Systems), including the ontology-visualization rows.
-  static const auto* kTable = new std::vector<SurveyedSystem>{
+  static const std::vector<SurveyedSystem> kTable = {
       Sys2("RDF-Gravity", 2003, "generic", "Desktop",
            Caps(C::kKeywordSearch, C::kFilter)),
       Sys2("IsaViz", 2003, "generic", "Desktop",
@@ -127,7 +127,7 @@ const std::vector<SurveyedSystem>& Table2Systems() {
       Sys2("graphVizdb", 2015, "generic", "Web",
            Caps(C::kKeywordSearch, C::kFilter, C::kSampling, C::kDiskBased)),
   };
-  return *kTable;
+  return kTable;
 }
 
 SurveyedSystem LodvizSystem(int table) {

@@ -128,7 +128,9 @@ std::string DataCube::ValueLabel(rdf::TermId value) const {
   if (dict_ != nullptr && dict_->Contains(value)) {
     return dict_->term(value).lexical;
   }
-  return "#" + std::to_string(value);
+  std::string label = "#";
+  label += std::to_string(value);
+  return label;
 }
 
 std::vector<rdf::TermId> DataCube::DimensionValues(size_t dim) const {

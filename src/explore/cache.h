@@ -17,7 +17,7 @@ class LruCache {
   explicit LruCache(size_t capacity) : capacity_(capacity) {}
 
   /// Returns the cached value or nullptr; refreshes recency on hit.
-  const V* Get(const K& key) {
+  [[nodiscard]] const V* Get(const K& key) {
     auto it = map_.find(key);
     if (it == map_.end()) {
       ++misses_;

@@ -43,12 +43,12 @@ class RTree {
               const std::function<bool(const Entry&)>& fn) const;
 
   /// Materializes window-query results.
-  std::vector<Entry> SearchAll(const Rect& window) const;
+  [[nodiscard]] std::vector<Entry> SearchAll(const Rect& window) const;
 
   /// The k entries nearest to `p` (by rect distance), closest first.
-  std::vector<Entry> KNearest(const Point& p, size_t k) const;
+  [[nodiscard]] std::vector<Entry> KNearest(const Point& p, size_t k) const;
 
-  size_t size() const { return size_; }
+  [[nodiscard]] size_t size() const { return size_; }
   int height() const;
   /// Bounding box of everything in the tree.
   Rect Bounds() const;

@@ -169,6 +169,7 @@ void HETree::MaterializeChildren(NodeId id) {
 }
 
 const std::vector<HETree::NodeId>& HETree::Children(NodeId id) {
+  LODVIZ_DCHECK(id < nodes_.size()) << "node id" << id << "out of range";
   MaterializeChildren(id);
   return nodes_[id].children;
 }

@@ -100,10 +100,10 @@ class HETree {
 
   /// Exact statistics over the value interval [lo, hi], computed from
   /// prefix sums in O(log n) — independent of materialization state.
-  NodeStats RangeStats(double lo, double hi) const;
+  [[nodiscard]] NodeStats RangeStats(double lo, double hi) const;
 
   /// Items of a leaf (drill-to-detail).
-  std::vector<Item> LeafItems(NodeId id) const;
+  [[nodiscard]] std::vector<Item> LeafItems(NodeId id) const;
 
   /// ADA: re-parameterize, sharing the sorted data (no re-sort). The
   /// returned tree is lazy regardless of `new_options.lazy` until nodes

@@ -42,15 +42,21 @@ class Dictionary {
   }
 
   /// Looks up an already-interned term; kInvalidTermId if absent.
-  TermId Lookup(const Term& term) const;
+  [[nodiscard]] TermId Lookup(const Term& term) const;
 
   /// Returns the term for `id`; error if out of range.
   Result<Term> GetTerm(TermId id) const;
 
-  /// Unchecked const access for hot paths; id must be valid.
-  const Term& term(TermId id) const { return terms_[id]; }
+  /// Fast const access for hot paths; id must be valid (checked in debug
+  /// builds — an out-of-range id here means index corruption upstream).
+  const Term& term(TermId id) const {
+    LODVIZ_DCHECK(Contains(id)) << "term id" << id << "not interned";
+    return terms_[id];
+  }
 
-  bool Contains(TermId id) const { return id >= 1 && id < terms_.size(); }
+  [[nodiscard]] bool Contains(TermId id) const {
+    return id >= 1 && id < terms_.size();
+  }
 
   /// Number of interned terms.
   size_t size() const { return terms_.size() - 1; }

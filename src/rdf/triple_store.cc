@@ -1,11 +1,41 @@
 #include "rdf/triple_store.h"
 
 #include <algorithm>
+#include <utility>
+
+#include "common/check.h"
 
 namespace lodviz::rdf {
 
 TripleStore::TripleStore(size_t compaction_threshold)
     : compaction_threshold_(compaction_threshold) {}
+
+TripleStore::TripleStore(TripleStore&& other) noexcept
+    LODVIZ_NO_THREAD_SAFETY_ANALYSIS
+    : dict_(std::move(other.dict_)),
+      compaction_threshold_(other.compaction_threshold_),
+      pred_counts_(std::move(other.pred_counts_)) {
+  MutexLock lock(&other.mu_);
+  spo_ = std::move(other.spo_);
+  pos_ = std::move(other.pos_);
+  osp_ = std::move(other.osp_);
+  pending_ = std::move(other.pending_);
+}
+
+TripleStore& TripleStore::operator=(TripleStore&& other) noexcept
+    LODVIZ_NO_THREAD_SAFETY_ANALYSIS {
+  if (this == &other) return *this;
+  dict_ = std::move(other.dict_);
+  compaction_threshold_ = other.compaction_threshold_;
+  pred_counts_ = std::move(other.pred_counts_);
+  MutexLock lock_other(&other.mu_);
+  MutexLock lock_this(&mu_);
+  spo_ = std::move(other.spo_);
+  pos_ = std::move(other.pos_);
+  osp_ = std::move(other.osp_);
+  pending_ = std::move(other.pending_);
+  return *this;
+}
 
 Triple TripleStore::Add(const Term& s, const Term& p, const Term& o) {
   Triple t(dict_.Intern(s), dict_.Intern(p), dict_.Intern(o));
@@ -14,16 +44,25 @@ Triple TripleStore::Add(const Term& s, const Term& p, const Term& o) {
 }
 
 void TripleStore::AddEncoded(const Triple& t) {
-  pending_.push_back(t);
+  LODVIZ_DCHECK(t.s != kInvalidTermId && t.p != kInvalidTermId &&
+                t.o != kInvalidTermId)
+      << "triple references the reserved invalid term id";
   ++pred_counts_[t.p];
-  MaybeCompact();
+  MutexLock lock(&mu_);
+  pending_.push_back(t);
+  MaybeCompactLocked();
 }
 
-void TripleStore::MaybeCompact() const {
-  if (pending_.size() >= compaction_threshold_) Compact();
+void TripleStore::MaybeCompactLocked() const {
+  if (pending_.size() >= compaction_threshold_) CompactLocked();
 }
 
 void TripleStore::Compact() const {
+  MutexLock lock(&mu_);
+  CompactLocked();
+}
+
+void TripleStore::CompactLocked() const {
   if (pending_.empty()) return;
   spo_.insert(spo_.end(), pending_.begin(), pending_.end());
   pending_.clear();
@@ -38,12 +77,10 @@ void TripleStore::Compact() const {
 namespace {
 
 /// Scans [lo, hi) of a sorted index, filtering by `pattern`.
-bool ScanRange(const std::vector<Triple>& index,
-               std::vector<Triple>::const_iterator lo,
+bool ScanRange(std::vector<Triple>::const_iterator lo,
                std::vector<Triple>::const_iterator hi,
                const TriplePattern& pattern,
                const std::function<bool(const Triple&)>& fn) {
-  (void)index;
   for (auto it = lo; it != hi; ++it) {
     if (pattern.Matches(*it) && !fn(*it)) return false;
   }
@@ -54,6 +91,13 @@ bool ScanRange(const std::vector<Triple>& index,
 
 void TripleStore::Scan(const TriplePattern& pattern,
                        const std::function<bool(const Triple&)>& fn) const {
+  MutexLock lock(&mu_);
+  ScanLocked(pattern, fn);
+}
+
+void TripleStore::ScanLocked(
+    const TriplePattern& pattern,
+    const std::function<bool(const Triple&)>& fn) const {
   bool keep_going = true;
   if (!spo_.empty() || !pending_.empty()) {
     if (pattern.s != kInvalidTermId) {
@@ -64,7 +108,7 @@ void TripleStore::Scan(const TriplePattern& pattern,
                 ~TermId(0));
       auto b = std::lower_bound(spo_.begin(), spo_.end(), lo, OrderSpo());
       auto e = std::upper_bound(spo_.begin(), spo_.end(), hi, OrderSpo());
-      keep_going = ScanRange(spo_, b, e, pattern, fn);
+      keep_going = ScanRange(b, e, pattern, fn);
     } else if (pattern.p != kInvalidTermId) {
       // POS index: range over (p) or (p,o) prefix.
       Triple lo(0, pattern.p, pattern.o);
@@ -72,16 +116,16 @@ void TripleStore::Scan(const TriplePattern& pattern,
                 pattern.o != kInvalidTermId ? pattern.o : ~TermId(0));
       auto b = std::lower_bound(pos_.begin(), pos_.end(), lo, OrderPos());
       auto e = std::upper_bound(pos_.begin(), pos_.end(), hi, OrderPos());
-      keep_going = ScanRange(pos_, b, e, pattern, fn);
+      keep_going = ScanRange(b, e, pattern, fn);
     } else if (pattern.o != kInvalidTermId) {
       // OSP index: range over (o).
       Triple lo(0, 0, pattern.o);
       Triple hi(~TermId(0), ~TermId(0), pattern.o);
       auto b = std::lower_bound(osp_.begin(), osp_.end(), lo, OrderOsp());
       auto e = std::upper_bound(osp_.begin(), osp_.end(), hi, OrderOsp());
-      keep_going = ScanRange(osp_, b, e, pattern, fn);
+      keep_going = ScanRange(b, e, pattern, fn);
     } else {
-      keep_going = ScanRange(spo_, spo_.begin(), spo_.end(), pattern, fn);
+      keep_going = ScanRange(spo_.begin(), spo_.end(), pattern, fn);
     }
   }
   if (!keep_going) return;
@@ -124,7 +168,8 @@ double TripleStore::EstimateSelectivity(const TriplePattern& pattern) const {
 }
 
 std::vector<TermId> TripleStore::DistinctSubjects() const {
-  Compact();
+  MutexLock lock(&mu_);
+  CompactLocked();
   std::vector<TermId> out;
   TermId last = kInvalidTermId;
   for (const Triple& t : spo_) {
@@ -137,10 +182,11 @@ std::vector<TermId> TripleStore::DistinctSubjects() const {
 }
 
 std::vector<TermId> TripleStore::DistinctObjects(TermId p) const {
-  Compact();
+  MutexLock lock(&mu_);
+  CompactLocked();
   std::vector<TermId> out;
   TriplePattern pat(kInvalidTermId, p, kInvalidTermId);
-  Scan(pat, [&](const Triple& t) {
+  ScanLocked(pat, [&](const Triple& t) {
     out.push_back(t.o);
     return true;
   });
@@ -150,6 +196,7 @@ std::vector<TermId> TripleStore::DistinctObjects(TermId p) const {
 }
 
 size_t TripleStore::MemoryUsage() const {
+  MutexLock lock(&mu_);
   return dict_.MemoryUsage() +
          (spo_.capacity() + pos_.capacity() + osp_.capacity() +
           pending_.capacity()) *

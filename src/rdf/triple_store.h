@@ -6,6 +6,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "rdf/dictionary.h"
 #include "rdf/triple.h"
 
@@ -19,7 +21,11 @@ namespace lodviz::rdf {
 /// indexes with a linear scan of the buffer, and the buffer is folded into
 /// the indexes once it exceeds a threshold (amortized incremental indexing).
 ///
-/// Not thread-safe; one store per exploration session.
+/// Thread-safety: the permutation indexes and pending buffer are guarded by
+/// `mu_` (clang -Wthread-safety verified), so concurrent reads — which may
+/// trigger a logically-const compaction — are safe. The dictionary and
+/// predicate statistics are only written by Add/AddEncoded; writers must
+/// still be externally serialized against each other and against readers.
 class TripleStore {
  public:
   /// `compaction_threshold`: pending-buffer size that triggers a fold into
@@ -28,8 +34,11 @@ class TripleStore {
 
   TripleStore(const TripleStore&) = delete;
   TripleStore& operator=(const TripleStore&) = delete;
-  TripleStore(TripleStore&&) = default;
-  TripleStore& operator=(TripleStore&&) = default;
+
+  /// Moves lock the source's index mutex; the destination must not be
+  /// visible to other threads yet.
+  TripleStore(TripleStore&& other) noexcept;
+  TripleStore& operator=(TripleStore&& other) noexcept;
 
   Dictionary& dict() { return dict_; }
   const Dictionary& dict() const { return dict_; }
@@ -42,22 +51,27 @@ class TripleStore {
   void AddEncoded(const Triple& t);
 
   /// Total triples (post-dedup count may be lower until compaction).
-  size_t size() const { return spo_.size() + pending_.size(); }
+  [[nodiscard]] size_t size() const LODVIZ_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return spo_.size() + pending_.size();
+  }
 
   /// Streams every triple matching `pattern` to `fn`; stop early by
-  /// returning false from `fn`. Uses the best permutation index.
+  /// returning false from `fn`. Uses the best permutation index. `fn` must
+  /// not reenter this store (the index lock is held during the scan).
   void Scan(const TriplePattern& pattern,
-            const std::function<bool(const Triple&)>& fn) const;
+            const std::function<bool(const Triple&)>& fn) const
+      LODVIZ_EXCLUDES(mu_);
 
   /// Materializes all matches.
-  std::vector<Triple> Match(const TriplePattern& pattern) const;
+  [[nodiscard]] std::vector<Triple> Match(const TriplePattern& pattern) const;
 
   /// Number of matches.
-  uint64_t Count(const TriplePattern& pattern) const;
+  [[nodiscard]] uint64_t Count(const TriplePattern& pattern) const;
 
   /// Estimated fraction of the store matched by `pattern`, from predicate
   /// statistics; used by the SPARQL join orderer.
-  double EstimateSelectivity(const TriplePattern& pattern) const;
+  [[nodiscard]] double EstimateSelectivity(const TriplePattern& pattern) const;
 
   /// Distinct predicates with occurrence counts.
   const std::unordered_map<TermId, uint64_t>& predicate_counts() const {
@@ -66,28 +80,36 @@ class TripleStore {
 
   /// Distinct subjects that have at least one triple (from the SPO index +
   /// buffer; deduplicated).
-  std::vector<TermId> DistinctSubjects() const;
+  [[nodiscard]] std::vector<TermId> DistinctSubjects() const
+      LODVIZ_EXCLUDES(mu_);
 
   /// Distinct objects of triples with predicate `p`.
-  std::vector<TermId> DistinctObjects(TermId p) const;
+  [[nodiscard]] std::vector<TermId> DistinctObjects(TermId p) const
+      LODVIZ_EXCLUDES(mu_);
 
   /// Folds the pending buffer into the sorted indexes and deduplicates.
-  void Compact() const;
+  void Compact() const LODVIZ_EXCLUDES(mu_);
 
   /// Approximate heap bytes including the dictionary.
-  size_t MemoryUsage() const;
+  [[nodiscard]] size_t MemoryUsage() const LODVIZ_EXCLUDES(mu_);
 
  private:
-  void MaybeCompact() const;
+  void MaybeCompactLocked() const LODVIZ_REQUIRES(mu_);
+  void CompactLocked() const LODVIZ_REQUIRES(mu_);
+  void ScanLocked(const TriplePattern& pattern,
+                  const std::function<bool(const Triple&)>& fn) const
+      LODVIZ_REQUIRES(mu_);
 
   Dictionary dict_;
   size_t compaction_threshold_;
 
-  // Sorted permutation indexes (mutable: compaction is logically const).
-  mutable std::vector<Triple> spo_;
-  mutable std::vector<Triple> pos_;
-  mutable std::vector<Triple> osp_;
-  mutable std::vector<Triple> pending_;
+  /// Guards the sorted permutation indexes and the pending buffer
+  /// (mutable: compaction is logically const and may run inside reads).
+  mutable Mutex mu_;
+  mutable std::vector<Triple> spo_ LODVIZ_GUARDED_BY(mu_);
+  mutable std::vector<Triple> pos_ LODVIZ_GUARDED_BY(mu_);
+  mutable std::vector<Triple> osp_ LODVIZ_GUARDED_BY(mu_);
+  mutable std::vector<Triple> pending_ LODVIZ_GUARDED_BY(mu_);
 
   std::unordered_map<TermId, uint64_t> pred_counts_;
 };

@@ -11,7 +11,7 @@ namespace lodviz::sparql {
 namespace {
 
 const std::unordered_set<std::string>& Keywords() {
-  static const auto* kKeywords = new std::unordered_set<std::string>{
+  static const std::unordered_set<std::string> kKeywords = {
       "PREFIX", "SELECT", "ASK",    "CONSTRUCT", "DESCRIBE",
       "DISTINCT", "WHERE",  "FILTER",
       "OPTIONAL", "UNION", "ORDER", "BY",       "ASC",    "DESC",
@@ -19,7 +19,7 @@ const std::unordered_set<std::string>& Keywords() {
       "AVG",    "MIN",    "MAX",    "BOUND",    "ISIRI",  "ISLITERAL",
       "ISBLANK", "STR",   "CONTAINS", "STRSTARTS", "LANG", "DATATYPE",
       "TRUE",   "FALSE"};
-  return *kKeywords;
+  return kKeywords;
 }
 
 bool IsPnameChar(char c) {

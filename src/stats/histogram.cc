@@ -106,7 +106,9 @@ std::string Histogram::ToAscii(size_t max_width) const {
     std::snprintf(buf, sizeof(buf), "[%10.2f, %10.2f) ", b.lo, b.hi);
     out += buf;
     out.append(w, '#');
-    out += " " + std::to_string(b.count) + "\n";
+    out += ' ';
+    out += std::to_string(b.count);
+    out += '\n';
   }
   return out;
 }

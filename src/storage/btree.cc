@@ -32,31 +32,18 @@ constexpr size_t kInternalCapacity =
     (sizeof(Key128) + sizeof(PageId));
 
 PageHeader* Header(uint8_t* page) { return reinterpret_cast<PageHeader*>(page); }
-const PageHeader* Header(const uint8_t* page) {
-  return reinterpret_cast<const PageHeader*>(page);
-}
 
 LeafEntry* LeafEntries(uint8_t* page) {
   return reinterpret_cast<LeafEntry*>(page + sizeof(PageHeader));
-}
-const LeafEntry* LeafEntries(const uint8_t* page) {
-  return reinterpret_cast<const LeafEntry*>(page + sizeof(PageHeader));
 }
 
 Key128* InternalKeys(uint8_t* page) {
   return reinterpret_cast<Key128*>(page + sizeof(PageHeader));
 }
-const Key128* InternalKeys(const uint8_t* page) {
-  return reinterpret_cast<const Key128*>(page + sizeof(PageHeader));
-}
 
 PageId* InternalChildren(uint8_t* page) {
   return reinterpret_cast<PageId*>(page + sizeof(PageHeader) +
                                    kInternalCapacity * sizeof(Key128));
-}
-const PageId* InternalChildren(const uint8_t* page) {
-  return reinterpret_cast<const PageId*>(page + sizeof(PageHeader) +
-                                         kInternalCapacity * sizeof(Key128));
 }
 
 void InitLeaf(uint8_t* page) {

@@ -52,7 +52,7 @@ class BTree {
   Status Insert(const Key128& key, uint64_t value);
 
   /// Value for `key`; NotFound if absent.
-  Result<uint64_t> Lookup(const Key128& key) const;
+  [[nodiscard]] Result<uint64_t> Lookup(const Key128& key) const;
 
   /// Streams items with lo <= key <= hi in key order; return false from
   /// `fn` to stop early.

@@ -6,7 +6,7 @@ namespace lodviz::storage {
 
 Result<std::unique_ptr<DiskTripleStore>> DiskTripleStore::Create(
     const std::string& path, size_t pool_pages) {
-  auto store = std::unique_ptr<DiskTripleStore>(new DiskTripleStore());
+  auto store = std::make_unique<DiskTripleStore>(Private{});
   store->file_ = std::make_unique<PageFile>();
   LODVIZ_RETURN_NOT_OK(store->file_->Open(path, /*truncate=*/true));
   store->pool_ = std::make_unique<BufferPool>(store->file_.get(), pool_pages);

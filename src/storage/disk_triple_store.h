@@ -49,8 +49,14 @@ class DiskTripleStore {
   /// Buffer pool + bookkeeping bytes (excludes the OS page cache).
   size_t MemoryUsage() const { return pool_->MemoryUsage(); }
 
+  /// Passkey for Create(): keeps the constructor effectively private while
+  /// letting std::make_unique call it (no naked `new`).
+  struct Private {
+    explicit Private() = default;
+  };
+  explicit DiskTripleStore(Private) {}
+
  private:
-  DiskTripleStore() = default;
 
   static Key128 SpoKey(const rdf::Triple& t) {
     return {(static_cast<uint64_t>(t.s) << 32) | t.p, t.o};

@@ -9,6 +9,7 @@
 #include "common/status.h"
 #include "common/string_util.h"
 #include "common/table_printer.h"
+#include "test_util.h"
 
 namespace lodviz {
 namespace {
@@ -75,7 +76,7 @@ TEST(ResultTest, HoldsError) {
 }
 
 TEST(ResultTest, AssignOrReturnMacro) {
-  EXPECT_EQ(DoubleIt(5).ValueOrDie(), 10);
+  EXPECT_EQ(test::Unwrap(DoubleIt(5)), 10);
   EXPECT_FALSE(DoubleIt(-5).ok());
 }
 

@@ -14,6 +14,7 @@
 #include "rdf/ntriples.h"
 #include "rdf/streaming.h"
 #include "workload/synthetic_lod.h"
+#include "test_util.h"
 
 namespace lodviz {
 namespace {
@@ -177,7 +178,7 @@ TEST(IntegrationTest, ProgressiveMatchesExactAggregate) {
   auto exact = engine.Query(
       "SELECT (AVG(?age) AS ?avg) WHERE { ?s <http://lod.example/ontology/age> ?age . }");
   ASSERT_TRUE(exact.ok());
-  double exact_avg = exact->rows()[0][0].term.AsDouble().ValueOrDie();
+  double exact_avg = test::Unwrap(exact->rows()[0][0].term.AsDouble());
 
   std::vector<double> ages;
   engine.store().Scan(

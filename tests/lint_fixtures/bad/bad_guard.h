@@ -1,0 +1,10 @@
+// LINT-EXPECT: header-guard
+// Guard name does not match the file path (should be LODVIZ_BAD_GUARD_H_).
+#ifndef WRONG_GUARD_NAME_H
+#define WRONG_GUARD_NAME_H
+
+namespace lodviz {
+inline int BadGuardAnswer() { return 42; }
+}  // namespace lodviz
+
+#endif  // WRONG_GUARD_NAME_H

@@ -1,0 +1,22 @@
+// LINT-EXPECT: unchecked-result
+// Dereferencing a Result (operator* / operator->) without checking ok():
+// the value may not exist, and the error status is silently dropped.
+#include <string>
+
+#include "common/result.h"
+
+namespace lodviz {
+
+Result<std::string> LoadName();
+
+std::string DroppedStatusDeref() {
+  Result<std::string> name = LoadName();
+  return *name;  // status dropped; aborts at runtime if LoadName failed
+}
+
+size_t DroppedStatusArrow() {
+  Result<std::string> name = LoadName();
+  return name->size();
+}
+
+}  // namespace lodviz

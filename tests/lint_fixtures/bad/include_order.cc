@@ -1,0 +1,10 @@
+// LINT-EXPECT: include-first
+// A .cc must include its own header first (catches missing-include bugs in
+// the header itself).
+#include <vector>
+
+#include "include_order.h"
+
+namespace lodviz {
+int IncludeOrderAnswer() { return static_cast<int>(std::vector<int>{1}.size()); }
+}  // namespace lodviz

@@ -1,0 +1,8 @@
+#ifndef LODVIZ_INCLUDE_ORDER_H_
+#define LODVIZ_INCLUDE_ORDER_H_
+
+namespace lodviz {
+int IncludeOrderAnswer();
+}  // namespace lodviz
+
+#endif  // LODVIZ_INCLUDE_ORDER_H_

@@ -1,0 +1,12 @@
+// LINT-EXPECT: io-print
+#include <cstdio>
+#include <iostream>
+
+namespace lodviz {
+
+void Announce() {
+  std::cout << "library code must not write to stdout directly\n";
+  printf("neither via printf\n");
+}
+
+}  // namespace lodviz

@@ -1,0 +1,9 @@
+// LINT-EXPECT: naked-new
+// Raw new/delete instead of RAII ownership.
+namespace lodviz {
+
+int* Allocate() { return new int(7); }
+
+void Deallocate(int* p) { delete p; }
+
+}  // namespace lodviz

@@ -1,0 +1,17 @@
+// LINT-EXPECT: unchecked-result
+// ValueOrDie() with no lexically preceding ok() / CHECK_OK in scope, and
+// ValueOrDie() directly on a temporary.
+#include "common/result.h"
+
+namespace lodviz {
+
+Result<int> ParseNumber(int x);
+
+int UncheckedLocal() {
+  Result<int> r = ParseNumber(1);
+  return r.ValueOrDie();  // never checked r.ok()
+}
+
+int UncheckedTemporary() { return ParseNumber(2).ValueOrDie(); }
+
+}  // namespace lodviz

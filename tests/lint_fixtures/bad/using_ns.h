@@ -1,0 +1,13 @@
+// LINT-EXPECT: using-namespace-header
+#ifndef LODVIZ_USING_NS_H_
+#define LODVIZ_USING_NS_H_
+
+#include <string>
+
+using namespace std;  // pollutes every includer
+
+namespace lodviz {
+inline string UsingNsName() { return "bad"; }
+}  // namespace lodviz
+
+#endif  // LODVIZ_USING_NS_H_

@@ -1,0 +1,26 @@
+#ifndef LODVIZ_CLEAN_MOD_H_
+#define LODVIZ_CLEAN_MOD_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+
+namespace lodviz {
+
+/// A well-behaved module: proper guard, no using-namespace, RAII ownership.
+class CleanMod {
+ public:
+  CleanMod() = default;
+  CleanMod(const CleanMod&) = delete;             // `= delete` is not naked
+  CleanMod& operator=(const CleanMod&) = delete;  // delete
+
+  Result<int> Parse(const std::string& text) const;
+
+ private:
+  std::unique_ptr<int> owned_;  // make_unique in the .cc, never naked new
+};
+
+}  // namespace lodviz
+
+#endif  // LODVIZ_CLEAN_MOD_H_

@@ -9,6 +9,7 @@
 #include "rdf/streaming.h"
 #include "rdf/triple_store.h"
 #include "rdf/vocab.h"
+#include "test_util.h"
 
 namespace lodviz::rdf {
 namespace {
@@ -37,7 +38,7 @@ TEST(DictionaryTest, RoundTrip) {
   Dictionary dict;
   Term t = Term::LangLiteral("caf\xC3\xA9", "fr");
   TermId id = dict.Intern(t);
-  EXPECT_EQ(dict.GetTerm(id).ValueOrDie(), t);
+  EXPECT_EQ(test::Unwrap(dict.GetTerm(id)), t);
   EXPECT_EQ(dict.Lookup(t), id);
 }
 

@@ -2,6 +2,7 @@
 
 #include "rdf/term.h"
 #include "rdf/vocab.h"
+#include "test_util.h"
 
 namespace lodviz::rdf {
 namespace {
@@ -30,7 +31,7 @@ TEST(TermTest, Constructors) {
 TEST(TermTest, TypedLiteralHelpers) {
   EXPECT_EQ(Term::IntLiteral(-42).lexical, "-42");
   EXPECT_EQ(Term::BoolLiteral(true).lexical, "true");
-  EXPECT_DOUBLE_EQ(Term::DoubleLiteral(2.5).AsDouble().ValueOrDie(), 2.5);
+  EXPECT_DOUBLE_EQ(test::Unwrap(Term::DoubleLiteral(2.5).AsDouble()), 2.5);
 }
 
 TEST(TermTest, NumericDetection) {
@@ -79,9 +80,9 @@ INSTANTIATE_TEST_SUITE_P(
                       EscapeCase{"utf8 \xC3\xA9\xE2\x82\xAC intact"}));
 
 TEST(EscapeTest, UnescapeUnicode) {
-  EXPECT_EQ(UnescapeNTriplesString("\\u0041").ValueOrDie(), "A");
-  EXPECT_EQ(UnescapeNTriplesString("\\u00e9").ValueOrDie(), "\xC3\xA9");
-  EXPECT_EQ(UnescapeNTriplesString("\\U0001F600").ValueOrDie(),
+  EXPECT_EQ(test::Unwrap(UnescapeNTriplesString("\\u0041")), "A");
+  EXPECT_EQ(test::Unwrap(UnescapeNTriplesString("\\u00e9")), "\xC3\xA9");
+  EXPECT_EQ(test::Unwrap(UnescapeNTriplesString("\\U0001F600")),
             "\xF0\x9F\x98\x80");
 }
 
@@ -124,7 +125,7 @@ TEST(DateTimeTest, FormatsBackToCanonical) {
 TEST(DateTimeTest, RoundTripsThroughFormat) {
   for (int64_t t : {int64_t{0}, int64_t{123456789}, int64_t{-1000000},
                     int64_t{4102444800}}) {  // year 2100
-    EXPECT_EQ(ParseDateTime(FormatDateTime(t)).ValueOrDie(), t);
+    EXPECT_EQ(test::Unwrap(ParseDateTime(FormatDateTime(t))), t);
   }
 }
 
@@ -141,7 +142,7 @@ TEST(DateTimeTest, RejectsMalformed) {
 TEST(TermTest, DateTimeLiteralRoundTrip) {
   Term t = Term::DateTimeLiteral(1458045045);
   EXPECT_TRUE(t.IsTemporalLiteral());
-  EXPECT_EQ(t.AsEpochSeconds().ValueOrDie(), 1458045045);
+  EXPECT_EQ(test::Unwrap(t.AsEpochSeconds()), 1458045045);
 }
 
 TEST(TermTest, Equality) {

@@ -7,6 +7,7 @@
 #include "sparql/engine.h"
 #include "sparql/lexer.h"
 #include "sparql/parser.h"
+#include "test_util.h"
 
 namespace lodviz::sparql {
 namespace {
@@ -276,8 +277,8 @@ TEST_F(EngineFixture, NumericAggregates) {
       "SELECT (SUM(?a) AS ?sum) (AVG(?a) AS ?avg) (MIN(?a) AS ?lo) (MAX(?a) AS ?hi) "
       "WHERE { ?s <http://x/age> ?a . }");
   ASSERT_EQ(t.num_rows(), 1u);
-  EXPECT_EQ(t.rows()[0][0].term.AsDouble().ValueOrDie(), 105.0);
-  EXPECT_EQ(t.rows()[0][1].term.AsDouble().ValueOrDie(), 35.0);
+  EXPECT_EQ(test::Unwrap(t.rows()[0][0].term.AsDouble()), 105.0);
+  EXPECT_EQ(test::Unwrap(t.rows()[0][1].term.AsDouble()), 35.0);
   EXPECT_EQ(t.rows()[0][2].term.lexical, "30");
   EXPECT_EQ(t.rows()[0][3].term.lexical, "40");
 }

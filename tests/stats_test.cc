@@ -14,6 +14,7 @@
 #include "stats/quantile.h"
 #include "stats/sampler.h"
 #include "stats/sketch.h"
+#include "test_util.h"
 
 namespace lodviz::stats {
 namespace {
@@ -316,7 +317,7 @@ TEST(ProfilerTest, DetectsValueKinds) {
 
 TEST(ProfilerTest, DatasetLevelSignals) {
   rdf::TripleStore store = MakeProfileStore();
-  auto dp = ProfileDataset(store).ValueOrDie();
+  auto dp = test::Unwrap(ProfileDataset(store));
   EXPECT_TRUE(dp.has_spatial);
   EXPECT_FALSE(dp.has_class_hierarchy);
   EXPECT_EQ(dp.subject_count, 200u);
@@ -326,7 +327,7 @@ TEST(ProfilerTest, DatasetLevelSignals) {
 
 TEST(ProfilerTest, NumericMomentsAndDistinct) {
   rdf::TripleStore store = MakeProfileStore();
-  auto dp = ProfileDataset(store).ValueOrDie();
+  auto dp = test::Unwrap(ProfileDataset(store));
   const PropertyProfile* age = dp.FindProperty("http://x/age");
   ASSERT_NE(age, nullptr);
   EXPECT_EQ(age->count, 200u);
@@ -337,7 +338,7 @@ TEST(ProfilerTest, NumericMomentsAndDistinct) {
 
 TEST(ProfilerTest, TopValuesForCategorical) {
   rdf::TripleStore store = MakeProfileStore();
-  auto dp = ProfileDataset(store).ValueOrDie();
+  auto dp = test::Unwrap(ProfileDataset(store));
   const PropertyProfile* team = dp.FindProperty("http://x/team");
   ASSERT_NE(team, nullptr);
   ASSERT_EQ(team->top_values.size(), 2u);
@@ -346,7 +347,7 @@ TEST(ProfilerTest, TopValuesForCategorical) {
 
 TEST(ProfilerTest, GeoCoordinateFlag) {
   rdf::TripleStore store = MakeProfileStore();
-  auto dp = ProfileDataset(store).ValueOrDie();
+  auto dp = test::Unwrap(ProfileDataset(store));
   EXPECT_TRUE(dp.FindProperty(rdf::vocab::kGeoLat)->is_geo_coordinate);
   EXPECT_FALSE(dp.FindProperty("http://x/age")->is_geo_coordinate);
 }

@@ -14,6 +14,7 @@
 #include "storage/cracking.h"
 #include "storage/disk_triple_store.h"
 #include "storage/page_file.h"
+#include "test_util.h"
 
 namespace lodviz::storage {
 namespace {
@@ -140,8 +141,8 @@ TEST(BTreeTest, InsertAndLookupSmall) {
   ASSERT_TRUE(tree->Insert(K(5), 50).ok());
   ASSERT_TRUE(tree->Insert(K(3), 30).ok());
   ASSERT_TRUE(tree->Insert(K(9), 90).ok());
-  EXPECT_EQ(tree->Lookup(K(3)).ValueOrDie(), 30u);
-  EXPECT_EQ(tree->Lookup(K(5)).ValueOrDie(), 50u);
+  EXPECT_EQ(test::Unwrap(tree->Lookup(K(3))), 30u);
+  EXPECT_EQ(test::Unwrap(tree->Lookup(K(5))), 50u);
   EXPECT_FALSE(tree->Lookup(K(4)).ok());
   EXPECT_EQ(tree->size(), 3u);
 }
@@ -155,7 +156,7 @@ TEST(BTreeTest, OverwriteKeepsSize) {
   ASSERT_TRUE(tree->Insert(K(1), 10).ok());
   ASSERT_TRUE(tree->Insert(K(1), 11).ok());
   EXPECT_EQ(tree->size(), 1u);
-  EXPECT_EQ(tree->Lookup(K(1)).ValueOrDie(), 11u);
+  EXPECT_EQ(test::Unwrap(tree->Lookup(K(1))), 11u);
 }
 
 /// Model check: random inserts + range scans vs std::map, with a pool far
@@ -226,7 +227,7 @@ TEST(BTreeTest, BulkLoadEqualsInserts) {
   ASSERT_TRUE(tree.ok());
   EXPECT_EQ(tree->size(), 5000u);
   for (uint64_t i : {0ULL, 17ULL, 4999ULL}) {
-    EXPECT_EQ(tree->Lookup(K(i * 3, i)).ValueOrDie(), i);
+    EXPECT_EQ(test::Unwrap(tree->Lookup(K(i * 3, i))), i);
   }
   EXPECT_FALSE(tree->Lookup(K(1, 0)).ok());
 
@@ -245,7 +246,7 @@ TEST(BTreeTest, BulkLoadEqualsInserts) {
 
   // Inserts still work after bulk load.
   ASSERT_TRUE(tree->Insert(K(1, 0), 999).ok());
-  EXPECT_EQ(tree->Lookup(K(1, 0)).ValueOrDie(), 999u);
+  EXPECT_EQ(test::Unwrap(tree->Lookup(K(1, 0))), 999u);
   EXPECT_EQ(tree->size(), 5001u);
 }
 

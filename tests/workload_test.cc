@@ -9,6 +9,7 @@
 #include "stats/profile.h"
 #include "workload/scenario.h"
 #include "workload/synthetic_lod.h"
+#include "test_util.h"
 
 namespace lodviz::workload {
 namespace {
@@ -24,7 +25,7 @@ TEST(SyntheticLodTest, GeneratesExpectedShape) {
   EXPECT_GT(n, 500u * 7);
   EXPECT_LT(n, 500u * 13);
 
-  auto profile = stats::ProfileDataset(store).ValueOrDie();
+  auto profile = test::Unwrap(stats::ProfileDataset(store));
   EXPECT_TRUE(profile.has_spatial);
   EXPECT_EQ(profile.FindProperty(lod::kAge)->kind,
             stats::ValueKind::kNumeric);

@@ -1,0 +1,557 @@
+// lodviz_lint: standalone project-invariant checker for the lodviz tree.
+//
+// A deliberately dependency-free (no libclang) tokenizing analyzer that
+// enforces the coding invariants the Status/Result error-handling contract
+// relies on. Registered as a ctest test so tier-1 fails on any violation.
+//
+// Rules (ids used in output and in LINT-EXPECT fixture comments):
+//   header-guard             #ifndef/#define guard must be LODVIZ_<PATH>_H_
+//   include-first            a .cc file must include its own header first
+//   using-namespace-header   no `using namespace` at any scope in headers
+//   naked-new                no naked new/delete in src/ (smart ptrs only)
+//   io-print                 no std::cout / printf-family in src/ outside
+//                            the table printer and logging sinks
+//   unchecked-result         no ValueOrDie()/operator* /operator-> on a
+//                            Result without a lexically preceding ok() or
+//                            LODVIZ_CHECK_OK in an enclosing scope
+//
+// Usage:
+//   lodviz_lint --root <repo-root> [dirs...]     (default: src bench tests tools)
+//   lodviz_lint --expect --root <fixture-dir>    self-test mode: violations
+//       must exactly match the `// LINT-EXPECT: <rule>` comments in the
+//       fixture files (all rules applied regardless of path scoping).
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Violation {
+  std::string file;  // path relative to the scan root
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct Token {
+  std::string text;
+  int line = 0;
+  bool ident = false;
+};
+
+// ---------------------------------------------------------------------------
+// Source preparation
+// ---------------------------------------------------------------------------
+
+/// Returns `source` with comments and string/char literal contents replaced
+/// by spaces (newlines kept), so token scans cannot match inside them.
+/// Handles //, /* */, "..." with escapes, '...', and R"delim(...)delim".
+std::string StripCommentsAndStrings(const std::string& source) {
+  std::string out = source;
+  size_t i = 0;
+  const size_t n = source.size();
+  auto blank = [&](size_t from, size_t to) {
+    for (size_t k = from; k < to && k < n; ++k) {
+      if (out[k] != '\n') out[k] = ' ';
+    }
+  };
+  while (i < n) {
+    char c = source[i];
+    if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+      size_t end = source.find('\n', i);
+      if (end == std::string::npos) end = n;
+      blank(i, end);
+      i = end;
+    } else if (c == '/' && i + 1 < n && source[i + 1] == '*') {
+      size_t end = source.find("*/", i + 2);
+      end = (end == std::string::npos) ? n : end + 2;
+      blank(i, end);
+      i = end;
+    } else if (c == 'R' && i + 1 < n && source[i + 1] == '"') {
+      size_t paren = source.find('(', i + 2);
+      if (paren == std::string::npos) {
+        ++i;
+        continue;
+      }
+      std::string delim;
+      delim.reserve(paren - i);
+      delim.push_back(')');
+      delim.append(source, i + 2, paren - i - 2);
+      delim.push_back('"');
+      size_t end = source.find(delim, paren + 1);
+      end = (end == std::string::npos) ? n : end + delim.size();
+      blank(i, end);
+      i = end;
+    } else if (c == '"' || c == '\'') {
+      size_t j = i + 1;
+      while (j < n && source[j] != c) {
+        if (source[j] == '\\') ++j;
+        ++j;
+      }
+      if (j < n) ++j;
+      blank(i + 1, j);  // keep the quotes so tokenization stays sane
+      i = j;
+    } else {
+      ++i;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Tokenizes stripped source into identifiers and single punctuation chars.
+std::vector<Token> Tokenize(const std::string& stripped) {
+  std::vector<Token> toks;
+  int line = 1;
+  size_t i = 0;
+  const size_t n = stripped.size();
+  while (i < n) {
+    char c = stripped[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+    } else if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+    } else if (IsIdentChar(c)) {
+      size_t j = i;
+      while (j < n && IsIdentChar(stripped[j])) ++j;
+      bool ident = !std::isdigit(static_cast<unsigned char>(c));
+      toks.push_back({stripped.substr(i, j - i), line, ident});
+      i = j;
+    } else if (c == '-' && i + 1 < n && stripped[i + 1] == '>') {
+      toks.push_back({"->", line, false});
+      i += 2;
+    } else if (c == ':' && i + 1 < n && stripped[i + 1] == ':') {
+      toks.push_back({"::", line, false});
+      i += 2;
+    } else {
+      toks.push_back({std::string(1, c), line, false});
+      ++i;
+    }
+  }
+  return toks;
+}
+
+// ---------------------------------------------------------------------------
+// Per-file rules
+// ---------------------------------------------------------------------------
+
+/// src/common/result.h -> LODVIZ_COMMON_RESULT_H_ ; bench/x.h keeps `bench/`.
+std::string ExpectedGuard(const std::string& rel) {
+  std::string path = rel;
+  if (path.rfind("src/", 0) == 0) path = path.substr(4);
+  std::string guard = "LODVIZ_";
+  for (char c : path) {
+    guard += IsIdentChar(c) ? static_cast<char>(std::toupper(
+                                  static_cast<unsigned char>(c)))
+                            : '_';
+  }
+  guard += '_';
+  return guard;
+}
+
+void CheckHeaderGuard(const std::string& rel,
+                      const std::vector<std::string>& lines,
+                      std::vector<Violation>* out) {
+  const std::string want = ExpectedGuard(rel);
+  for (size_t i = 0; i < lines.size(); ++i) {
+    std::istringstream in(lines[i]);
+    std::string directive, name;
+    in >> directive >> name;
+    if (directive == "#pragma" && name == "once") {
+      out->push_back({rel, static_cast<int>(i + 1), "header-guard",
+                      "use an include guard named " + want +
+                          ", not #pragma once"});
+      return;
+    }
+    if (directive != "#ifndef") continue;
+    if (name != want) {
+      out->push_back({rel, static_cast<int>(i + 1), "header-guard",
+                      "guard is '" + name + "', expected '" + want + "'"});
+    }
+    return;
+  }
+  out->push_back({rel, 1, "header-guard", "missing include guard " + want});
+}
+
+void CheckIncludeFirst(const std::string& rel, const fs::path& abs,
+                       const std::vector<std::string>& stripped_lines,
+                       const std::vector<std::string>& raw_lines,
+                       std::vector<Violation>* out) {
+  fs::path own_header = abs;
+  own_header.replace_extension(".h");
+  if (!fs::exists(own_header)) return;
+  std::string want = rel.substr(0, rel.size() - 3) + ".h";
+  if (want.rfind("src/", 0) == 0) want = want.substr(4);
+  // Directive detection uses the stripped view (ignores commented-out
+  // includes); the path itself lives in a string literal, so read the raw
+  // line for the comparison.
+  for (size_t i = 0; i < stripped_lines.size(); ++i) {
+    if (stripped_lines[i].find("#include") == std::string::npos) continue;
+    const std::string& raw =
+        i < raw_lines.size() ? raw_lines[i] : stripped_lines[i];
+    if (raw.find("\"" + want + "\"") == std::string::npos) {
+      out->push_back({rel, static_cast<int>(i + 1), "include-first",
+                      "first include must be \"" + want + "\""});
+    }
+    return;
+  }
+}
+
+void CheckUsingNamespace(const std::string& rel,
+                         const std::vector<Token>& toks,
+                         std::vector<Violation>* out) {
+  for (size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].text == "using" && toks[i + 1].text == "namespace") {
+      out->push_back({rel, toks[i].line, "using-namespace-header",
+                      "`using namespace` in a header pollutes every "
+                      "includer's scope"});
+    }
+  }
+}
+
+void CheckNakedNewDelete(const std::string& rel,
+                         const std::vector<Token>& toks,
+                         std::vector<Violation>* out) {
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const std::string& t = toks[i].text;
+    if (t == "new") {
+      // `operator new` declarations are fine; expressions are not.
+      if (i > 0 && toks[i - 1].text == "operator") continue;
+      out->push_back({rel, toks[i].line, "naked-new",
+                      "naked `new`; use std::make_unique/static storage"});
+    } else if (t == "delete") {
+      // `= delete` (deleted functions) and `operator delete` are fine.
+      if (i > 0 &&
+          (toks[i - 1].text == "=" || toks[i - 1].text == "operator")) {
+        continue;
+      }
+      out->push_back({rel, toks[i].line, "naked-new",
+                      "naked `delete`; ownership must be RAII-managed"});
+    }
+  }
+}
+
+bool IoPrintAllowlisted(const std::string& rel) {
+  return rel.find("table_printer") != std::string::npos ||
+         rel.find("common/logging") != std::string::npos;
+}
+
+void CheckIoPrint(const std::string& rel, const std::vector<Token>& toks,
+                  std::vector<Violation>* out) {
+  for (const Token& t : toks) {
+    if (!t.ident) continue;
+    if (t.text == "cout" || t.text == "printf" || t.text == "fprintf" ||
+        t.text == "puts" || t.text == "putchar") {
+      out->push_back({rel, t.line, "io-print",
+                      "`" + t.text +
+                          "` in src/; route output through an ostream& "
+                          "parameter or common/logging"});
+    }
+  }
+}
+
+/// Scope-stack analysis for unchecked Result access.
+///
+/// Tracks (a) identifiers declared as `Result<...> name`, and (b)
+/// identifiers that appeared in `name.ok()` / LODVIZ_CHECK_OK(name) — the
+/// "checked" set, per brace scope. `name.ValueOrDie()`, `*name`, and
+/// `name->` require `name` to be checked in an enclosing scope. Calling
+/// ValueOrDie() directly on a temporary (`Foo().ValueOrDie()`) always fires.
+void CheckUncheckedResult(const std::string& rel,
+                          const std::vector<Token>& toks,
+                          std::vector<Violation>* out) {
+  struct Scope {
+    std::set<std::string> checked;
+    std::set<std::string> result_vars;
+  };
+  std::vector<Scope> scopes(1);
+  auto is_checked = [&](const std::string& name) {
+    for (const Scope& s : scopes) {
+      if (s.checked.count(name)) return true;
+    }
+    return false;
+  };
+  auto is_result_var = [&](const std::string& name) {
+    for (const Scope& s : scopes) {
+      if (s.result_vars.count(name)) return true;
+    }
+    return false;
+  };
+  const size_t n = toks.size();
+  for (size_t i = 0; i < n; ++i) {
+    const std::string& t = toks[i].text;
+    if (t == "{") {
+      scopes.emplace_back();
+      continue;
+    }
+    if (t == "}") {
+      if (scopes.size() > 1) scopes.pop_back();
+      continue;
+    }
+    // Declaration: Result < ... > name ( = | ; | { )
+    if (t == "Result" && i + 1 < n && toks[i + 1].text == "<") {
+      int depth = 0;
+      size_t j = i + 1;
+      for (; j < n; ++j) {
+        if (toks[j].text == "<") ++depth;
+        if (toks[j].text == ">" && --depth == 0) break;
+      }
+      if (j + 2 < n && toks[j + 1].ident) {
+        const std::string& after = toks[j + 2].text;
+        if (after == "=" || after == ";" || after == "{") {
+          scopes.back().result_vars.insert(toks[j + 1].text);
+        }
+      }
+      continue;
+    }
+    // Check marking: name.ok(  or  CHECK_OK-style macro (name...
+    if (t == "ok" && i + 1 < n && toks[i + 1].text == "(" && i >= 2 &&
+        toks[i - 1].text == "." && toks[i - 2].ident) {
+      scopes.back().checked.insert(toks[i - 2].text);
+      continue;
+    }
+    if ((t == "LODVIZ_CHECK_OK" || t == "CHECK_OK" || t == "ASSERT_OK" ||
+         t == "EXPECT_OK") &&
+        i + 2 < n && toks[i + 1].text == "(" && toks[i + 2].ident) {
+      scopes.back().checked.insert(toks[i + 2].text);
+      continue;
+    }
+    // Use: name.ValueOrDie(  or  std::move(name).ValueOrDie(
+    if (t == "ValueOrDie" && i >= 1 && toks[i - 1].text == ".") {
+      std::string target;
+      if (i >= 2 && toks[i - 2].ident) {
+        target = toks[i - 2].text;
+      } else if (i >= 2 && toks[i - 2].text == ")") {
+        int depth = 0;
+        for (size_t j = i - 2; j + 1 > 0; --j) {
+          if (toks[j].text == ")") ++depth;
+          if (toks[j].text == "(" && --depth == 0) break;
+          if (toks[j].ident && toks[j].text != "std" &&
+              toks[j].text != "move") {
+            target = toks[j].text;
+          }
+        }
+      }
+      if (target.empty() || !is_checked(target)) {
+        out->push_back(
+            {rel, toks[i].line, "unchecked-result",
+             target.empty()
+                 ? "ValueOrDie() on a temporary; bind it and check ok() "
+                   "first (or use LODVIZ_ASSIGN_OR_RETURN)"
+                 : "ValueOrDie() on '" + target +
+                       "' with no lexically preceding '" + target +
+                       ".ok()' / CHECK_OK in scope"});
+      }
+      continue;
+    }
+    // Use: *name  (unary) or name->  on a known Result variable.
+    if (t == "*" && i + 1 < n && toks[i + 1].ident &&
+        is_result_var(toks[i + 1].text) && !is_checked(toks[i + 1].text)) {
+      bool binary = i > 0 && (toks[i - 1].ident || toks[i - 1].text == ")" ||
+                              toks[i - 1].text == "]");
+      if (!binary) {
+        out->push_back({rel, toks[i].line, "unchecked-result",
+                        "operator* on Result '" + toks[i + 1].text +
+                            "' with no preceding ok() check in scope"});
+      }
+      continue;
+    }
+    if (t == "->" && i > 0 && toks[i - 1].ident &&
+        is_result_var(toks[i - 1].text) && !is_checked(toks[i - 1].text)) {
+      out->push_back({rel, toks[i].line, "unchecked-result",
+                      "operator-> on Result '" + toks[i - 1].text +
+                          "' with no preceding ok() check in scope"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------------
+
+struct Options {
+  fs::path root;
+  std::vector<std::string> dirs;
+  bool expect_mode = false;
+};
+
+bool ShouldSkipDir(const std::string& name) {
+  return name == "lint_fixtures" || name.rfind("build", 0) == 0 ||
+         (!name.empty() && name[0] == '.');
+}
+
+void LintFile(const fs::path& abs, const std::string& rel, bool all_rules,
+              std::vector<Violation>* out) {
+  std::ifstream in(abs, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string source = buf.str();
+  const std::string stripped = StripCommentsAndStrings(source);
+  const std::vector<std::string> lines = SplitLines(stripped);
+  const std::vector<std::string> raw_lines = SplitLines(source);
+  const std::vector<Token> toks = Tokenize(stripped);
+  const bool is_header = rel.size() > 2 && rel.rfind(".h") == rel.size() - 2;
+  const bool in_src = all_rules || rel.rfind("src/", 0) == 0;
+
+  if (is_header) {
+    CheckHeaderGuard(rel, lines, out);
+    CheckUsingNamespace(rel, toks, out);
+  } else {
+    CheckIncludeFirst(rel, abs, lines, raw_lines, out);
+  }
+  if (in_src) {
+    CheckNakedNewDelete(rel, toks, out);
+    if (!IoPrintAllowlisted(rel)) CheckIoPrint(rel, toks, out);
+  }
+  CheckUncheckedResult(rel, toks, out);
+}
+
+/// Collects `// LINT-EXPECT: rule-a, rule-b` annotations from raw source.
+std::set<std::pair<std::string, std::string>> CollectExpectations(
+    const fs::path& abs, const std::string& rel) {
+  std::set<std::pair<std::string, std::string>> expected;
+  std::ifstream in(abs);
+  std::string line;
+  while (std::getline(in, line)) {
+    size_t pos = line.find("LINT-EXPECT:");
+    if (pos == std::string::npos) continue;
+    std::string rest = line.substr(pos + 12);
+    std::istringstream items(rest);
+    std::string rule;
+    while (std::getline(items, rule, ',')) {
+      rule.erase(0, rule.find_first_not_of(" \t"));
+      rule.erase(rule.find_last_not_of(" \t") + 1);
+      if (!rule.empty()) expected.insert({rel, rule});
+    }
+  }
+  return expected;
+}
+
+int Run(const Options& opts) {
+  std::vector<std::pair<fs::path, std::string>> files;  // (abs, rel)
+  std::error_code ec;
+  std::vector<fs::path> roots;
+  if (opts.dirs.empty()) {
+    roots.push_back(opts.root);
+  } else {
+    for (const std::string& d : opts.dirs) roots.push_back(opts.root / d);
+  }
+  for (const fs::path& scan_root : roots) {
+    if (!fs::exists(scan_root)) {
+      std::cerr << "lodviz_lint: scan dir '" << scan_root.string()
+                << "' does not exist\n";
+      return 2;
+    }
+    fs::recursive_directory_iterator it(scan_root, ec), end;
+    for (; it != end; it.increment(ec)) {
+      if (it->is_directory() &&
+          ShouldSkipDir(it->path().filename().string())) {
+        it.disable_recursion_pending();
+        continue;
+      }
+      if (!it->is_regular_file()) continue;
+      std::string ext = it->path().extension().string();
+      if (ext != ".h" && ext != ".cc") continue;
+      files.push_back(
+          {it->path(), fs::relative(it->path(), opts.root).string()});
+    }
+  }
+  std::sort(files.begin(), files.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+
+  std::vector<Violation> violations;
+  std::set<std::pair<std::string, std::string>> expected;
+  for (const auto& [abs, rel] : files) {
+    LintFile(abs, rel, opts.expect_mode, &violations);
+    if (opts.expect_mode) expected.merge(CollectExpectations(abs, rel));
+  }
+
+  if (!opts.expect_mode) {
+    for (const Violation& v : violations) {
+      std::cout << v.file << ":" << v.line << ": [" << v.rule << "] "
+                << v.message << "\n";
+    }
+    if (violations.empty()) {
+      std::cout << "lodviz_lint: " << files.size() << " files clean\n";
+      return 0;
+    }
+    std::cout << "lodviz_lint: " << violations.size() << " violation(s) in "
+              << files.size() << " files\n";
+    return 1;
+  }
+
+  // Expect mode: fired (file, rule) pairs must equal the annotated set.
+  std::set<std::pair<std::string, std::string>> fired;
+  for (const Violation& v : violations) fired.insert({v.file, v.rule});
+  int failures = 0;
+  for (const auto& [file, rule] : expected) {
+    if (!fired.count({file, rule})) {
+      std::cout << "MISSING: expected [" << rule << "] to fire in " << file
+                << "\n";
+      ++failures;
+    }
+  }
+  for (const auto& [file, rule] : fired) {
+    if (!expected.count({file, rule})) {
+      std::cout << "UNEXPECTED: [" << rule << "] fired in " << file << "\n";
+      ++failures;
+    }
+  }
+  std::cout << "lodviz_lint --expect: " << expected.size() << " expected, "
+            << fired.size() << " fired, " << failures << " mismatch(es)\n";
+  return failures ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  opts.root = fs::current_path();
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      opts.root = fs::path(argv[++i]);
+    } else if (arg == "--expect") {
+      opts.expect_mode = true;
+    } else if (arg == "--help") {
+      std::cout << "usage: lodviz_lint [--expect] --root <dir> [dirs...]\n";
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "lodviz_lint: unknown option '" << arg << "'\n";
+      return 2;
+    } else {
+      opts.dirs.push_back(arg);
+    }
+  }
+  if (!fs::is_directory(opts.root)) {
+    std::cerr << "lodviz_lint: --root '" << opts.root.string()
+              << "' is not a directory\n";
+    return 2;
+  }
+  if (!opts.expect_mode && opts.dirs.empty()) {
+    opts.dirs = {"src", "bench", "tests", "tools"};
+  }
+  return Run(opts);
+}
