@@ -2,12 +2,19 @@
 #define LODVIZ_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "common/check.h"
 #include "common/result.h"
+#include "common/stopwatch.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace lodviz::bench {
 
@@ -46,6 +53,75 @@ inline std::string Pct(double fraction) {
   std::snprintf(buf, sizeof(buf), "%.1f%%", fraction * 100.0);
   return buf;
 }
+
+/// Machine-readable bench telemetry. Declare one at the top of a bench's
+/// Run():
+///
+///   bench::Telemetry telemetry("e1_sampling");
+///   ...
+///   telemetry.RecordPhase("scan_1m", scan_ms);   // optional named timings
+///
+/// When the LODVIZ_BENCH_JSON environment variable names a directory, the
+/// destructor enables span tracing for the bench's lifetime and writes
+/// `<dir>/BENCH_<id>.json` containing the named phase timings, a full
+/// metrics snapshot (counters + gauges + histograms with p50/p95/p99), and
+/// the Chrome trace-event array collected while the bench ran. With the
+/// variable unset this is a no-op, so interactive bench runs are
+/// unaffected.
+class Telemetry {
+ public:
+  explicit Telemetry(std::string bench_id) : id_(std::move(bench_id)) {
+    const char* dir = std::getenv("LODVIZ_BENCH_JSON");
+    if (dir != nullptr && *dir != '\0') {
+      dir_ = dir;
+      obs::Tracer::Global().SetEnabled(true);
+    }
+  }
+
+  Telemetry(const Telemetry&) = delete;
+  Telemetry& operator=(const Telemetry&) = delete;
+
+  ~Telemetry() {
+    if (dir_.empty()) return;
+    obs::Tracer& tracer = obs::Tracer::Global();
+    tracer.SetEnabled(false);
+    const std::string path = dir_ + "/BENCH_" + id_ + ".json";
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "bench: cannot write telemetry to " << path << "\n";
+      return;
+    }
+    out << "{\"bench\":\"" << obs::JsonEscape(id_) << "\",\"schema\":1"
+        << ",\"total_ms\":" << total_.ElapsedMillis() << ",\"phases\":{";
+    for (size_t i = 0; i < phases_.size(); ++i) {
+      if (i > 0) out << ",";
+      out << "\"" << obs::JsonEscape(phases_[i].first)
+          << "\":" << phases_[i].second;
+    }
+    out << "},\"metrics\":" << obs::JsonSnapshot()
+        << ",\"dropped_spans\":" << tracer.dropped()
+        << ",\"traceEvents\":" << obs::ChromeTraceJson(tracer.Finished())
+        << "}\n";
+    std::cout << "\n[telemetry] wrote " << path << "\n";
+  }
+
+  /// Records a named wall-time measurement (milliseconds) for the JSON
+  /// "phases" object; also feeds the `bench.phase_us` histogram.
+  void RecordPhase(const std::string& name, double ms) {
+    phases_.emplace_back(name, ms);
+    obs::MetricRegistry::Global()
+        .GetHistogram("bench.phase_us")
+        .RecordDouble(ms * 1e3);
+  }
+
+  bool enabled() const { return !dir_.empty(); }
+
+ private:
+  std::string id_;
+  std::string dir_;
+  Stopwatch total_;
+  std::vector<std::pair<std::string, double>> phases_;
+};
 
 }  // namespace lodviz::bench
 

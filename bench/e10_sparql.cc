@@ -36,6 +36,7 @@ const char* kQueries[] = {
 };
 
 int Run() {
+  bench::Telemetry telemetry("e10_sparql");
   bench::PrintHeader(
       "E10", "SPARQL engine scaling & join ordering",
       "index nested-loop BGP evaluation with selectivity ordering keeps "

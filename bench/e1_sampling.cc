@@ -18,6 +18,7 @@ namespace lodviz {
 namespace {
 
 int Run() {
+  bench::Telemetry telemetry("e1_sampling");
   bench::PrintHeader(
       "E1", "Sampling vs full scan",
       "fixed-size samples give bounded-latency approximate answers whose "

@@ -19,6 +19,7 @@ namespace lodviz {
 namespace {
 
 int Run() {
+  bench::Telemetry telemetry("e3_progressive");
   bench::PrintHeader(
       "E3", "Progressive aggregation over streaming data",
       "first answers appear after one page; 1%-CI answers after a fixed "

@@ -28,6 +28,7 @@ std::vector<hier::Item> MakeItems(size_t n, uint64_t seed) {
 }
 
 int Run() {
+  bench::Telemetry telemetry("e5_hetree");
   bench::PrintHeader(
       "E5", "HETree multilevel aggregation (SynopsViz core)",
       "one sorted pass supports overview-first exploration; ICO builds "

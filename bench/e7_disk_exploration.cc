@@ -26,6 +26,7 @@ std::string TempPath(const std::string& tag) {
 }
 
 int Run() {
+  bench::Telemetry telemetry("e7_disk_exploration");
   bench::PrintHeader(
       "E7", "Disk-based exploration with bounded memory",
       "a 2 MiB buffer pool explores datasets of any size; in-memory "

@@ -3,9 +3,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
 #include "common/random.h"
 #include "geo/rtree.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rdf/triple_store.h"
+#include "sparql/engine.h"
+#include "sparql/parser.h"
 #include "stats/sketch.h"
 #include "storage/btree.h"
 #include "storage/buffer_pool.h"
@@ -128,6 +133,63 @@ void BM_BufferPoolFetchHit(benchmark::State& state) {
   std::remove(path.c_str());
 }
 BENCHMARK(BM_BufferPoolFetchHit);
+
+void BM_SparqlExecute(benchmark::State& state) {
+  rdf::TripleStore store;
+  rdf::Dictionary& dict = store.dict();
+  rdf::TermId age = dict.InternIri("http://bench.example/age");
+  for (int i = 0; i < 10000; ++i) {
+    rdf::TermId s =
+        dict.InternIri("http://bench.example/person/" + std::to_string(i));
+    rdf::TermId o = dict.Intern(rdf::Term::IntLiteral(i % 90));
+    store.AddEncoded({s, age, o});
+  }
+  store.Compact();
+  sparql::QueryEngine engine(&store);
+  sparql::Query query = bench::Unwrap(sparql::ParseQuery(
+      "SELECT ?s WHERE { ?s <http://bench.example/age> ?age . "
+      "FILTER(?age < 10) } LIMIT 100"));
+  for (auto _ : state) {
+    auto r = engine.Execute(query);
+    benchmark::DoNotOptimize(r.ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SparqlExecute);
+
+// Observability substrate costs: a counter increment and a histogram record
+// are one relaxed atomic op each; a disabled span is a single relaxed load.
+// These bound the overhead instrumentation adds to the hot paths above.
+void BM_ObsCounterIncrement(benchmark::State& state) {
+  obs::Counter& c =
+      obs::MetricRegistry::Global().GetCounter("bench.micro.counter");
+  for (auto _ : state) {
+    c.Increment();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsCounterIncrement);
+
+void BM_ObsHistogramRecord(benchmark::State& state) {
+  obs::Histogram& h =
+      obs::MetricRegistry::Global().GetHistogram("bench.micro.histogram");
+  uint64_t i = 0;
+  for (auto _ : state) {
+    h.Record(i++ * 2654435761ULL >> 32);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsHistogramRecord);
+
+void BM_ObsSpanDisabled(benchmark::State& state) {
+  obs::Tracer::Global().SetEnabled(false);
+  for (auto _ : state) {
+    LODVIZ_TRACE_SPAN("bench.micro.span");
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsSpanDisabled);
 
 }  // namespace
 }  // namespace lodviz

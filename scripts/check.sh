@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Full correctness gate: static lint + ASan/UBSan build of the tier-1 suite.
+# Full correctness gate: static lint + ASan/UBSan build of the tier-1 suite
+# + TSan run of the obs concurrency tests.
 #
-#   scripts/check.sh            # lint, then sanitized build + ctest
+#   scripts/check.sh            # lint, sanitized build + ctest, TSan obs
 #   scripts/check.sh --lint     # lint only (fast pre-commit check)
 #
 # Run from the repository root. See README "Correctness tooling".
@@ -10,9 +11,10 @@ cd "$(dirname "$0")/.."
 
 LINT_BUILD=build-lint
 ASAN_BUILD=build-asan
+TSAN_BUILD=build-tsan
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)"
 
-echo "== [1/2] lodviz_lint =="
+echo "== [1/3] lodviz_lint =="
 cmake -B "$LINT_BUILD" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$LINT_BUILD" --target lodviz_lint -j "$JOBS" >/dev/null
 "$LINT_BUILD"/tools/lint/lodviz_lint --root . src bench tests tools
@@ -23,9 +25,17 @@ if [ "${1:-}" = "--lint" ]; then
   exit 0
 fi
 
-echo "== [2/2] ASan+UBSan tier-1 suite =="
+echo "== [2/3] ASan+UBSan tier-1 suite =="
 cmake -B "$ASAN_BUILD" -S . -C cmake/sanitize.cmake >/dev/null
 cmake --build "$ASAN_BUILD" -j "$JOBS"
 ctest --test-dir "$ASAN_BUILD" --output-on-failure -j "$JOBS"
+
+echo "== [3/3] TSan obs concurrency tests =="
+# ThreadSanitizer is exclusive with ASan, so the metrics/trace concurrency
+# tests get their own build tree; only the obs suites run under it.
+cmake -B "$TSAN_BUILD" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DLODVIZ_SANITIZE=thread >/dev/null
+cmake --build "$TSAN_BUILD" --target obs_test -j "$JOBS"
+ctest --test-dir "$TSAN_BUILD" -R '^Obs' --output-on-failure -j "$JOBS"
 
 echo "check.sh: all gates passed"

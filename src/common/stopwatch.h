@@ -2,24 +2,42 @@
 #define LODVIZ_COMMON_STOPWATCH_H_
 
 #include <chrono>
+#include <cstdint>
 
 namespace lodviz {
 
-/// Monotonic wall-clock stopwatch used by the bench harnesses.
+/// Monotonic wall-clock stopwatch used by the bench harnesses and the obs
+/// subsystem. The single sanctioned clock source in the tree: direct
+/// std::chrono::*_clock::now() calls outside src/common/ and src/obs/ are
+/// rejected by lodviz_lint (rule no-raw-clock) — use a Stopwatch, a trace
+/// span, or Stopwatch::Now() instead so every timing shares one clock.
 class Stopwatch {
  public:
-  Stopwatch() : start_(Clock::now()) {}
+  using Clock = std::chrono::steady_clock;
 
-  void Reset() { start_ = Clock::now(); }
+  Stopwatch() : start_(Now()) {}
 
-  double ElapsedSeconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
+  /// The shared monotonic clock reading (for code that needs a raw
+  /// time_point, e.g. obs span timestamps and deadline arithmetic).
+  static Clock::time_point Now() { return Clock::now(); }
+
+  void Reset() { start_ = Now(); }
+
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Now() - start_)
+        .count();
   }
-  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
-  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedNanos()) * 1e-9;
+  }
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedNanos()) * 1e-6;
+  }
+  double ElapsedMicros() const {
+    return static_cast<double>(ElapsedNanos()) * 1e-3;
+  }
 
  private:
-  using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
 };
 

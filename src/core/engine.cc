@@ -5,6 +5,8 @@
 
 #include "common/stopwatch.h"
 #include "geo/projection.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rdf/ntriples.h"
 #include "rdf/turtle.h"
 #include "rdf/vocab.h"
@@ -13,6 +15,19 @@
 #include "graph/layout.h"
 
 namespace lodviz::core {
+
+namespace {
+
+/// Counts one invocation of a facade capability under
+/// `core.engine.<capability>`. Facade calls are coarse (a load, a query, a
+/// render), so the registry lookup per call is acceptable here.
+void CountCapability(const char* capability) {
+  obs::MetricRegistry::Global()
+      .GetCounter(std::string("core.engine.") + capability)
+      .Increment();
+}
+
+}  // namespace
 
 Engine::Engine(Options options)
     : options_(options), query_engine_(&store_) {}
@@ -23,6 +38,8 @@ void Engine::InvalidateDerived() {
 }
 
 Status Engine::LoadNTriples(std::string_view document) {
+  LODVIZ_TRACE_SPAN("core.engine.load_ntriples");
+  CountCapability("load_ntriples");
   Stopwatch sw;
   Result<size_t> n = rdf::LoadNTriplesString(document, &store_);
   if (!n.ok()) return n.status();
@@ -33,6 +50,8 @@ Status Engine::LoadNTriples(std::string_view document) {
 }
 
 size_t Engine::LoadSynthetic(const workload::SyntheticLodOptions& options) {
+  LODVIZ_TRACE_SPAN("core.engine.load_synthetic");
+  CountCapability("load_synthetic");
   Stopwatch sw;
   size_t n = workload::GenerateSyntheticLod(options, &store_);
   InvalidateDerived();
@@ -41,6 +60,8 @@ size_t Engine::LoadSynthetic(const workload::SyntheticLodOptions& options) {
 }
 
 size_t Engine::IngestStream(rdf::TripleSource* source, size_t batch_size) {
+  LODVIZ_TRACE_SPAN("core.engine.ingest_stream");
+  CountCapability("ingest_stream");
   Stopwatch sw;
   size_t n = rdf::IngestStream(source, &store_, batch_size);
   InvalidateDerived();
@@ -50,6 +71,8 @@ size_t Engine::IngestStream(rdf::TripleSource* source, size_t batch_size) {
 
 Result<std::vector<rdf::ParsedTriple>> Engine::QueryGraph(
     std::string_view sparql_text) {
+  LODVIZ_TRACE_SPAN("core.engine.query_graph");
+  CountCapability("query_graph");
   Stopwatch sw;
   Result<std::vector<rdf::ParsedTriple>> result =
       query_engine_.ExecuteGraphString(sparql_text);
@@ -60,6 +83,8 @@ Result<std::vector<rdf::ParsedTriple>> Engine::QueryGraph(
 }
 
 Status Engine::LoadTurtle(std::string_view document) {
+  LODVIZ_TRACE_SPAN("core.engine.load_turtle");
+  CountCapability("load_turtle");
   Stopwatch sw;
   Result<size_t> n = rdf::LoadTurtleString(document, &store_);
   if (!n.ok()) return n.status();
@@ -70,6 +95,8 @@ Status Engine::LoadTurtle(std::string_view document) {
 }
 
 Result<sparql::ResultTable> Engine::Query(std::string_view sparql_text) {
+  LODVIZ_TRACE_SPAN("core.engine.query");
+  CountCapability("query");
   Stopwatch sw;
   Result<sparql::ResultTable> result = query_engine_.ExecuteString(sparql_text);
   session_.Record(explore::OpKind::kQuery,
@@ -79,6 +106,7 @@ Result<sparql::ResultTable> Engine::Query(std::string_view sparql_text) {
 }
 
 Result<stats::DatasetProfile> Engine::Profile() {
+  CountCapability("profile");
   if (!profile_.has_value()) {
     stats::ProfilerOptions popts;
     popts.seed = options_.seed;
@@ -90,6 +118,7 @@ Result<stats::DatasetProfile> Engine::Profile() {
 }
 
 std::vector<rec::Recommendation> Engine::Recommend(size_t top_k) {
+  CountCapability("recommend");
   Result<stats::DatasetProfile> profile = Profile();
   if (!profile.ok()) return {};
   return recommender_.Recommend(profile.ValueOrDie(), top_k);
@@ -97,6 +126,7 @@ std::vector<rec::Recommendation> Engine::Recommend(size_t top_k) {
 
 Result<hier::HETree> Engine::BuildHierarchy(
     const std::string& property_iri, const hier::HETree::Options& options) {
+  CountCapability("build_hierarchy");
   rdf::TermId pred = store_.dict().Lookup(rdf::Term::Iri(property_iri));
   if (pred == rdf::kInvalidTermId) {
     return Status::NotFound("property not in dataset: " + property_iri);
@@ -105,6 +135,7 @@ Result<hier::HETree> Engine::BuildHierarchy(
 }
 
 graph::Graph Engine::BuildGraph() const {
+  CountCapability("build_graph");
   return graph::Graph::FromTripleStore(store_);
 }
 
@@ -126,6 +157,8 @@ const explore::KeywordIndex& Engine::Keyword() {
 
 std::vector<explore::SearchHit> Engine::Search(const std::string& query,
                                                size_t top_k) {
+  LODVIZ_TRACE_SPAN("core.engine.search");
+  CountCapability("search");
   Stopwatch sw;
   std::vector<explore::SearchHit> hits = Keyword().Search(query, top_k);
   session_.Record(explore::OpKind::kKeywordSearch, query, sw.ElapsedMillis(),
@@ -193,6 +226,8 @@ void ApplyBudget(std::vector<T>* items, size_t budget, uint64_t seed) {
 }  // namespace
 
 Result<ViewResult> Engine::Render(const viz::VisSpec& spec, bool with_svg) {
+  LODVIZ_TRACE_SPAN("core.engine.render");
+  CountCapability("render");
   Stopwatch sw;
   viz::Canvas canvas(options_.canvas_width, options_.canvas_height);
   ViewResult view;

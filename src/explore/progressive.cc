@@ -2,6 +2,10 @@
 
 #include <cmath>
 
+#include "common/stopwatch.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace lodviz::explore {
 
 void ProgressiveAggregator::ProcessChunk(const double* values, size_t n) {
@@ -41,12 +45,21 @@ std::vector<ProgressiveEstimate> RunProgressive(std::vector<double> values,
     std::swap(values[i - 1], values[rng.Uniform(i)]);
   }
 
+  LODVIZ_TRACE_SPAN("explore.progressive.run");
+  static obs::Histogram* chunk_ns = &obs::MetricRegistry::Global().GetHistogram(
+      "explore.progressive.chunk_ns");
+  static obs::Counter* chunks =
+      &obs::MetricRegistry::Global().GetCounter("explore.progressive.chunks");
+
   ProgressiveAggregator agg(values.size());
   std::vector<ProgressiveEstimate> trajectory;
   size_t pos = 0;
   while (pos < values.size()) {
     size_t n = std::min(chunk_size, values.size() - pos);
+    Stopwatch chunk_sw;
     agg.ProcessChunk(values.data() + pos, n);
+    chunk_ns->Record(static_cast<uint64_t>(chunk_sw.ElapsedNanos()));
+    chunks->Increment();
     pos += n;
     if (pos >= values.size()) agg.MarkComplete();
     ProgressiveEstimate est = agg.Estimate();

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "obs/metrics.h"
+
 namespace lodviz::explore {
 
 std::string_view OpKindName(OpKind kind) {
@@ -32,6 +34,12 @@ std::string_view OpKindName(OpKind kind) {
 
 void SessionLog::Record(OpKind kind, std::string detail, double latency_ms,
                         uint64_t objects_touched) {
+  static obs::Counter* ops_counter =
+      &obs::MetricRegistry::Global().GetCounter("explore.session.ops");
+  static obs::Histogram* op_us =
+      &obs::MetricRegistry::Global().GetHistogram("explore.session.op_us");
+  ops_counter->Increment();
+  op_us->RecordDouble(latency_ms * 1e3);
   ops_.push_back({kind, std::move(detail), latency_ms, objects_touched});
 }
 

@@ -4,6 +4,9 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/stopwatch.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace lodviz::hier {
 
@@ -22,6 +25,21 @@ HETree::HETree(std::shared_ptr<const SortedData> data, const Options& options)
 }
 
 Result<HETree> HETree::Build(std::vector<Item> items, const Options& options) {
+  LODVIZ_TRACE_SPAN("hier.hetree.build");
+  static obs::Counter* builds =
+      &obs::MetricRegistry::Global().GetCounter("hier.hetree.builds");
+  static obs::Counter* items_indexed =
+      &obs::MetricRegistry::Global().GetCounter("hier.hetree.items_indexed");
+  static obs::Histogram* build_us =
+      &obs::MetricRegistry::Global().GetHistogram("hier.hetree.build_us");
+  builds->Increment();
+  items_indexed->Increment(items.size());
+  Stopwatch sw;
+  struct BuildFold {
+    obs::Histogram* build_us;
+    const Stopwatch& sw;
+    ~BuildFold() { build_us->RecordDouble(sw.ElapsedMicros()); }
+  } fold{build_us, sw};
   if (items.empty()) return Status::InvalidArgument("HETree needs items");
   if (options.fanout < 2) return Status::InvalidArgument("fanout must be >= 2");
   if (options.leaf_capacity < 1) {
@@ -47,6 +65,7 @@ Result<HETree> HETree::Build(std::vector<Item> items, const Options& options) {
 Result<HETree> HETree::BuildFromProperty(const rdf::TripleStore& store,
                                          rdf::TermId predicate,
                                          const Options& options) {
+  LODVIZ_TRACE_SPAN("hier.hetree.build_from_property");
   std::vector<Item> items;
   const rdf::Dictionary& dict = store.dict();
   rdf::TriplePattern pat(rdf::kInvalidTermId, predicate, rdf::kInvalidTermId);

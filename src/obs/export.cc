@@ -1,0 +1,148 @@
+#include "obs/export.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+namespace lodviz::obs {
+
+namespace {
+
+/// Doubles rendered with enough digits to round-trip, but without the
+/// noise of full hexfloat (%.17g keeps snapshots diffable).
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string PromName(const std::string& name) {
+  std::string out = "lodviz_";
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string PrometheusText(const MetricsSnapshot& snapshot) {
+  std::ostringstream out;
+  for (const auto& [name, value] : snapshot.counters) {
+    std::string prom = PromName(name);
+    out << "# TYPE " << prom << " counter\n" << prom << " " << value << "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    std::string prom = PromName(name);
+    out << "# TYPE " << prom << " gauge\n" << prom << " " << value << "\n";
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    std::string prom = PromName(name);
+    out << "# TYPE " << prom << " summary\n";
+    out << prom << "{quantile=\"0.5\"} " << h.p50 << "\n";
+    out << prom << "{quantile=\"0.95\"} " << h.p95 << "\n";
+    out << prom << "{quantile=\"0.99\"} " << h.p99 << "\n";
+    out << prom << "_sum " << FormatDouble(h.sum) << "\n";
+    out << prom << "_count " << h.count << "\n";
+  }
+  return out.str();
+}
+
+std::string PrometheusText() {
+  return PrometheusText(MetricRegistry::Global().Snapshot());
+}
+
+std::string JsonSnapshot(const MetricsSnapshot& snapshot) {
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  for (size_t i = 0; i < snapshot.counters.size(); ++i) {
+    if (i > 0) out << ",";
+    out << "\"" << JsonEscape(snapshot.counters[i].first)
+        << "\":" << snapshot.counters[i].second;
+  }
+  out << "},\"gauges\":{";
+  for (size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    if (i > 0) out << ",";
+    out << "\"" << JsonEscape(snapshot.gauges[i].first)
+        << "\":" << snapshot.gauges[i].second;
+  }
+  out << "},\"histograms\":{";
+  for (size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const auto& [name, h] = snapshot.histograms[i];
+    if (i > 0) out << ",";
+    out << "\"" << JsonEscape(name) << "\":{"
+        << "\"count\":" << h.count << ",\"sum\":" << FormatDouble(h.sum)
+        << ",\"min\":" << h.min << ",\"max\":" << h.max
+        << ",\"mean\":" << FormatDouble(h.mean) << ",\"p50\":" << h.p50
+        << ",\"p95\":" << h.p95 << ",\"p99\":" << h.p99 << "}";
+  }
+  out << "}}";
+  return out.str();
+}
+
+std::string JsonSnapshot() {
+  return JsonSnapshot(MetricRegistry::Global().Snapshot());
+}
+
+std::string ChromeTraceJson(const std::vector<SpanRecord>& spans) {
+  int64_t epoch_ns = std::numeric_limits<int64_t>::max();
+  for (const SpanRecord& s : spans) epoch_ns = std::min(epoch_ns, s.start_ns);
+  std::ostringstream out;
+  out << "[";
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const SpanRecord& s = spans[i];
+    if (i > 0) out << ",";
+    double ts_us = static_cast<double>(s.start_ns - epoch_ns) / 1e3;
+    double dur_us = static_cast<double>(s.duration_ns()) / 1e3;
+    out << "{\"name\":\"" << JsonEscape(s.name)
+        << "\",\"cat\":\"lodviz\",\"ph\":\"X\",\"ts\":" << FormatDouble(ts_us)
+        << ",\"dur\":" << FormatDouble(dur_us) << ",\"pid\":1,\"tid\":"
+        << s.thread_id << ",\"args\":{\"id\":" << s.id
+        << ",\"parent\":" << s.parent_id << ",\"depth\":" << s.depth << "}}";
+  }
+  out << "]";
+  return out.str();
+}
+
+std::string ChromeTraceDocument(const std::vector<SpanRecord>& spans) {
+  return "{\"traceEvents\":" + ChromeTraceJson(spans) + "}";
+}
+
+}  // namespace lodviz::obs

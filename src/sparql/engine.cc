@@ -6,13 +6,41 @@
 #include <set>
 #include <unordered_map>
 
+#include "common/stopwatch.h"
 #include "common/string_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rdf/vocab.h"
 #include "sparql/parser.h"
 
 namespace lodviz::sparql {
 
 namespace {
+
+/// Registry handles for the engine's hot counters, looked up once.
+struct SparqlMetrics {
+  obs::Counter& queries;
+  obs::Counter& intermediate_rows;
+  obs::Counter& rows_out;
+  obs::Counter& op_join_rows;
+  obs::Counter& op_filter_dropped;
+  obs::Counter& op_optional_rows;
+  obs::Counter& op_union_rows;
+  obs::Histogram& execute_us;
+
+  static SparqlMetrics& Get() {
+    obs::MetricRegistry& r = obs::MetricRegistry::Global();
+    static SparqlMetrics m{r.GetCounter("sparql.queries"),
+                           r.GetCounter("sparql.intermediate_rows"),
+                           r.GetCounter("sparql.rows_out"),
+                           r.GetCounter("sparql.op.join_rows"),
+                           r.GetCounter("sparql.op.filter_dropped"),
+                           r.GetCounter("sparql.op.optional_rows"),
+                           r.GetCounter("sparql.op.union_rows"),
+                           r.GetHistogram("sparql.execute_us")};
+    return m;
+  }
+};
 
 using rdf::kInvalidTermId;
 using rdf::Term;
@@ -262,6 +290,7 @@ class Evaluator {
                        std::make_move_iterator(branch_solutions.end()));
       }
       solutions = std::move(unioned);
+      SparqlMetrics::Get().op_union_rows.Increment(solutions.size());
     }
 
     for (const GraphPattern& opt : group.optionals) {
@@ -276,9 +305,11 @@ class Evaluator {
         }
       }
       solutions = std::move(next);
+      SparqlMetrics::Get().op_optional_rows.Increment(solutions.size());
     }
 
     if (!group.filters.empty()) {
+      const size_t before = solutions.size();
       std::vector<Binding> kept;
       for (Binding& sol : solutions) {
         EvalContext ctx{&store_->dict(), &sol};
@@ -292,6 +323,8 @@ class Evaluator {
         if (pass) kept.push_back(std::move(sol));
       }
       solutions = std::move(kept);
+      SparqlMetrics::Get().op_filter_dropped.Increment(before -
+                                                       solutions.size());
     }
     return solutions;
   }
@@ -332,6 +365,7 @@ class Evaluator {
   std::vector<Binding> EvalBgp(const std::vector<TriplePatternAst>& triples,
                                std::vector<Binding> seeds) {
     if (triples.empty()) return seeds;
+    LODVIZ_TRACE_SPAN("sparql.bgp");
 
     std::vector<const TriplePatternAst*> remaining;
     for (const auto& t : triples) remaining.push_back(&t);
@@ -345,6 +379,7 @@ class Evaluator {
     while (!remaining.empty()) {
       size_t pick = 0;
       if (optimize_) {
+        LODVIZ_TRACE_SPAN("sparql.plan");
         double best = std::numeric_limits<double>::infinity();
         for (size_t i = 0; i < remaining.size(); ++i) {
           double cost = EstimateCost(*remaining[i], bound);
@@ -377,6 +412,7 @@ class Evaluator {
         });
       }
       intermediate_rows_ += next.size();
+      SparqlMetrics::Get().op_join_rows.Increment(next.size());
       current = std::move(next);
       auto note = [&](const NodeOrVar& n) {
         if (IsVar(n)) bound.insert(AsVar(n).name);
@@ -408,21 +444,44 @@ std::string RowKey(const std::vector<ResultCell>& row) {
 QueryEngine::QueryEngine(const rdf::TripleStore* store, Options options)
     : store_(store), options_(options) {}
 
+namespace {
+
+Result<Query> ParseTraced(std::string_view text) {
+  LODVIZ_TRACE_SPAN("sparql.parse");
+  return ParseQuery(text);
+}
+
+}  // namespace
+
 Result<ResultTable> QueryEngine::ExecuteString(std::string_view text) const {
-  LODVIZ_ASSIGN_OR_RETURN(Query q, ParseQuery(text));
+  LODVIZ_ASSIGN_OR_RETURN(Query q, ParseTraced(text));
   return Execute(q);
 }
 
 Result<std::vector<rdf::ParsedTriple>> QueryEngine::ExecuteGraphString(
     std::string_view text) const {
-  LODVIZ_ASSIGN_OR_RETURN(Query q, ParseQuery(text));
+  LODVIZ_ASSIGN_OR_RETURN(Query q, ParseTraced(text));
   return ExecuteGraph(q);
 }
 
 Result<std::vector<rdf::ParsedTriple>> QueryEngine::ExecuteGraph(
     const Query& query) const {
+  LODVIZ_TRACE_SPAN("sparql.execute");
+  SparqlMetrics& metrics = SparqlMetrics::Get();
+  metrics.queries.Increment();
+  Stopwatch sw;
   const rdf::Dictionary& dict = store_->dict();
   std::vector<rdf::ParsedTriple> out;
+  // Record latency and output rows on every exit path.
+  struct ExecFold {
+    SparqlMetrics& metrics;
+    const Stopwatch& sw;
+    const std::vector<rdf::ParsedTriple>& out;
+    ~ExecFold() {
+      metrics.rows_out.Increment(out.size());
+      metrics.execute_us.RecordDouble(sw.ElapsedMicros());
+    }
+  } fold{metrics, sw, out};
   std::set<std::string> seen;
   auto emit = [&](Term s, Term p, Term o) {
     std::string key = s.ToNTriples() + "\x01" + p.ToNTriples() + "\x01" +
@@ -437,6 +496,7 @@ Result<std::vector<rdf::ParsedTriple>> QueryEngine::ExecuteGraph(
     std::vector<Binding> solutions =
         evaluator.EvalGroup(query.where, {Binding{}});
     intermediate_rows_ = evaluator.intermediate_rows();
+    SparqlMetrics::Get().intermediate_rows.Increment(intermediate_rows_);
     for (const Binding& sol : solutions) {
       for (const TriplePatternAst& tmpl : query.construct_template) {
         auto resolve = [&](const NodeOrVar& n, Term* t) {
@@ -478,6 +538,7 @@ Result<std::vector<rdf::ParsedTriple>> QueryEngine::ExecuteGraph(
       std::vector<Binding> solutions =
           evaluator.EvalGroup(query.where, {Binding{}});
       intermediate_rows_ = evaluator.intermediate_rows();
+    SparqlMetrics::Get().intermediate_rows.Increment(intermediate_rows_);
       for (const Binding& sol : solutions) {
         for (const std::string& var : target_vars) {
           auto it = sol.find(var);
@@ -517,10 +578,26 @@ Result<ResultTable> QueryEngine::Execute(const Query& query) const {
     return Status::InvalidArgument(
         "use ExecuteGraph for CONSTRUCT/DESCRIBE queries");
   }
+  LODVIZ_TRACE_SPAN("sparql.execute");
+  SparqlMetrics& metrics = SparqlMetrics::Get();
+  metrics.queries.Increment();
+  Stopwatch sw;
   Evaluator evaluator(store_, options_.optimize_join_order);
   std::vector<Binding> solutions =
       evaluator.EvalGroup(query.where, {Binding{}});
   intermediate_rows_ = evaluator.intermediate_rows();
+  metrics.intermediate_rows.Increment(intermediate_rows_);
+  // Record latency and output rows on every exit path.
+  uint64_t rows_out = 0;
+  struct ExecFold {
+    SparqlMetrics& metrics;
+    const Stopwatch& sw;
+    const uint64_t& rows_out;
+    ~ExecFold() {
+      metrics.rows_out.Increment(rows_out);
+      metrics.execute_us.RecordDouble(sw.ElapsedMicros());
+    }
+  } fold{metrics, sw, rows_out};
 
   const rdf::Dictionary& dict = store_->dict();
 
@@ -643,6 +720,7 @@ Result<ResultTable> QueryEngine::Execute(const Query& query) const {
       }
       table.AddRow(std::move(row));
     }
+    rows_out = table.num_rows();
     return table;
   }
 
@@ -713,6 +791,7 @@ Result<ResultTable> QueryEngine::Execute(const Query& query) const {
     table = std::move(sliced);
   }
 
+  rows_out = table.num_rows();
   return table;
 }
 

@@ -46,6 +46,19 @@ BufferPool::BufferPool(PageFile* file, size_t capacity_pages) : file_(file) {
   LODVIZ_CHECK(capacity_pages >= 4) << "buffer pool too small";
   frames_.resize(capacity_pages);
   for (Frame& f : frames_) f.data = std::make_unique<uint8_t[]>(kPageSize);
+  obs::MetricRegistry& registry = obs::MetricRegistry::Global();
+  agg_hits_ = &registry.GetCounter("storage.buffer_pool.hits");
+  agg_misses_ = &registry.GetCounter("storage.buffer_pool.misses");
+  agg_evictions_ = &registry.GetCounter("storage.buffer_pool.evictions");
+  registry.GetCounter("storage.buffer_pool.pools_created").Increment();
+  registry.GetGauge("storage.buffer_pool.capacity_pages")
+      .Set(static_cast<int64_t>(capacity_pages));
+}
+
+BufferPool::~BufferPool() { FlushAggregates(); }
+
+void BufferPool::FlushAggregates() {
+  agg_hits_->Increment(hits_.value() & (kAggBatch - 1));
 }
 
 Result<int32_t> BufferPool::GetVictimFrame() {
@@ -69,20 +82,24 @@ Result<int32_t> BufferPool::GetVictimFrame() {
   }
   page_table_.erase(f.page_id);
   f.page_id = kInvalidPageId;
-  ++evictions_;
+  evictions_.Increment();
+  agg_evictions_->Increment();
   return victim;
 }
 
 Result<PageRef> BufferPool::Fetch(PageId id) {
   auto it = page_table_.find(id);
   if (it != page_table_.end()) {
-    ++hits_;
+    if ((hits_.IncrementAndGet() & (kAggBatch - 1)) == 0) {
+      agg_hits_->Increment(kAggBatch);
+    }
     Frame& f = frames_[it->second];
     ++f.pin_count;
     f.lru_tick = ++tick_;
     return PageRef(this, it->second);
   }
-  ++misses_;
+  misses_.Increment();
+  agg_misses_->Increment();
   LODVIZ_ASSIGN_OR_RETURN(int32_t frame, GetVictimFrame());
   Frame& f = frames_[frame];
   LODVIZ_RETURN_NOT_OK(file_->ReadPage(id, f.data.get()));

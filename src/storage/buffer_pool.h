@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "obs/metrics.h"
 #include "storage/page_file.h"
 
 namespace lodviz::storage {
@@ -49,6 +50,7 @@ class PageRef {
 class BufferPool {
  public:
   BufferPool(PageFile* file, size_t capacity_pages);
+  ~BufferPool();
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
@@ -63,14 +65,23 @@ class BufferPool {
   Status FlushAll();
 
   size_t capacity() const { return frames_.size(); }
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
-  uint64_t evictions() const { return evictions_; }
+  uint64_t hits() const { return hits_.value(); }
+  uint64_t misses() const { return misses_.value(); }
+  uint64_t evictions() const { return evictions_.value(); }
   double HitRate() const {
-    uint64_t total = hits_ + misses_;
-    return total ? static_cast<double>(hits_) / static_cast<double>(total) : 0.0;
+    uint64_t total = hits() + misses();
+    return total ? static_cast<double>(hits()) / static_cast<double>(total)
+                 : 0.0;
   }
-  void ResetCounters() { hits_ = misses_ = evictions_ = 0; }
+  /// Resets this pool's counters; the process-wide aggregates in the obs
+  /// registry (storage.buffer_pool.*) are monotonic and unaffected (any
+  /// not-yet-flushed hit batch is folded in first).
+  void ResetCounters() {
+    FlushAggregates();
+    hits_.Reset();
+    misses_.Reset();
+    evictions_.Reset();
+  }
 
   /// Bytes held by page frames.
   size_t MemoryUsage() const { return frames_.size() * kPageSize; }
@@ -91,13 +102,28 @@ class BufferPool {
 
   void Unpin(int32_t frame);
 
+  /// Folds the unflushed tail of the hit batch into the registry aggregate
+  /// (hits flush in batches of kAggBatch to keep the hit path at a single
+  /// atomic op; misses and evictions are rare and flush per event).
+  void FlushAggregates();
+
+  /// Hit-count batch size for registry aggregation; the process-wide
+  /// `storage.buffer_pool.hits` counter lags a live pool by < kAggBatch.
+  static constexpr uint64_t kAggBatch = 64;
+
   PageFile* file_;
   std::vector<Frame> frames_;
   std::unordered_map<PageId, int32_t> page_table_;
   uint64_t tick_ = 0;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
-  uint64_t evictions_ = 0;
+  // Per-instance atomic counters (lock-free, so the pin path stays clean
+  // under TSan) feeding the per-pool accessors above; the aggregates
+  // below fold every pool into the process-wide metric registry.
+  obs::Counter hits_;
+  obs::Counter misses_;
+  obs::Counter evictions_;
+  obs::Counter* agg_hits_;
+  obs::Counter* agg_misses_;
+  obs::Counter* agg_evictions_;
 };
 
 }  // namespace lodviz::storage

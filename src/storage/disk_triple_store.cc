@@ -2,7 +2,29 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace lodviz::storage {
+
+namespace {
+
+struct DiskStoreMetrics {
+  obs::Counter& inserts;
+  obs::Counter& scans;
+  obs::Counter& rows_scanned;
+
+  static const DiskStoreMetrics& Get() {
+    static DiskStoreMetrics m{
+        obs::MetricRegistry::Global().GetCounter("storage.disk_store.inserts"),
+        obs::MetricRegistry::Global().GetCounter("storage.disk_store.scans"),
+        obs::MetricRegistry::Global().GetCounter(
+            "storage.disk_store.rows_scanned")};
+    return m;
+  }
+};
+
+}  // namespace
 
 Result<std::unique_ptr<DiskTripleStore>> DiskTripleStore::Create(
     const std::string& path, size_t pool_pages) {
@@ -18,11 +40,13 @@ Result<std::unique_ptr<DiskTripleStore>> DiskTripleStore::Create(
 }
 
 Status DiskTripleStore::Insert(const rdf::Triple& t) {
+  DiskStoreMetrics::Get().inserts.Increment();
   LODVIZ_RETURN_NOT_OK(spo_->Insert(SpoKey(t), 0));
   return pos_->Insert(PosKey(t), 0);
 }
 
 Status DiskTripleStore::BulkLoad(std::vector<rdf::Triple> triples) {
+  LODVIZ_TRACE_SPAN("storage.disk_store.bulk_load");
   std::vector<BTree::Item> items(triples.size());
   for (size_t i = 0; i < triples.size(); ++i) items[i].key = SpoKey(triples[i]);
   std::sort(items.begin(), items.end(),
@@ -58,9 +82,21 @@ Status DiskTripleStore::Scan(
     const rdf::TriplePattern& pattern,
     const std::function<bool(const rdf::Triple&)>& fn) const {
   using rdf::kInvalidTermId;
+  LODVIZ_TRACE_SPAN("storage.disk_store.scan");
+  const DiskStoreMetrics& metrics = DiskStoreMetrics::Get();
+  metrics.scans.Increment();
+  // Rows are tallied locally and folded in once per scan so the per-row
+  // path stays free of shared-cache-line traffic.
+  uint64_t rows = 0;
   auto emit = [&](const rdf::Triple& t) {
+    ++rows;
     return !pattern.Matches(t) || fn(t);
   };
+  struct RowFold {
+    const DiskStoreMetrics& metrics;
+    const uint64_t& rows;
+    ~RowFold() { metrics.rows_scanned.Increment(rows); }
+  } fold{metrics, rows};
 
   if (pattern.s != kInvalidTermId) {
     // SPO range on (s) or (s, p).

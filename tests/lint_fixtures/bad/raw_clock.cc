@@ -1,0 +1,22 @@
+// LINT-EXPECT: no-raw-clock
+// Reading std::chrono clocks directly scatters timing logic; all timing
+// must flow through common/stopwatch.h so it is observable and mockable.
+#include <chrono>
+#include <cstdint>
+
+namespace lodviz {
+
+int64_t RawClockNanos() {
+  auto t = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             t.time_since_epoch())
+      .count();
+}
+
+int64_t RawWallSeconds() {
+  return std::chrono::duration_cast<std::chrono::seconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace lodviz

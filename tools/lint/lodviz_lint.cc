@@ -14,6 +14,10 @@
 //   unchecked-result         no ValueOrDie()/operator* /operator-> on a
 //                            Result without a lexically preceding ok() or
 //                            LODVIZ_CHECK_OK in an enclosing scope
+//   no-raw-clock             no direct std::chrono clock `::now()` calls
+//                            outside src/common/ and src/obs/; go through
+//                            common/stopwatch.h so time is observable and
+//                            mockable in one place
 //
 // Usage:
 //   lodviz_lint --root <repo-root> [dirs...]     (default: src bench tests tools)
@@ -272,6 +276,26 @@ void CheckIoPrint(const std::string& rel, const std::vector<Token>& toks,
   }
 }
 
+/// Only common/stopwatch.h (and the obs layer built on it) may read the
+/// std::chrono clocks directly; everything else must go through Stopwatch
+/// so timing is centralized, observable, and swappable.
+void CheckRawClock(const std::string& rel, const std::vector<Token>& toks,
+                   std::vector<Violation>* out) {
+  for (size_t i = 0; i + 2 < toks.size(); ++i) {
+    const std::string& t = toks[i].text;
+    if (t != "steady_clock" && t != "system_clock" &&
+        t != "high_resolution_clock") {
+      continue;
+    }
+    if (toks[i + 1].text == "::" && toks[i + 2].text == "now") {
+      out->push_back({rel, toks[i].line, "no-raw-clock",
+                      "direct std::chrono::" + t +
+                          "::now(); use common/stopwatch.h (Stopwatch / "
+                          "Stopwatch::Now) instead"});
+    }
+  }
+}
+
 /// Scope-stack analysis for unchecked Result access.
 ///
 /// Tracks (a) identifiers declared as `Result<...> name`, and (b)
@@ -425,6 +449,10 @@ void LintFile(const fs::path& abs, const std::string& rel, bool all_rules,
     CheckNakedNewDelete(rel, toks, out);
     if (!IoPrintAllowlisted(rel)) CheckIoPrint(rel, toks, out);
   }
+  const bool clock_sanctioned = !all_rules &&
+                                (rel.rfind("src/common/", 0) == 0 ||
+                                 rel.rfind("src/obs/", 0) == 0);
+  if (!clock_sanctioned) CheckRawClock(rel, toks, out);
   CheckUncheckedResult(rel, toks, out);
 }
 
