@@ -11,6 +11,8 @@
 #include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "common/table_printer.h"
+#include "exec/parallel.h"
+#include "graph/bundling.h"
 #include "graph/generators.h"
 #include "graph/layout.h"
 #include "graph/sampling.h"
@@ -22,6 +24,7 @@ namespace lodviz {
 namespace {
 
 int Run() {
+  bench::Telemetry telemetry("e6_graph_abstraction");
   bench::PrintHeader(
       "E6", "Graph abstraction vs direct layout",
       "full FR layout cost explodes with graph size; coarsened super-graph "
@@ -90,6 +93,44 @@ int Run() {
                 FormatCount(graph::ForceLayoutMemoryBytes(64))});
   }
   mem.Print(std::cout);
+
+  std::cout << "\nThread scaling — FR layout (grid repulsion, 32k nodes) "
+               "and edge bundling (800 edges) at 1/2/4/8 threads:\n";
+  TablePrinter scaling({"threads", "layout ms", "bundle ms",
+                        "layout speedup", "bundle speedup"});
+  {
+    graph::Graph layout_g = graph::BarabasiAlbert(32000u, 3, 17);
+    graph::Graph bundle_g = graph::BarabasiAlbert(400u, 2, 19);
+    graph::Layout bundle_layout = graph::CircularLayout(bundle_g);
+    graph::ForceLayoutOptions lopts;
+    lopts.iterations = 25;
+    graph::BundlingOptions bopts;
+    bopts.iterations = 30;
+    double layout_t1 = 0.0, bundle_t1 = 0.0;
+    for (size_t t : {1ul, 2ul, 4ul, 8ul}) {
+      exec::SetThreads(t);
+      exec::ParallelFor(0, t * 2, 1, [](size_t, size_t) {});  // warm pool
+      Stopwatch tsw;
+      graph::ForceDirectedLayout(layout_g, lopts);
+      double layout_ms = tsw.ElapsedMillis();
+      tsw.Reset();
+      graph::BundleEdges(bundle_g, bundle_layout, bopts);
+      double bundle_ms = tsw.ElapsedMillis();
+      if (t == 1) {
+        layout_t1 = layout_ms;
+        bundle_t1 = bundle_ms;
+      }
+      telemetry.RecordPhase("layout_ms_t" + std::to_string(t), layout_ms);
+      telemetry.RecordPhase("bundle_ms_t" + std::to_string(t), bundle_ms);
+      scaling.AddRow(
+          {FormatCount(t), bench::Ms(layout_ms), bench::Ms(bundle_ms),
+           bench::Num(layout_t1 / std::max(1e-6, layout_ms), 2) + "x",
+           bench::Num(bundle_t1 / std::max(1e-6, bundle_ms), 2) + "x"});
+    }
+    exec::SetThreads(0);
+  }
+  scaling.Print(std::cout);
+
   std::cout << "\nShape check: hierarchy+top-layout time grows slowly "
                "(clustering is near-linear) while full layout grows "
                "super-linearly; abstract rendering draws 2-3 orders of "

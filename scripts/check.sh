@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # Full correctness gate: static lint + ASan/UBSan build of the tier-1 suite
-# + TSan run of the obs concurrency tests.
+# + TSan run of the obs and exec concurrency tests.
 #
-#   scripts/check.sh            # lint, sanitized build + ctest, TSan obs
+#   scripts/check.sh            # lint, sanitized build + ctest, TSan obs+exec
 #   scripts/check.sh --lint     # lint only (fast pre-commit check)
 #
 # Run from the repository root. See README "Correctness tooling".
@@ -30,12 +30,14 @@ cmake -B "$ASAN_BUILD" -S . -C cmake/sanitize.cmake >/dev/null
 cmake --build "$ASAN_BUILD" -j "$JOBS"
 ctest --test-dir "$ASAN_BUILD" --output-on-failure -j "$JOBS"
 
-echo "== [3/3] TSan obs concurrency tests =="
-# ThreadSanitizer is exclusive with ASan, so the metrics/trace concurrency
-# tests get their own build tree; only the obs suites run under it.
+echo "== [3/3] TSan obs + exec concurrency tests =="
+# ThreadSanitizer is exclusive with ASan, so the concurrency tests get their
+# own build tree. The Exec suites cover the thread pool plus every
+# parallelized hot path (hetree, progressive, clustering, bundling, layout,
+# sparql), so this is the race gate for the whole exec subsystem.
 cmake -B "$TSAN_BUILD" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DLODVIZ_SANITIZE=thread >/dev/null
-cmake --build "$TSAN_BUILD" --target obs_test -j "$JOBS"
-ctest --test-dir "$TSAN_BUILD" -R '^Obs' --output-on-failure -j "$JOBS"
+cmake --build "$TSAN_BUILD" --target obs_test exec_test -j "$JOBS"
+ctest --test-dir "$TSAN_BUILD" -R '^(Obs|Exec)' --output-on-failure -j "$JOBS"
 
 echo "check.sh: all gates passed"

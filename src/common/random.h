@@ -31,7 +31,26 @@ class Rng {
   }
 
   /// Uniform in [0, n). n must be > 0.
-  uint64_t Uniform(uint64_t n) { return Next() % n; }
+  ///
+  /// Lemire's multiply-shift with rejection: `Next() % n` is biased toward
+  /// small residues whenever n does not divide 2^64 (up to ~2x for n just
+  /// above 2^63). The widening multiply maps Next() onto [0, n) and the
+  /// rejection loop discards the unevenly covered low fringe, so every
+  /// value is exactly equally likely. Deterministic for a fixed seed.
+  uint64_t Uniform(uint64_t n) {
+    uint64_t x = Next();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    uint64_t low = static_cast<uint64_t>(m);
+    if (low < n) {
+      uint64_t threshold = (0 - n) % n;  // 2^64 mod n
+      while (low < threshold) {
+        x = Next();
+        m = static_cast<__uint128_t>(x) * n;
+        low = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
 
   /// Uniform integer in [lo, hi] inclusive.
   int64_t UniformInt(int64_t lo, int64_t hi) {

@@ -1,0 +1,110 @@
+#include "exec/parallel.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "obs/trace.h"
+
+namespace lodviz::exec {
+
+namespace {
+
+size_t DefaultThreads() {
+  if (const char* env = std::getenv("LODVIZ_THREADS")) {
+    char* end = nullptr;
+    long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) return static_cast<size_t>(v);
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw ? hw : 1;
+}
+
+/// Thread-count config + lazily built pool. Function-local static so the
+/// pool is constructed after (and destroyed before) the obs registry its
+/// workers report into.
+struct GlobalExec {
+  std::mutex mu;
+  size_t threads = 0;  // 0 = not yet initialized from the environment
+  std::unique_ptr<ThreadPool> pool;
+
+  static GlobalExec& Get() {
+    static GlobalExec state;
+    return state;
+  }
+};
+
+}  // namespace
+
+size_t ThreadCount() {
+  GlobalExec& g = GlobalExec::Get();
+  std::lock_guard<std::mutex> lock(g.mu);
+  if (g.threads == 0) g.threads = DefaultThreads();
+  return g.threads;
+}
+
+void SetThreads(size_t n) {
+  GlobalExec& g = GlobalExec::Get();
+  std::lock_guard<std::mutex> lock(g.mu);
+  g.pool.reset();  // joins workers; safe because no Parallel* is in flight
+  g.threads = n ? n : DefaultThreads();
+}
+
+bool InWorkerThread() { return ThreadPool::InAnyPool(); }
+
+bool SerialMode() { return InWorkerThread() || ThreadCount() == 1; }
+
+ThreadPool& GlobalPool() {
+  GlobalExec& g = GlobalExec::Get();
+  std::lock_guard<std::mutex> lock(g.mu);
+  if (g.threads == 0) g.threads = DefaultThreads();
+  if (!g.pool) g.pool = std::make_unique<ThreadPool>(g.threads);
+  return *g.pool;
+}
+
+void ParallelFor(size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t, size_t)>& fn) {
+  if (end <= begin) return;
+  if (grain == 0) grain = 1;
+  const size_t n = end - begin;
+  const size_t num_chunks = (n + grain - 1) / grain;
+  if (num_chunks <= 1 || SerialMode()) {
+    fn(begin, end);
+    return;
+  }
+  ThreadPool& pool = GlobalPool();
+  const uint64_t parent_span = obs::CurrentSpanId();
+  const size_t num_tasks = std::min(num_chunks, pool.num_threads());
+
+  // Workers claim chunks from a shared cursor; the caller blocks until the
+  // last task retires. Chunk boundaries are a pure function of grain, so
+  // which worker runs which chunk never affects results.
+  std::atomic<size_t> next_chunk{0};
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  size_t tasks_done = 0;
+  for (size_t t = 0; t < num_tasks; ++t) {
+    pool.Submit([&] {
+      obs::SpanParentScope adopt(parent_span);
+      for (;;) {
+        size_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
+        if (c >= num_chunks) break;
+        size_t b = begin + c * grain;
+        size_t e = std::min(end, b + grain);
+        fn(b, e);
+      }
+      // Notify under the lock: the caller may destroy done_cv the moment
+      // the predicate is satisfied.
+      std::lock_guard<std::mutex> lock(done_mu);
+      ++tasks_done;
+      done_cv.notify_one();
+    });
+  }
+  std::unique_lock<std::mutex> lock(done_mu);
+  done_cv.wait(lock, [&] { return tasks_done == num_tasks; });
+}
+
+}  // namespace lodviz::exec

@@ -1,0 +1,116 @@
+#ifndef LODVIZ_EXEC_PARALLEL_H_
+#define LODVIZ_EXEC_PARALLEL_H_
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "exec/thread_pool.h"
+
+namespace lodviz::exec {
+
+/// Configured parallelism (>= 1). Initialized from the LODVIZ_THREADS
+/// environment variable on first use; unset/invalid falls back to the
+/// hardware concurrency. 1 means every Parallel* call below runs inline on
+/// the calling thread — bit-identical to the pre-exec serial code paths,
+/// which is the determinism contract benches and tests rely on.
+size_t ThreadCount();
+
+/// Overrides the thread count (0 = re-read LODVIZ_THREADS/hardware).
+/// Destroys and lazily rebuilds the global pool; must not be called while
+/// a Parallel* call is in flight.
+void SetThreads(size_t n);
+
+/// True when Parallel* calls would run inline: ThreadCount() == 1, or the
+/// caller is itself a pool worker (nested parallelism degrades to serial
+/// rather than deadlocking the fixed-size pool). Hot paths use this to
+/// keep their exact pre-exec serial code when no parallelism is available.
+bool SerialMode();
+
+/// True iff the calling thread is a worker of the global pool.
+bool InWorkerThread();
+
+/// The process-wide pool, sized to ThreadCount() workers (lazily built).
+ThreadPool& GlobalPool();
+
+/// Runs fn(chunk_begin, chunk_end) over [begin, end) split into chunks of
+/// `grain` indexes. Chunk boundaries depend only on `grain`, never on the
+/// thread count, so per-chunk results are reproducible across machines.
+/// Blocks until every chunk has finished. In SerialMode() (or when the
+/// range fits one chunk) this is exactly `fn(begin, end)`.
+///
+/// The active trace span of the calling thread is propagated into the
+/// workers: spans opened inside `fn` parent under the span that was open
+/// at the ParallelFor call site, keeping cross-thread traces hierarchical.
+///
+/// `fn` must be thread-safe across disjoint chunks and must not submit to
+/// or wait on the global pool (nested Parallel* calls degrade to serial).
+void ParallelFor(size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t, size_t)>& fn);
+
+/// Map-reduce over [begin, end): `map(chunk_begin, chunk_end) -> T` per
+/// chunk, then `combine(acc, chunk_result)` folds the per-chunk results in
+/// ascending chunk order — deterministic for a fixed grain regardless of
+/// thread count (Chan-style pairwise combination when T is a mergeable
+/// accumulator such as stats::RunningMoments). In SerialMode() this is
+/// exactly `map(begin, end)` — one call over the whole range, matching the
+/// pre-exec serial accumulation bit for bit.
+template <typename T, typename MapFn, typename CombineFn>
+T ParallelReduce(size_t begin, size_t end, size_t grain, MapFn map,
+                 CombineFn combine) {
+  if (end <= begin) return T{};
+  if (grain == 0) grain = 1;
+  const size_t n = end - begin;
+  const size_t num_chunks = (n + grain - 1) / grain;
+  if (num_chunks <= 1 || SerialMode()) return map(begin, end);
+  std::vector<T> partial(num_chunks);
+  ParallelFor(0, num_chunks, 1, [&](size_t cb, size_t ce) {
+    for (size_t c = cb; c < ce; ++c) {
+      size_t b = begin + c * grain;
+      size_t e = std::min(end, b + grain);
+      partial[c] = map(b, e);
+    }
+  });
+  T acc = std::move(partial[0]);
+  for (size_t c = 1; c < num_chunks; ++c) combine(acc, std::move(partial[c]));
+  return acc;
+}
+
+/// Parallel sort: 16 fixed chunks sorted concurrently, then pairwise
+/// inplace_merge rounds (also concurrent). Sorted output is identical to
+/// std::sort up to the order of equivalent elements; in SerialMode() (or
+/// below the cutoff) it IS std::sort, preserving the serial tie order.
+template <typename RandomIt, typename Compare>
+void ParallelSort(RandomIt first, RandomIt last, Compare comp) {
+  const size_t n = static_cast<size_t>(last - first);
+  constexpr size_t kMinParallelSort = size_t{1} << 15;
+  if (n < kMinParallelSort || SerialMode()) {
+    std::sort(first, last, comp);
+    return;
+  }
+  constexpr size_t kChunks = 16;
+  std::array<size_t, kChunks + 1> bound;
+  for (size_t i = 0; i <= kChunks; ++i) bound[i] = i * n / kChunks;
+  ParallelFor(0, kChunks, 1, [&](size_t cb, size_t ce) {
+    for (size_t c = cb; c < ce; ++c) {
+      std::sort(first + bound[c], first + bound[c + 1], comp);
+    }
+  });
+  for (size_t width = 1; width < kChunks; width *= 2) {
+    const size_t pairs = kChunks / (2 * width);
+    ParallelFor(0, pairs, 1, [&](size_t pb, size_t pe) {
+      for (size_t p = pb; p < pe; ++p) {
+        size_t lo = bound[2 * width * p];
+        size_t mid = bound[2 * width * p + width];
+        size_t hi = bound[2 * width * (p + 1)];
+        std::inplace_merge(first + lo, first + mid, first + hi, comp);
+      }
+    });
+  }
+}
+
+}  // namespace lodviz::exec
+
+#endif  // LODVIZ_EXEC_PARALLEL_H_

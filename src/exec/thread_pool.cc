@@ -1,0 +1,106 @@
+#include "exec/thread_pool.h"
+
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+#include "obs/metrics.h"
+
+namespace lodviz::exec {
+
+namespace {
+
+/// Set for the duration of WorkerLoop; lets InThisPool()/ParallelFor detect
+/// re-entrant parallelism without any lock.
+thread_local const ThreadPool* tl_worker_pool = nullptr;
+
+}  // namespace
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads < 1) num_threads = 1;
+  obs::MetricRegistry::Global()
+      .GetGauge("exec.pool.threads")
+      .Set(static_cast<int64_t>(num_threads));
+  worker_task_counts_.assign(num_threads, 0);
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Submit(std::function<void()> task) {
+  LODVIZ_CHECK(task != nullptr) << "null task submitted to ThreadPool";
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    LODVIZ_CHECK(!shutting_down_) << "Submit after ThreadPool::Shutdown";
+    queue_.push_back(std::move(task));
+    obs::MetricRegistry::Global()
+        .GetGauge("exec.pool.queue_depth")
+        .Set(static_cast<int64_t>(queue_.size()));
+  }
+  work_ready_.notify_one();
+}
+
+void ThreadPool::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutting_down_ && workers_.empty()) return;
+    shutting_down_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+  obs::MetricRegistry::Global().GetGauge("exec.pool.threads").Set(0);
+}
+
+uint64_t ThreadPool::tasks_executed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (uint64_t c : worker_task_counts_) total += c;
+  return total;
+}
+
+uint64_t ThreadPool::worker_tasks(size_t i) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  LODVIZ_CHECK(i < worker_task_counts_.size()) << "worker index" << i;
+  return worker_task_counts_[i];
+}
+
+bool ThreadPool::InThisPool() const { return tl_worker_pool == this; }
+
+bool ThreadPool::InAnyPool() { return tl_worker_pool != nullptr; }
+
+void ThreadPool::WorkerLoop(size_t worker_index) {
+  tl_worker_pool = this;
+  // Per-worker counter handles, resolved once per worker thread.
+  obs::Counter& pool_tasks =
+      obs::MetricRegistry::Global().GetCounter("exec.pool.tasks");
+  obs::Counter& my_tasks = obs::MetricRegistry::Global().GetCounter(
+      "exec.worker." + std::to_string(worker_index) + ".tasks");
+  obs::Gauge& queue_depth =
+      obs::MetricRegistry::Global().GetGauge("exec.pool.queue_depth");
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_ready_.wait(lock,
+                       [this] { return shutting_down_ || !queue_.empty(); });
+      // Graceful: drain the queue even when shutting down.
+      if (queue_.empty()) break;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      queue_depth.Set(static_cast<int64_t>(queue_.size()));
+      ++worker_task_counts_[worker_index];
+    }
+    pool_tasks.Increment();
+    my_tasks.Increment();
+    task();
+  }
+  tl_worker_pool = nullptr;
+}
+
+}  // namespace lodviz::exec

@@ -1,0 +1,78 @@
+#ifndef LODVIZ_EXEC_THREAD_POOL_H_
+#define LODVIZ_EXEC_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lodviz::exec {
+
+/// Fixed-size worker pool with a FIFO work queue. This is the only place
+/// in lodviz allowed to construct std::thread (enforced by the
+/// `exec.no_raw_thread` lint rule): every parallel hot path goes through
+/// ParallelFor/ParallelReduce (parallel.h) on top of this pool, so thread
+/// count, shutdown order, and per-worker observability are controlled in
+/// one subsystem.
+///
+/// Tasks must not throw (lodviz is Status-based; a throwing task
+/// std::terminates) and must not block on other tasks in the same pool —
+/// ParallelFor guards against that by degrading to serial execution when
+/// invoked from a worker thread.
+///
+/// Observability: the pool registers `exec.pool.threads` (gauge),
+/// `exec.pool.tasks` (counter), `exec.pool.queue_depth` (gauge), and one
+/// `exec.worker.<i>.tasks` counter per worker in the global MetricRegistry.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Graceful shutdown: drains every already-submitted task, then joins.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `task`. Must not be called after Shutdown() has started.
+  void Submit(std::function<void()> task);
+
+  /// Stops accepting work, runs all queued tasks to completion, and joins
+  /// the workers. Idempotent; called by the destructor.
+  void Shutdown();
+
+  /// Pool size; stable across Shutdown() so post-mortem counter queries
+  /// (worker_tasks) can still iterate the workers.
+  size_t num_threads() const { return worker_task_counts_.size(); }
+
+  /// Total tasks executed across all workers.
+  uint64_t tasks_executed() const;
+
+  /// Tasks executed by worker `i` (also exported as exec.worker.<i>.tasks).
+  uint64_t worker_tasks(size_t i) const;
+
+  /// True iff the calling thread is one of this pool's workers.
+  bool InThisPool() const;
+
+  /// True iff the calling thread is a worker of ANY ThreadPool (lock-free
+  /// thread-local check; used by SerialMode to detect nested parallelism).
+  static bool InAnyPool();
+
+ private:
+  void WorkerLoop(size_t worker_index);
+
+  mutable std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::deque<std::function<void()>> queue_;
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+  /// Task counts, one slot per worker; mirrored into the obs registry.
+  std::vector<uint64_t> worker_task_counts_;
+};
+
+}  // namespace lodviz::exec
+
+#endif  // LODVIZ_EXEC_THREAD_POOL_H_

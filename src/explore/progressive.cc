@@ -3,13 +3,33 @@
 #include <cmath>
 
 #include "common/stopwatch.h"
+#include "exec/parallel.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace lodviz::explore {
 
 void ProgressiveAggregator::ProcessChunk(const double* values, size_t n) {
-  for (size_t i = 0; i < n; ++i) moments_.Add(values[i]);
+  // Serial mode keeps the original sequential Welford adds: merging one
+  // whole-chunk partial into non-empty moments_ would not be bit-identical
+  // to adding each value in turn.
+  if (n < 4096 || exec::SerialMode()) {
+    for (size_t i = 0; i < n; ++i) moments_.Add(values[i]);
+    return;
+  }
+  // Chan's pairwise combine: per-sub-chunk Welford partials merged in
+  // ascending chunk order, so results are deterministic for a fixed grain.
+  stats::RunningMoments partial = exec::ParallelReduce<stats::RunningMoments>(
+      0, n, 4096,
+      [&](size_t b, size_t e) {
+        stats::RunningMoments m;
+        for (size_t i = b; i < e; ++i) m.Add(values[i]);
+        return m;
+      },
+      [](stats::RunningMoments& acc, stats::RunningMoments&& rhs) {
+        acc.Merge(rhs);
+      });
+  moments_.Merge(partial);
 }
 
 ProgressiveEstimate ProgressiveAggregator::Estimate() const {

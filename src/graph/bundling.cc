@@ -4,6 +4,8 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "exec/parallel.h"
+
 namespace lodviz::graph {
 
 namespace {
@@ -84,20 +86,31 @@ BundlingResult BundleEdges(const Graph& g, const Layout& layout,
   }
   result.distinct_cells_before = CountDistinctCells(result.polylines, 256);
 
-  // Precompute compatible pairs with their compatibility weights.
+  // Precompute compatible pairs with their compatibility weights. The
+  // upper triangle (f > e) is embarrassingly parallel per e; the serial
+  // symmetric fill below replays the original ascending-(e, f) insertion
+  // order, so `compatible` is identical to the old single loop.
+  std::vector<std::vector<std::pair<uint32_t, double>>> upper(m);
+  exec::ParallelFor(0, m, 8, [&](size_t eb, size_t ee) {
+    for (size_t e = eb; e < ee; ++e) {
+      const geo::Point& p0 = layout[edges[e].first];
+      const geo::Point& p1 = layout[edges[e].second];
+      for (size_t f = e + 1; f < m; ++f) {
+        const geo::Point& q0 = layout[edges[f].first];
+        const geo::Point& q1 = layout[edges[f].second];
+        double c = Compatibility(p0, p1, q0, q1);
+        if (c >= options.compatibility_threshold) {
+          upper[e].emplace_back(static_cast<uint32_t>(f), c);
+        }
+      }
+    }
+  });
   std::vector<std::vector<std::pair<uint32_t, double>>> compatible(m);
   for (size_t e = 0; e < m; ++e) {
-    const geo::Point& p0 = layout[edges[e].first];
-    const geo::Point& p1 = layout[edges[e].second];
-    for (size_t f = e + 1; f < m; ++f) {
-      const geo::Point& q0 = layout[edges[f].first];
-      const geo::Point& q1 = layout[edges[f].second];
-      double c = Compatibility(p0, p1, q0, q1);
-      if (c >= options.compatibility_threshold) {
-        compatible[e].emplace_back(static_cast<uint32_t>(f), c);
-        compatible[f].emplace_back(static_cast<uint32_t>(e), c);
-        ++result.compatible_pairs;
-      }
+    for (const auto& [f, c] : upper[e]) {
+      compatible[e].emplace_back(f, c);
+      compatible[f].emplace_back(static_cast<uint32_t>(e), c);
+      ++result.compatible_pairs;
     }
   }
 
@@ -107,29 +120,34 @@ BundlingResult BundleEdges(const Graph& g, const Layout& layout,
   std::vector<Polyline> next = result.polylines;
   double step = options.step;
   for (int iter = 0; iter < options.iterations; ++iter) {
-    for (size_t e = 0; e < m; ++e) {
-      Polyline& line = result.polylines[e];
-      for (int i = 1; i <= p; ++i) {
-        double fx = options.stiffness *
-                    (line[i - 1].x + line[i + 1].x - 2 * line[i].x);
-        double fy = options.stiffness *
-                    (line[i - 1].y + line[i + 1].y - 2 * line[i].y);
-        if (!compatible[e].empty()) {
-          double ax = 0.0, ay = 0.0, wsum = 0.0;
-          for (const auto& [f, w] : compatible[e]) {
-            const geo::Point& other = result.polylines[f][i];
-            ax += w * (other.x - line[i].x);
-            ay += w * (other.y - line[i].y);
-            wsum += w;
+    // Jacobi-style update: every edge reads only the previous iteration's
+    // polylines and writes only next[e], so parallel execution is
+    // bit-identical to serial.
+    exec::ParallelFor(0, m, 16, [&](size_t eb, size_t ee) {
+      for (size_t e = eb; e < ee; ++e) {
+        Polyline& line = result.polylines[e];
+        for (int i = 1; i <= p; ++i) {
+          double fx = options.stiffness *
+                      (line[i - 1].x + line[i + 1].x - 2 * line[i].x);
+          double fy = options.stiffness *
+                      (line[i - 1].y + line[i + 1].y - 2 * line[i].y);
+          if (!compatible[e].empty()) {
+            double ax = 0.0, ay = 0.0, wsum = 0.0;
+            for (const auto& [f, w] : compatible[e]) {
+              const geo::Point& other = result.polylines[f][i];
+              ax += w * (other.x - line[i].x);
+              ay += w * (other.y - line[i].y);
+              wsum += w;
+            }
+            fx += ax / wsum;
+            fy += ay / wsum;
           }
-          fx += ax / wsum;
-          fy += ay / wsum;
+          next[e][i] = {line[i].x + step * fx, line[i].y + step * fy};
         }
-        next[e][i] = {line[i].x + step * fx, line[i].y + step * fy};
+        next[e][0] = line[0];
+        next[e][p + 1] = line[p + 1];
       }
-      next[e][0] = line[0];
-      next[e][p + 1] = line[p + 1];
-    }
+    });
     std::swap(result.polylines, next);
     if ((iter + 1) % 15 == 0) step *= 0.5;
   }

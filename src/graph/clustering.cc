@@ -4,6 +4,8 @@
 #include <numeric>
 #include <unordered_map>
 
+#include "exec/parallel.h"
+
 namespace lodviz::graph {
 
 std::vector<size_t> Clustering::ClusterSizes() const {
@@ -27,16 +29,42 @@ Clustering Densify(std::vector<NodeId> assignment) {
 double Modularity(const Graph& g, const Clustering& clustering) {
   double m = static_cast<double>(g.num_edges());
   if (m == 0) return 0.0;
-  std::vector<double> intra(clustering.num_clusters, 0.0);
-  std::vector<double> degree_sum(clustering.num_clusters, 0.0);
-  for (NodeId u = 0; u < g.num_nodes(); ++u) {
-    degree_sum[clustering.assignment[u]] += static_cast<double>(g.Degree(u));
-  }
-  for (const auto& [u, v] : g.edges()) {
-    if (clustering.assignment[u] == clustering.assignment[v]) {
-      intra[clustering.assignment[u]] += 1.0;
+  // Per-chunk histograms merged in chunk order. Every addend is an
+  // integer-valued double, so the sums are exact and the result is
+  // bit-identical no matter how the work is split.
+  auto combine = [](std::vector<double>& acc, std::vector<double>&& rhs) {
+    if (acc.empty()) {
+      acc = std::move(rhs);
+      return;
     }
-  }
+    for (size_t c = 0; c < rhs.size(); ++c) acc[c] += rhs[c];
+  };
+  std::vector<double> degree_sum = exec::ParallelReduce<std::vector<double>>(
+      0, g.num_nodes(), 16384,
+      [&](size_t b, size_t e) {
+        std::vector<double> part(clustering.num_clusters, 0.0);
+        for (size_t u = b; u < e; ++u) {
+          part[clustering.assignment[u]] +=
+              static_cast<double>(g.Degree(static_cast<NodeId>(u)));
+        }
+        return part;
+      },
+      combine);
+  std::vector<double> intra = exec::ParallelReduce<std::vector<double>>(
+      0, g.edges().size(), 16384,
+      [&](size_t b, size_t e) {
+        std::vector<double> part(clustering.num_clusters, 0.0);
+        for (size_t i = b; i < e; ++i) {
+          const auto& [u, v] = g.edges()[i];
+          if (clustering.assignment[u] == clustering.assignment[v]) {
+            part[clustering.assignment[u]] += 1.0;
+          }
+        }
+        return part;
+      },
+      combine);
+  if (degree_sum.empty()) degree_sum.assign(clustering.num_clusters, 0.0);
+  if (intra.empty()) intra.assign(clustering.num_clusters, 0.0);
   double q = 0.0;
   for (NodeId c = 0; c < clustering.num_clusters; ++c) {
     q += intra[c] / m - (degree_sum[c] / (2.0 * m)) * (degree_sum[c] / (2.0 * m));

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "exec/parallel.h"
+
 namespace lodviz::graph {
 
 namespace {
@@ -59,9 +61,32 @@ Layout ForceDirectedLayout(const Graph& g, const ForceLayoutOptions& options) {
       disp[j].y -= dy / dist * force;
     };
 
+    // One-sided repulsion: accumulates only into disp[i], so each node can
+    // be computed independently. a-b == -(b-a) exactly in IEEE arithmetic,
+    // so the per-node sum matches the pairwise update term for term.
+    auto repel_into = [&](NodeId i, NodeId j) {
+      double dx = pos[i].x - pos[j].x;
+      double dy = pos[i].y - pos[j].y;
+      double dist2 = dx * dx + dy * dy + 1e-12;
+      double dist = std::sqrt(dist2);
+      double force = k * k / dist;
+      disp[i].x += dx / dist * force;
+      disp[i].y += dy / dist * force;
+    };
+
     if (exact) {
-      for (NodeId i = 0; i < n; ++i) {
-        for (NodeId j = i + 1; j < n; ++j) repel(i, j);
+      if (exec::SerialMode()) {
+        for (NodeId i = 0; i < n; ++i) {
+          for (NodeId j = i + 1; j < n; ++j) repel(i, j);
+        }
+      } else {
+        exec::ParallelFor(0, n, 128, [&](size_t b, size_t e) {
+          for (size_t i = b; i < e; ++i) {
+            for (NodeId j = 0; j < n; ++j) {
+              if (j != i) repel_into(static_cast<NodeId>(i), j);
+            }
+          }
+        });
       }
     } else {
       std::unordered_map<uint64_t, std::vector<NodeId>> grid;
@@ -78,19 +103,38 @@ Layout ForceDirectedLayout(const Graph& g, const ForceLayoutOptions& options) {
         auto [cx, cy] = cell_of(pos[i]);
         grid[key(cx, cy)].push_back(i);
       }
-      for (NodeId i = 0; i < n; ++i) {
-        auto [cx, cy] = cell_of(pos[i]);
-        for (int dx = -1; dx <= 1; ++dx) {
-          for (int dy = -1; dy <= 1; ++dy) {
-            int nx = cx + dx, ny = cy + dy;
-            if (nx < 0 || ny < 0 || nx >= grid_n || ny >= grid_n) continue;
-            auto it = grid.find(key(nx, ny));
-            if (it == grid.end()) continue;
-            for (NodeId j : it->second) {
-              if (j > i) repel(i, j);
+      if (exec::SerialMode()) {
+        for (NodeId i = 0; i < n; ++i) {
+          auto [cx, cy] = cell_of(pos[i]);
+          for (int dx = -1; dx <= 1; ++dx) {
+            for (int dy = -1; dy <= 1; ++dy) {
+              int nx = cx + dx, ny = cy + dy;
+              if (nx < 0 || ny < 0 || nx >= grid_n || ny >= grid_n) continue;
+              auto it = grid.find(key(nx, ny));
+              if (it == grid.end()) continue;
+              for (NodeId j : it->second) {
+                if (j > i) repel(i, j);
+              }
             }
           }
         }
+      } else {
+        exec::ParallelFor(0, n, 256, [&](size_t b, size_t e) {
+          for (size_t i = b; i < e; ++i) {
+            auto [cx, cy] = cell_of(pos[i]);
+            for (int dx = -1; dx <= 1; ++dx) {
+              for (int dy = -1; dy <= 1; ++dy) {
+                int nx = cx + dx, ny = cy + dy;
+                if (nx < 0 || ny < 0 || nx >= grid_n || ny >= grid_n) continue;
+                auto it = grid.find(key(nx, ny));
+                if (it == grid.end()) continue;
+                for (NodeId j : it->second) {
+                  if (j != i) repel_into(static_cast<NodeId>(i), j);
+                }
+              }
+            }
+          }
+        });
       }
     }
 

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
+#include "exec/parallel.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -46,8 +47,13 @@ Result<HETree> HETree::Build(std::vector<Item> items, const Options& options) {
     return Status::InvalidArgument("leaf_capacity must be >= 1");
   }
   auto data = std::make_shared<SortedData>();
-  std::sort(items.begin(), items.end(),
-            [](const Item& a, const Item& b) { return a.value < b.value; });
+  // Serial mode (LODVIZ_THREADS=1) degrades to plain std::sort, so tie
+  // order — and therefore every downstream structure — matches the
+  // pre-exec serial build bit for bit.
+  exec::ParallelSort(items.begin(), items.end(),
+                     [](const Item& a, const Item& b) {
+                       return a.value < b.value;
+                     });
   size_t n = items.size();
   data->items = std::move(items);
   data->prefix_sum.resize(n + 1, 0.0);
@@ -118,9 +124,7 @@ size_t HETree::UpperBound(double value) const {
   return static_cast<size_t>(it - data_->items.begin());
 }
 
-void HETree::MaterializeChildren(NodeId id) {
-  Node& parent = nodes_[id];
-  if (parent.children_materialized || parent.is_leaf) return;
+std::vector<HETree::Node> HETree::ComputeChildren(const Node& parent) const {
   size_t first = parent.first, last = parent.last;
   size_t count = last - first;
   std::vector<std::pair<size_t, size_t>> ranges;  // item ranges
@@ -167,7 +171,8 @@ void HETree::MaterializeChildren(NodeId id) {
     }
   }
 
-  std::vector<NodeId> child_ids;
+  std::vector<Node> children;
+  children.reserve(ranges.size());
   for (size_t i = 0; i < ranges.size(); ++i) {
     Node child;
     child.first = ranges[i].first;
@@ -177,14 +182,29 @@ void HETree::MaterializeChildren(NodeId id) {
     child.stats = StatsForItemRange(child.first, child.last);
     child.is_leaf = (child.last - child.first) <= options_.leaf_capacity ||
                     ranges.size() <= 1;
+    child.depth = parent.depth + 1;
+    children.push_back(std::move(child));
+  }
+  return children;
+}
+
+void HETree::AttachChildren(NodeId id, std::vector<Node> children) {
+  std::vector<NodeId> child_ids;
+  child_ids.reserve(children.size());
+  for (Node& child : children) {
     child.parent = id;
-    child.depth = nodes_[id].depth + 1;
     child_ids.push_back(static_cast<NodeId>(nodes_.size()));
     nodes_.push_back(std::move(child));
   }
-  Node& parent2 = nodes_[id];  // re-fetch (vector may have grown)
-  parent2.children = std::move(child_ids);
-  parent2.children_materialized = true;
+  Node& parent = nodes_[id];  // re-fetch (vector may have grown)
+  parent.children = std::move(child_ids);
+  parent.children_materialized = true;
+}
+
+void HETree::MaterializeChildren(NodeId id) {
+  const Node& parent = nodes_[id];
+  if (parent.children_materialized || parent.is_leaf) return;
+  AttachChildren(id, ComputeChildren(parent));
 }
 
 const std::vector<HETree::NodeId>& HETree::Children(NodeId id) {

@@ -125,6 +125,11 @@ class HETree {
   NodeStats StatsForItemRange(size_t first, size_t last) const;
   size_t LowerBound(double value) const;  // first index with value >= v
   size_t UpperBound(double value) const;  // first index with value > v
+  /// Pure split of `parent` into child nodes (no tree mutation); safe to
+  /// call concurrently for distinct nodes of one level.
+  [[nodiscard]] std::vector<Node> ComputeChildren(const Node& parent) const;
+  /// Appends `children` for node `id` and links them in.
+  void AttachChildren(NodeId id, std::vector<Node> children);
   void MaterializeChildren(NodeId id);
   void MaterializeAll();
 

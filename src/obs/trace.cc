@@ -23,6 +23,20 @@ int64_t NowNs() {
 
 }  // namespace
 
+uint64_t CurrentSpanId() {
+  return tl_span_stack.empty() ? 0 : tl_span_stack.back().id;
+}
+
+SpanParentScope::SpanParentScope(uint64_t parent_id) {
+  if (parent_id == 0) return;
+  tl_span_stack.push_back({parent_id});
+  pushed_ = true;
+}
+
+SpanParentScope::~SpanParentScope() {
+  if (pushed_ && !tl_span_stack.empty()) tl_span_stack.pop_back();
+}
+
 uint64_t TraceThreadId() {
   static std::atomic<uint64_t> next{1};
   thread_local uint64_t id = next.fetch_add(1, std::memory_order_relaxed);

@@ -106,6 +106,29 @@ class ScopedSpan {
 /// Dense id of the calling thread as used in SpanRecord::thread_id.
 uint64_t TraceThreadId();
 
+/// Id of the innermost span currently open on the calling thread, or 0 if
+/// none (or tracing is off). Capture this before handing work to another
+/// thread and re-establish it there with SpanParentScope so cross-thread
+/// traces stay hierarchical.
+uint64_t CurrentSpanId();
+
+/// RAII adoption of a foreign span as the calling thread's current parent:
+/// spans opened while the scope is alive get `parent_id` (typically
+/// captured on the submitting thread via CurrentSpanId()) as their parent.
+/// A zero parent_id is a no-op, so propagation code needs no branches.
+/// Used by exec::ParallelFor workers; see src/exec/parallel.cc.
+class SpanParentScope {
+ public:
+  explicit SpanParentScope(uint64_t parent_id);
+  ~SpanParentScope();
+
+  SpanParentScope(const SpanParentScope&) = delete;
+  SpanParentScope& operator=(const SpanParentScope&) = delete;
+
+ private:
+  bool pushed_ = false;
+};
+
 }  // namespace lodviz::obs
 
 #define LODVIZ_OBS_CONCAT_INNER(a, b) a##b

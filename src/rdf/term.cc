@@ -171,26 +171,57 @@ Result<std::string> UnescapeNTriplesString(std::string_view s) {
         break;
       case 'u':
       case 'U': {
-        // Minimal \uXXXX support: decode to UTF-8.
-        size_t len = (next == 'u') ? 4 : 8;
-        if (i + len >= s.size()) {
-          return Status::ParseError("truncated unicode escape");
-        }
-        uint32_t cp = 0;
-        for (size_t k = 1; k <= len; ++k) {
-          char h = s[i + k];
-          cp <<= 4;
-          if (h >= '0' && h <= '9') {
-            cp |= static_cast<uint32_t>(h - '0');
-          } else if (h >= 'a' && h <= 'f') {
-            cp |= static_cast<uint32_t>(h - 'a' + 10);
-          } else if (h >= 'A' && h <= 'F') {
-            cp |= static_cast<uint32_t>(h - 'A' + 10);
-          } else {
-            return Status::ParseError("bad unicode escape digit");
+        // \uXXXX / \UXXXXXXXX: decode to UTF-8. UTF-16 surrogate pairs
+        // written as two \u escapes combine into one code point; a lone
+        // surrogate or a value beyond U+10FFFF is not a character and is
+        // rejected rather than emitted as invalid (CESU-8) bytes.
+        auto read_hex = [&](size_t at, size_t len,
+                            uint32_t* cp) -> Status {
+          if (at + len > s.size()) {
+            return Status::ParseError("truncated unicode escape");
           }
-        }
+          uint32_t v = 0;
+          for (size_t k = 0; k < len; ++k) {
+            char h = s[at + k];
+            v <<= 4;
+            if (h >= '0' && h <= '9') {
+              v |= static_cast<uint32_t>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              v |= static_cast<uint32_t>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              v |= static_cast<uint32_t>(h - 'A' + 10);
+            } else {
+              return Status::ParseError("bad unicode escape digit");
+            }
+          }
+          *cp = v;
+          return Status::OK();
+        };
+        size_t len = (next == 'u') ? 4 : 8;
+        uint32_t cp = 0;
+        LODVIZ_RETURN_NOT_OK(read_hex(i + 1, len, &cp));
         i += len;
+        if (cp >= 0xD800 && cp <= 0xDBFF) {
+          // High surrogate: only meaningful as the first half of a \u
+          // pair; combine with the trailing low surrogate.
+          if (next != 'u' || i + 2 >= s.size() || s[i + 1] != '\\' ||
+              s[i + 2] != 'u') {
+            return Status::ParseError("lone high surrogate in unicode escape");
+          }
+          uint32_t low = 0;
+          LODVIZ_RETURN_NOT_OK(read_hex(i + 3, 4, &low));
+          if (low < 0xDC00 || low > 0xDFFF) {
+            return Status::ParseError(
+                "high surrogate not followed by low surrogate");
+          }
+          cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+          i += 6;  // the "\uXXXX" of the low half
+        } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+          return Status::ParseError("lone low surrogate in unicode escape");
+        }
+        if (cp > 0x10FFFF) {
+          return Status::ParseError("unicode escape beyond U+10FFFF");
+        }
         if (cp < 0x80) {
           out += static_cast<char>(cp);
         } else if (cp < 0x800) {

@@ -8,6 +8,7 @@
 
 #include "common/stopwatch.h"
 #include "common/string_util.h"
+#include "exec/parallel.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "rdf/vocab.h"
@@ -310,18 +311,30 @@ class Evaluator {
 
     if (!group.filters.empty()) {
       const size_t before = solutions.size();
-      std::vector<Binding> kept;
-      for (Binding& sol : solutions) {
-        EvalContext ctx{&store_->dict(), &sol};
-        bool pass = true;
-        for (const ExprPtr& f : group.filters) {
-          if (!PassesFilter(*f, ctx)) {
-            pass = false;
-            break;
-          }
-        }
-        if (pass) kept.push_back(std::move(sol));
-      }
+      // Filters are pure per solution (dictionary reads are const), so
+      // chunks evaluate independently and keep order on concatenation.
+      std::vector<Binding> kept = exec::ParallelReduce<std::vector<Binding>>(
+          0, solutions.size(), 64,
+          [&](size_t cb, size_t ce) {
+            std::vector<Binding> out;
+            for (size_t si = cb; si < ce; ++si) {
+              Binding& sol = solutions[si];
+              EvalContext ctx{&store_->dict(), &sol};
+              bool pass = true;
+              for (const ExprPtr& f : group.filters) {
+                if (!PassesFilter(*f, ctx)) {
+                  pass = false;
+                  break;
+                }
+              }
+              if (pass) out.push_back(std::move(sol));
+            }
+            return out;
+          },
+          [](std::vector<Binding>& acc, std::vector<Binding>&& rhs) {
+            acc.insert(acc.end(), std::make_move_iterator(rhs.begin()),
+                       std::make_move_iterator(rhs.end()));
+          });
       solutions = std::move(kept);
       SparqlMetrics::Get().op_filter_dropped.Increment(before -
                                                        solutions.size());
@@ -392,25 +405,43 @@ class Evaluator {
       const TriplePatternAst& ast = *remaining[pick];
       remaining.erase(remaining.begin() + pick);
 
-      std::vector<Binding> next;
-      for (const Binding& sol : current) {
-        rdf::TriplePattern pat;
-        if (!Instantiate(ast, sol, &pat)) continue;
-        store_->Scan(pat, [&](const rdf::Triple& t) {
-          Binding extended = sol;
-          bool ok = true;
-          auto bind = [&](const NodeOrVar& n, TermId value) {
-            if (!IsVar(n)) return;
-            auto [it, inserted] = extended.emplace(AsVar(n).name, value);
-            if (!inserted && it->second != value) ok = false;
-          };
-          bind(ast.s, t.s);
-          if (ok) bind(ast.p, t.p);
-          if (ok) bind(ast.o, t.o);
-          if (ok) next.push_back(std::move(extended));
-          return true;
-        });
-      }
+      // Solutions extend independently; per-chunk outputs concatenate in
+      // chunk order, so `next` is ordered exactly as the serial loop
+      // produced it. Matches are copied out of the Scan callback so the
+      // store lock is held only for the index walk, not the binding work.
+      std::vector<Binding> next = exec::ParallelReduce<std::vector<Binding>>(
+          0, current.size(), 8,
+          [&](size_t cb, size_t ce) {
+            std::vector<Binding> out;
+            for (size_t si = cb; si < ce; ++si) {
+              const Binding& sol = current[si];
+              rdf::TriplePattern pat;
+              if (!Instantiate(ast, sol, &pat)) continue;
+              std::vector<rdf::Triple> matches;
+              store_->Scan(pat, [&](const rdf::Triple& t) {
+                matches.push_back(t);
+                return true;
+              });
+              for (const rdf::Triple& t : matches) {
+                Binding extended = sol;
+                bool ok = true;
+                auto bind = [&](const NodeOrVar& n, TermId value) {
+                  if (!IsVar(n)) return;
+                  auto [it, inserted] = extended.emplace(AsVar(n).name, value);
+                  if (!inserted && it->second != value) ok = false;
+                };
+                bind(ast.s, t.s);
+                if (ok) bind(ast.p, t.p);
+                if (ok) bind(ast.o, t.o);
+                if (ok) out.push_back(std::move(extended));
+              }
+            }
+            return out;
+          },
+          [](std::vector<Binding>& acc, std::vector<Binding>&& rhs) {
+            acc.insert(acc.end(), std::make_move_iterator(rhs.begin()),
+                       std::make_move_iterator(rhs.end()));
+          });
       intermediate_rows_ += next.size();
       SparqlMetrics::Get().op_join_rows.Increment(next.size());
       current = std::move(next);

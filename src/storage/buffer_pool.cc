@@ -131,7 +131,9 @@ Status BufferPool::FlushAll() {
       f.dirty = false;
     }
   }
-  return Status::OK();
+  // Flushed pages are only in the kernel page cache until synced; a crash
+  // after FlushAll must not lose them.
+  return file_->Sync();
 }
 
 void BufferPool::Unpin(int32_t frame) {

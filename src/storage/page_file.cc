@@ -42,24 +42,68 @@ Result<PageId> PageFile::AllocatePage() {
   return id;
 }
 
+ssize_t PageFile::PreadSome(void* buf, size_t count, off_t offset) {
+  return ::pread(fd_, buf, count, offset);
+}
+
+ssize_t PageFile::PwriteSome(const void* buf, size_t count, off_t offset) {
+  return ::pwrite(fd_, buf, count, offset);
+}
+
 Status PageFile::ReadPage(PageId id, void* buf) {
-  ssize_t n = ::pread(fd_, buf, kPageSize,
-                      static_cast<off_t>(id) * static_cast<off_t>(kPageSize));
-  if (n != static_cast<ssize_t>(kPageSize)) {
-    return Status::IoError("short read of page " + std::to_string(id));
+  // A single pread may legally transfer fewer than kPageSize bytes (or
+  // fail with EINTR); treating that as a hard error corrupted reads on
+  // signal-heavy hosts. Keep issuing reads at the advancing offset until
+  // the page is complete.
+  char* dst = static_cast<char*>(buf);
+  size_t done = 0;
+  while (done < kPageSize) {
+    ssize_t n = PreadSome(dst + done, kPageSize - done,
+                          static_cast<off_t>(id) * static_cast<off_t>(kPageSize) +
+                              static_cast<off_t>(done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError("read of page " + std::to_string(id) + ": " +
+                             std::strerror(errno));
+    }
+    if (n == 0) {
+      return Status::IoError("short read of page " + std::to_string(id) +
+                             " (eof at byte " + std::to_string(done) + ")");
+    }
+    done += static_cast<size_t>(n);
   }
   ++reads_;
   return Status::OK();
 }
 
 Status PageFile::WritePage(PageId id, const void* buf) {
-  ssize_t n = ::pwrite(fd_, buf, kPageSize,
-                       static_cast<off_t>(id) * static_cast<off_t>(kPageSize));
-  if (n != static_cast<ssize_t>(kPageSize)) {
-    return Status::IoError("short write of page " + std::to_string(id));
+  const char* src = static_cast<const char*>(buf);
+  size_t done = 0;
+  while (done < kPageSize) {
+    ssize_t n = PwriteSome(src + done, kPageSize - done,
+                           static_cast<off_t>(id) * static_cast<off_t>(kPageSize) +
+                               static_cast<off_t>(done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError("write of page " + std::to_string(id) + ": " +
+                             std::strerror(errno));
+    }
+    if (n == 0) {
+      return Status::IoError("short write of page " + std::to_string(id) +
+                             " (stalled at byte " + std::to_string(done) + ")");
+    }
+    done += static_cast<size_t>(n);
   }
   ++writes_;
   if (id >= num_pages_) num_pages_ = id + 1;
+  return Status::OK();
+}
+
+Status PageFile::Sync() {
+  if (fd_ < 0) return Status::InvalidArgument("PageFile not open");
+  if (::fdatasync(fd_) != 0) {
+    return Status::IoError(std::string("fdatasync: ") + std::strerror(errno));
+  }
   return Status::OK();
 }
 

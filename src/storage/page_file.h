@@ -35,16 +35,28 @@ class PageFile {
   /// I/O failures (see storage_test.cc).
   virtual Result<PageId> AllocatePage();
 
-  /// Reads page `id` into `buf` (kPageSize bytes).
+  /// Reads page `id` into `buf` (kPageSize bytes). Loops until the full
+  /// page is transferred: POSIX allows pread to return fewer bytes than
+  /// requested, and a read landing mid-signal returns EINTR.
   virtual Status ReadPage(PageId id, void* buf);
 
-  /// Writes `buf` (kPageSize bytes) to page `id`.
+  /// Writes `buf` (kPageSize bytes) to page `id`, looping on short writes
+  /// and EINTR like ReadPage.
   virtual Status WritePage(PageId id, const void* buf);
+
+  /// Flushes file data to stable storage (fdatasync).
+  virtual Status Sync();
 
   uint32_t num_pages() const { return num_pages_; }
   uint64_t reads() const { return reads_; }
   uint64_t writes() const { return writes_; }
   void ResetCounters() { reads_ = writes_ = 0; }
+
+ protected:
+  /// Raw positional I/O seams; tests override these to inject short
+  /// transfers and EINTR. Defaults delegate to ::pread / ::pwrite.
+  virtual ssize_t PreadSome(void* buf, size_t count, off_t offset);
+  virtual ssize_t PwriteSome(const void* buf, size_t count, off_t offset);
 
  private:
   int fd_ = -1;

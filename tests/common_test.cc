@@ -3,6 +3,7 @@
 #include <cmath>
 #include <set>
 #include <sstream>
+#include <vector>
 
 #include "common/random.h"
 #include "common/result.h"
@@ -147,6 +148,48 @@ TEST(RngTest, UniformIntCoversRange) {
     seen.insert(v);
   }
   EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, UniformIsDeterministicForFixedSeed) {
+  Rng a(23), b(23);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.Uniform(1000), b.Uniform(1000));
+}
+
+TEST(RngTest, UniformPassesChiSquared) {
+  // 64 buckets, 64k draws: expected 1000 per bucket. Chi-squared with 63
+  // degrees of freedom exceeds 103 with p < 0.001, so a fixed seed makes
+  // this deterministic and a uniformity regression makes it fail hard.
+  Rng rng(29);
+  constexpr uint64_t kBuckets = 64;
+  constexpr int kDraws = 64000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.Uniform(kBuckets)];
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  double chi2 = 0.0;
+  for (int c : counts) {
+    double d = c - expected;
+    chi2 += d * d / expected;
+  }
+  EXPECT_LT(chi2, 103.0);
+}
+
+TEST(RngTest, UniformHasNoModuloBias) {
+  // The old `Next() % n` maps [0, 2^64) onto n = 3 * 2^62 so that values
+  // below 2^62 are twice as likely as the rest: P(v < 2^62) was 1/2
+  // instead of 1/3. Rejection sampling restores 1/3, which 40k draws
+  // separate from 1/2 by ~70 standard errors.
+  Rng rng(31);
+  const uint64_t n = 3ULL << 62;
+  const uint64_t third = 1ULL << 62;
+  int low = 0;
+  const int draws = 40000;
+  for (int i = 0; i < draws; ++i) {
+    uint64_t v = rng.Uniform(n);
+    ASSERT_LT(v, n);
+    if (v < third) ++low;
+  }
+  double frac = static_cast<double>(low) / draws;
+  EXPECT_NEAR(frac, 1.0 / 3.0, 0.02);
 }
 
 TEST(RngTest, NormalHasExpectedMoments) {

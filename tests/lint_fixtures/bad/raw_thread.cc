@@ -1,0 +1,20 @@
+// LINT-EXPECT: exec.no_raw_thread
+// Spawning std::thread directly bypasses the exec subsystem: the thread is
+// invisible to LODVIZ_THREADS, per-worker metrics, and graceful shutdown.
+// All parallelism must go through exec::ParallelFor / exec::ThreadPool.
+#include <thread>
+#include <vector>
+
+namespace lodviz {
+
+void ScatterWorkAcrossRawThreads(std::vector<int>* data) {
+  std::thread worker([data] {
+    for (int& v : *data) v *= 2;
+  });
+  worker.join();
+}
+
+// Allowed (and must NOT fire): querying the hardware, not making a thread.
+unsigned QueryHardware() { return std::thread::hardware_concurrency(); }
+
+}  // namespace lodviz

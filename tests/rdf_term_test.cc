@@ -93,6 +93,46 @@ TEST(EscapeTest, MalformedEscapesError) {
   EXPECT_FALSE(UnescapeNTriplesString("\\u00zz").ok());
 }
 
+TEST(EscapeTest, SurrogatePairsCombine) {
+  // UTF-16 pair for U+1F600: must decode to one 4-byte UTF-8 character,
+  // identical to the direct \U form (not two 3-byte CESU-8 sequences).
+  EXPECT_EQ(test::Unwrap(UnescapeNTriplesString("\\uD83D\\uDE00")),
+            "\xF0\x9F\x98\x80");
+  EXPECT_EQ(test::Unwrap(UnescapeNTriplesString("\\uD83D\\uDE00")),
+            test::Unwrap(UnescapeNTriplesString("\\U0001F600")));
+  // Pair in context, plus the first/last code points of the supplementary
+  // range: U+10000 = D800/DC00, U+10FFFF = DBFF/DFFF.
+  EXPECT_EQ(test::Unwrap(UnescapeNTriplesString("a\\uD800\\uDC00b")),
+            "a\xF0\x90\x80\x80"
+            "b");
+  EXPECT_EQ(test::Unwrap(UnescapeNTriplesString("\\uDBFF\\uDFFF")),
+            "\xF4\x8F\xBF\xBF");
+}
+
+TEST(EscapeTest, SurrogatePairRoundTripsThroughTerm) {
+  Result<std::string> decoded = UnescapeNTriplesString("\\uD83D\\uDE00 ok");
+  ASSERT_TRUE(decoded.ok());
+  std::string escaped = EscapeNTriplesString(decoded.ValueOrDie());
+  EXPECT_EQ(test::Unwrap(UnescapeNTriplesString(escaped)),
+            decoded.ValueOrDie());
+}
+
+TEST(EscapeTest, LoneAndInvalidSurrogatesError) {
+  // Lone high surrogate: at end, before ordinary text, and before a
+  // non-surrogate escape.
+  EXPECT_FALSE(UnescapeNTriplesString("\\uD83D").ok());
+  EXPECT_FALSE(UnescapeNTriplesString("\\uD83Dxyz").ok());
+  EXPECT_FALSE(UnescapeNTriplesString("\\uD83D\\u0041").ok());
+  EXPECT_FALSE(UnescapeNTriplesString("\\uD83D\\n").ok());
+  // Lone low surrogate, and a high pair half written as \U.
+  EXPECT_FALSE(UnescapeNTriplesString("\\uDE00").ok());
+  EXPECT_FALSE(UnescapeNTriplesString("\\U0000D83D").ok());
+  EXPECT_FALSE(UnescapeNTriplesString("\\U0000DE00").ok());
+  // Beyond the Unicode ceiling.
+  EXPECT_FALSE(UnescapeNTriplesString("\\U00110000").ok());
+  EXPECT_FALSE(UnescapeNTriplesString("\\UFFFFFFFF").ok());
+}
+
 struct DateCase {
   std::string text;
   int64_t expected;

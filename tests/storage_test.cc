@@ -3,6 +3,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cerrno>
 #include <cstring>
 #include <map>
 #include <string>
@@ -363,6 +364,86 @@ TEST(CrackingTest, WorkDecreasesOverSession) {
   cracker.CountRange(0.41, 0.59);
   uint64_t last_cost = cracker.elements_touched() - before_last;
   EXPECT_LT(last_cost, first_cost / 2);
+}
+
+/// Failure injection at the syscall seam: transfers at most `max_chunk`
+/// bytes per pread/pwrite and fails every `eintr_every`-th call with
+/// EINTR — the short-transfer/interrupt behavior POSIX permits, which the
+/// page I/O retry loops must absorb without corrupting pages.
+class ShortIoPageFile : public PageFile {
+ public:
+  ShortIoPageFile(size_t max_chunk, uint64_t eintr_every)
+      : max_chunk_(max_chunk), eintr_every_(eintr_every) {}
+
+  uint64_t raw_calls() const { return calls_; }
+
+ protected:
+  ssize_t PreadSome(void* buf, size_t count, off_t offset) override {
+    if (++calls_ % eintr_every_ == 0) {
+      errno = EINTR;
+      return -1;
+    }
+    return PageFile::PreadSome(buf, std::min(count, max_chunk_), offset);
+  }
+
+  ssize_t PwriteSome(const void* buf, size_t count, off_t offset) override {
+    if (++calls_ % eintr_every_ == 0) {
+      errno = EINTR;
+      return -1;
+    }
+    return PageFile::PwriteSome(buf, std::min(count, max_chunk_), offset);
+  }
+
+ private:
+  size_t max_chunk_;
+  uint64_t eintr_every_;
+  uint64_t calls_ = 0;
+};
+
+TEST(ShortIoTest, PageSurvivesShortTransfersAndEintr) {
+  // 1000-byte transfers force ceil(8192/1000) = 9 raw calls per page, and
+  // every 3rd call is interrupted on top of that.
+  ShortIoPageFile file(/*max_chunk=*/1000, /*eintr_every=*/3);
+  ASSERT_TRUE(file.Open(TempPath("shortio1"), true).ok());
+  char out[kPageSize];
+  for (size_t i = 0; i < kPageSize; ++i) out[i] = static_cast<char>(i * 7 % 251);
+  ASSERT_TRUE(file.WritePage(0, out).ok());
+  char in[kPageSize] = {};
+  ASSERT_TRUE(file.ReadPage(0, in).ok());
+  EXPECT_EQ(0, std::memcmp(out, in, kPageSize));
+  // One logical read + one logical write, many raw calls underneath.
+  EXPECT_EQ(file.reads(), 1u);
+  EXPECT_EQ(file.writes(), 1u);
+  EXPECT_GT(file.raw_calls(), 18u);
+  ASSERT_TRUE(file.Close().ok());
+}
+
+TEST(ShortIoTest, BTreeRoundTripsOverFlakyIo) {
+  ShortIoPageFile file(/*max_chunk=*/4096, /*eintr_every=*/5);
+  ASSERT_TRUE(file.Open(TempPath("shortio2"), true).ok());
+  BufferPool pool(&file, 16);
+  auto tree = BTree::Create(&pool);
+  ASSERT_TRUE(tree.ok());
+  for (uint64_t i = 0; i < 5000; ++i) {
+    ASSERT_TRUE(tree->Insert({i * 2654435761u, 0}, i).ok());
+  }
+  ASSERT_TRUE(pool.FlushAll().ok());
+  for (uint64_t i = 0; i < 5000; ++i) {
+    auto r = tree->Lookup({i * 2654435761u, 0});
+    ASSERT_TRUE(r.ok());
+  }
+}
+
+TEST(PageFileTest, SyncFlushesOpenFile) {
+  PageFile file;
+  ASSERT_TRUE(file.Open(TempPath("sync1"), true).ok());
+  char buf[kPageSize] = {42};
+  ASSERT_TRUE(file.WritePage(0, buf).ok());
+  EXPECT_TRUE(file.Sync().ok());
+  ASSERT_TRUE(file.Close().ok());
+  // Sync on a closed/unopened file is an error, not a crash.
+  PageFile closed;
+  EXPECT_FALSE(closed.Sync().ok());
 }
 
 /// Failure injection: a PageFile whose reads start failing after a set

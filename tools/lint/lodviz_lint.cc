@@ -296,6 +296,28 @@ void CheckRawClock(const std::string& rel, const std::vector<Token>& toks,
   }
 }
 
+/// exec.no_raw_thread: raw std::thread construction belongs in src/exec/
+/// only — every other subsystem parallelizes through exec::ParallelFor /
+/// exec::ThreadPool so thread count, shutdown order, and per-worker
+/// observability stay centralized (and LODVIZ_THREADS=1 can force the
+/// deterministic serial mode). `std::thread::hardware_concurrency()` is a
+/// static query, not a thread, and stays allowed.
+void CheckRawThread(const std::string& rel, const std::vector<Token>& toks,
+                    std::vector<Violation>* out) {
+  for (size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (toks[i].text != "std" || toks[i + 1].text != "::" ||
+        toks[i + 2].text != "thread") {
+      continue;
+    }
+    if (i + 3 < toks.size() && toks[i + 3].text == "::") continue;
+    out->push_back({rel, toks[i].line, "exec.no_raw_thread",
+                    "raw std::thread outside src/exec/; parallelize via "
+                    "exec::ParallelFor / exec::ThreadPool (exec/parallel.h) "
+                    "so thread lifecycle, shutdown, and observability stay "
+                    "in one subsystem"});
+  }
+}
+
 /// Scope-stack analysis for unchecked Result access.
 ///
 /// Tracks (a) identifiers declared as `Result<...> name`, and (b)
@@ -453,6 +475,8 @@ void LintFile(const fs::path& abs, const std::string& rel, bool all_rules,
                                 (rel.rfind("src/common/", 0) == 0 ||
                                  rel.rfind("src/obs/", 0) == 0);
   if (!clock_sanctioned) CheckRawClock(rel, toks, out);
+  const bool thread_sanctioned = !all_rules && rel.rfind("src/exec/", 0) == 0;
+  if (in_src && !thread_sanctioned) CheckRawThread(rel, toks, out);
   CheckUncheckedResult(rel, toks, out);
 }
 
