@@ -16,7 +16,10 @@
 #include "storage/buffer_pool.h"
 #include "storage/page_file.h"
 
+#include <string>
 #include <unistd.h>
+#include <unordered_map>
+#include <vector>
 
 namespace lodviz {
 namespace {
@@ -156,6 +159,44 @@ void BM_SparqlExecute(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_SparqlExecute);
+
+// Binding-row representation: the slot-addressed executor stores each
+// solution as a dense TermId vector indexed by planner-assigned slot; the
+// alternative is a per-row string-keyed hash map. These two benchmarks
+// measure the cost of extending a row by one binding under each scheme —
+// the innermost operation of BGP evaluation.
+void BM_BindingExtendSlotRow(benchmark::State& state) {
+  constexpr size_t kWidth = 4;
+  std::vector<rdf::TermId> parent = {5, 17, 0, 0};
+  std::vector<rdf::TermId> out;
+  rdf::TermId v = 1;
+  for (auto _ : state) {
+    out.assign(parent.begin(), parent.end());
+    out[2] = v;
+    out[3] = v + 1;
+    ++v;
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(state.iterations() * kWidth * sizeof(rdf::TermId));
+}
+BENCHMARK(BM_BindingExtendSlotRow);
+
+void BM_BindingExtendHashMap(benchmark::State& state) {
+  std::unordered_map<std::string, rdf::TermId> parent = {{"?a", 5},
+                                                         {"?b", 17}};
+  std::unordered_map<std::string, rdf::TermId> out;
+  rdf::TermId v = 1;
+  for (auto _ : state) {
+    out = parent;
+    out["?c"] = v;
+    out["?d"] = v + 1;
+    ++v;
+    benchmark::DoNotOptimize(&out);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BindingExtendHashMap);
 
 // Observability substrate costs: a counter increment and a histogram record
 // are one relaxed atomic op each; a disabled span is a single relaxed load.

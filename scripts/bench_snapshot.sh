@@ -18,7 +18,10 @@ JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)"
 
 # The fast subset: each finishes in well under a minute on a laptop. The
 # longer benches (e7 disk exploration, ...) accept the same env var; run
-# them by hand when their numbers are needed.
+# them by hand when their numbers are needed. e10's snapshot includes the
+# memory-vs-disk backend phases (per-query mem_qN_*/disk_qN_* latency,
+# rows/s, and buffer-pool hit rate); e7 records the same phase keys for
+# its exploration queries.
 BENCHES=(e1_sampling e5_hetree e10_sparql)
 
 echo "== bench_snapshot: building ${BENCHES[*]} =="

@@ -30,14 +30,18 @@ cmake -B "$ASAN_BUILD" -S . -C cmake/sanitize.cmake >/dev/null
 cmake --build "$ASAN_BUILD" -j "$JOBS"
 ctest --test-dir "$ASAN_BUILD" --output-on-failure -j "$JOBS"
 
-echo "== [3/3] TSan obs + exec concurrency tests =="
+echo "== [3/3] TSan obs + exec + sparql concurrency tests =="
 # ThreadSanitizer is exclusive with ASan, so the concurrency tests get their
 # own build tree. The Exec suites cover the thread pool plus every
 # parallelized hot path (hetree, progressive, clustering, bundling, layout,
-# sparql), so this is the race gate for the whole exec subsystem.
+# sparql); the SparqlParity suites add the shared-QueryEngine regression
+# (per-query stats instead of a mutable member) and the memory/disk backend
+# parity checks, so this is the race gate for query execution too.
 cmake -B "$TSAN_BUILD" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DLODVIZ_SANITIZE=thread >/dev/null
-cmake --build "$TSAN_BUILD" --target obs_test exec_test -j "$JOBS"
-ctest --test-dir "$TSAN_BUILD" -R '^(Obs|Exec)' --output-on-failure -j "$JOBS"
+cmake --build "$TSAN_BUILD" --target obs_test exec_test sparql_parity_test \
+  -j "$JOBS"
+ctest --test-dir "$TSAN_BUILD" -R '^(Obs|Exec|SparqlParity)' \
+  --output-on-failure -j "$JOBS"
 
 echo "check.sh: all gates passed"

@@ -5,7 +5,9 @@
 
 #include "explore/progressive.h"
 #include "hier/hetree.h"
+#include "sparql/engine.h"
 #include "stats/sampler.h"
+#include "storage/disk_source_adapter.h"
 #include "storage/disk_triple_store.h"
 #include "workload/synthetic_lod.h"
 
@@ -120,20 +122,47 @@ Result<uint64_t> ArchetypeAdapter::RunIncremental() {
 }
 
 Result<uint64_t> ArchetypeAdapter::RunDiskBased() {
+  // Mirror the store to disk and run the same SPARQL query against both
+  // backends through the shared TripleSource contract: the disk-based
+  // archetype is only satisfied if out-of-core execution returns the
+  // identical result table.
   std::string path = "/tmp/lodviz_archetype_" + std::to_string(::getpid()) +
                      ".db";
+  rdf::TripleStore& store = engine_->store();
+  store.Compact();
   std::vector<rdf::Triple> triples;
-  engine_->store().Scan(rdf::TriplePattern(), [&](const rdf::Triple& t) {
+  store.Scan(rdf::TriplePattern(), [&](const rdf::Triple& t) {
     triples.push_back(t);
-    return triples.size() < 5000;
+    return true;
   });
   LODVIZ_ASSIGN_OR_RETURN(std::unique_ptr<storage::DiskTripleStore> disk,
                           storage::DiskTripleStore::Create(path, 32));
-  LODVIZ_RETURN_NOT_OK(disk->BulkLoad(triples));
-  uint64_t count = disk->Count(rdf::TriplePattern());
+  Status loaded = disk->BulkLoad(triples);
+  if (!loaded.ok()) {
+    std::remove(path.c_str());
+    return loaded;
+  }
+  storage::DiskSourceAdapter adapter(disk.get(), &store.dict());
+
+  constexpr std::string_view kProbe =
+      "SELECT ?s ?p ?o WHERE { ?s ?p ?o } LIMIT 200";
+  sparql::QueryEngine mem_engine(&store);
+  sparql::QueryEngine disk_engine(&adapter);
+  Result<sparql::ResultTable> mem_rows = mem_engine.ExecuteString(kProbe);
+  Result<sparql::ResultTable> disk_rows = disk_engine.ExecuteString(kProbe);
   std::remove(path.c_str());
-  if (count == 0) return Status::NotFound("disk store is empty");
-  return count;
+  if (!mem_rows.ok()) return mem_rows.status();
+  if (!disk_rows.ok()) return disk_rows.status();
+  const sparql::ResultTable& mem_table = mem_rows.ValueOrDie();
+  const sparql::ResultTable& disk_table = disk_rows.ValueOrDie();
+  if (mem_table.ToString(mem_table.num_rows()) !=
+      disk_table.ToString(disk_table.num_rows())) {
+    return Status::Internal("disk backend diverged from memory backend");
+  }
+  if (disk_table.num_rows() == 0) {
+    return Status::NotFound("disk store is empty");
+  }
+  return disk_table.num_rows();
 }
 
 Result<uint64_t> ArchetypeAdapter::RunRecommendation() {

@@ -29,12 +29,46 @@ void CountCapability(const char* capability) {
 
 }  // namespace
 
-Engine::Engine(Options options)
-    : options_(options), query_engine_(&store_) {}
+Engine::Engine(Options options) : options_(std::move(options)) {}
 
 void Engine::InvalidateDerived() {
   profile_.reset();
   keyword_.reset();
+  disk_dirty_ = true;
+}
+
+Status Engine::RebuildDiskMirror() {
+  LODVIZ_TRACE_SPAN("core.engine.rebuild_disk_mirror");
+  const std::string path =
+      options_.disk_path.empty() ? "lodviz_engine_disk.db" : options_.disk_path;
+  LODVIZ_ASSIGN_OR_RETURN(
+      std::unique_ptr<storage::DiskTripleStore> disk,
+      storage::DiskTripleStore::Create(path, options_.pool_pages));
+  // Compact so the memory store is deduplicated: both backends then hold
+  // the same triple multiset and produce bit-identical query results.
+  store_.Compact();
+  std::vector<rdf::Triple> triples;
+  triples.reserve(store_.size());
+  store_.Scan({}, [&](const rdf::Triple& t) {
+    triples.push_back(t);
+    return true;
+  });
+  LODVIZ_RETURN_NOT_OK(disk->BulkLoad(std::move(triples)));
+  disk_store_ = std::move(disk);
+  disk_source_ = std::make_unique<storage::DiskSourceAdapter>(
+      disk_store_.get(), &store_.dict());
+  disk_dirty_ = false;
+  return Status::OK();
+}
+
+Result<const rdf::TripleSource*> Engine::ActiveSource() {
+  if (options_.backend == Backend::kMemory) {
+    return static_cast<const rdf::TripleSource*>(&store_);
+  }
+  if (disk_dirty_ || disk_source_ == nullptr) {
+    LODVIZ_RETURN_NOT_OK(RebuildDiskMirror());
+  }
+  return static_cast<const rdf::TripleSource*>(disk_source_.get());
 }
 
 Status Engine::LoadNTriples(std::string_view document) {
@@ -59,7 +93,7 @@ size_t Engine::LoadSynthetic(const workload::SyntheticLodOptions& options) {
   return n;
 }
 
-size_t Engine::IngestStream(rdf::TripleSource* source, size_t batch_size) {
+size_t Engine::IngestStream(rdf::StreamSource* source, size_t batch_size) {
   LODVIZ_TRACE_SPAN("core.engine.ingest_stream");
   CountCapability("ingest_stream");
   Stopwatch sw;
@@ -74,8 +108,10 @@ Result<std::vector<rdf::ParsedTriple>> Engine::QueryGraph(
   LODVIZ_TRACE_SPAN("core.engine.query_graph");
   CountCapability("query_graph");
   Stopwatch sw;
+  LODVIZ_ASSIGN_OR_RETURN(const rdf::TripleSource* source, ActiveSource());
+  sparql::QueryEngine query_engine(source);
   Result<std::vector<rdf::ParsedTriple>> result =
-      query_engine_.ExecuteGraphString(sparql_text);
+      query_engine.ExecuteGraphString(sparql_text);
   session_.Record(explore::OpKind::kQuery,
                   std::string(sparql_text.substr(0, 60)), sw.ElapsedMillis(),
                   result.ok() ? result->size() : 0);
@@ -98,11 +134,26 @@ Result<sparql::ResultTable> Engine::Query(std::string_view sparql_text) {
   LODVIZ_TRACE_SPAN("core.engine.query");
   CountCapability("query");
   Stopwatch sw;
-  Result<sparql::ResultTable> result = query_engine_.ExecuteString(sparql_text);
+  LODVIZ_ASSIGN_OR_RETURN(const rdf::TripleSource* source, ActiveSource());
+  sparql::QueryEngine query_engine(source);
+  Result<sparql::ResultTable> result = query_engine.ExecuteString(sparql_text);
   session_.Record(explore::OpKind::kQuery,
                   std::string(sparql_text.substr(0, 60)), sw.ElapsedMillis(),
                   result.ok() ? result->num_rows() : 0);
   return result;
+}
+
+Result<std::string> Engine::ExplainQuery(std::string_view sparql_text) {
+  LODVIZ_TRACE_SPAN("core.engine.explain_query");
+  CountCapability("explain_query");
+  Stopwatch sw;
+  LODVIZ_ASSIGN_OR_RETURN(const rdf::TripleSource* source, ActiveSource());
+  sparql::QueryEngine query_engine(source);
+  Result<std::string> plan = query_engine.ExplainString(sparql_text);
+  session_.Record(explore::OpKind::kQuery,
+                  "explain: " + std::string(sparql_text.substr(0, 52)),
+                  sw.ElapsedMillis(), plan.ok() ? 1 : 0);
+  return plan;
 }
 
 Result<stats::DatasetProfile> Engine::Profile() {

@@ -13,8 +13,11 @@
 #include "hier/hetree.h"
 #include "rec/recommender.h"
 #include "rdf/streaming.h"
+#include "rdf/triple_source.h"
 #include "rdf/triple_store.h"
 #include "sparql/engine.h"
+#include "storage/disk_source_adapter.h"
+#include "storage/disk_triple_store.h"
 #include "stats/profile.h"
 #include "viz/canvas.h"
 #include "viz/renderers.h"
@@ -42,6 +45,12 @@ struct ViewResult {
 /// Tables 1 and 2 available behind one API.
 class Engine {
  public:
+  /// Which TripleSource queries execute against. Data always loads into
+  /// the in-memory store (it owns the dictionary and feeds the non-query
+  /// subsystems); with kDisk, queries run over a disk-resident mirror
+  /// behind a bounded buffer pool instead — same results, bounded memory.
+  enum class Backend { kMemory, kDisk };
+
   struct Options {
     int canvas_width = 800;
     int canvas_height = 600;
@@ -49,6 +58,14 @@ class Engine {
     /// sampled/aggregated first (0 disables reduction).
     size_t element_budget = 50000;
     uint64_t seed = 42;
+    /// Query backend; kDisk mirrors loaded triples into a DiskTripleStore
+    /// (rebuilt lazily after loads) and queries through it.
+    Backend backend = Backend::kMemory;
+    /// Page-file path for the disk backend (a default name in the working
+    /// directory when empty).
+    std::string disk_path;
+    /// Buffer-pool size (pages) for the disk backend.
+    size_t pool_pages = 256;
   };
 
   Engine() : Engine(Options()) {}
@@ -60,13 +77,17 @@ class Engine {
   // ---- data in ----
   Status LoadNTriples(std::string_view document);
   size_t LoadSynthetic(const workload::SyntheticLodOptions& options);
-  size_t IngestStream(rdf::TripleSource* source, size_t batch_size);
+  size_t IngestStream(rdf::StreamSource* source, size_t batch_size);
 
   // ---- query & analysis ----
   Result<sparql::ResultTable> Query(std::string_view sparql_text);
   /// CONSTRUCT/DESCRIBE queries (triples out).
   Result<std::vector<rdf::ParsedTriple>> QueryGraph(
       std::string_view sparql_text);
+  /// Renders the planner's logical plan (join order, per-pattern
+  /// cardinality estimates) for the active backend without executing;
+  /// the explain entry point for explore sessions and the CLI.
+  Result<std::string> ExplainQuery(std::string_view sparql_text);
   /// Loads a Turtle document.
   Status LoadTurtle(std::string_view document);
   /// Dataset profile (computed once, invalidated on load).
@@ -96,6 +117,13 @@ class Engine {
 
  private:
   void InvalidateDerived();
+  /// The TripleSource queries run against: the in-memory store, or the
+  /// (lazily rebuilt) disk mirror for Backend::kDisk.
+  Result<const rdf::TripleSource*> ActiveSource();
+  /// Rebuilds the disk mirror from the in-memory store (compacts first so
+  /// both backends hold identical deduplicated data — the parity
+  /// contract).
+  Status RebuildDiskMirror();
   /// (x, y) numeric pairs per subject for two properties.
   std::vector<geo::Point> CollectPairs(const std::string& x_iri,
                                        const std::string& y_iri) const;
@@ -103,11 +131,15 @@ class Engine {
 
   Options options_;
   rdf::TripleStore store_;
-  sparql::QueryEngine query_engine_;
   rec::Recommender recommender_;
   explore::SessionLog session_;
   std::optional<stats::DatasetProfile> profile_;
   std::optional<explore::KeywordIndex> keyword_;
+
+  /// Disk backend state (Backend::kDisk only).
+  std::unique_ptr<storage::DiskTripleStore> disk_store_;
+  std::unique_ptr<storage::DiskSourceAdapter> disk_source_;
+  bool disk_dirty_ = true;
 };
 
 }  // namespace lodviz::core

@@ -4,7 +4,7 @@
 
 namespace lodviz::rdf {
 
-std::vector<ParsedTriple> VectorTripleSource::NextBatch(size_t max_batch) {
+std::vector<ParsedTriple> VectorStreamSource::NextBatch(size_t max_batch) {
   std::vector<ParsedTriple> out;
   size_t n = std::min(max_batch, triples_.size() - next_);
   out.reserve(n);
@@ -13,7 +13,7 @@ std::vector<ParsedTriple> VectorTripleSource::NextBatch(size_t max_batch) {
   return out;
 }
 
-std::vector<ParsedTriple> GeneratorTripleSource::NextBatch(size_t max_batch) {
+std::vector<ParsedTriple> GeneratorStreamSource::NextBatch(size_t max_batch) {
   std::vector<ParsedTriple> out;
   if (exhausted_) return out;
   out.reserve(max_batch);
@@ -40,7 +40,7 @@ std::vector<ParsedTriple> EndpointSimulator::NextBatch(size_t max_batch) {
   return out;
 }
 
-size_t IngestStream(TripleSource* source, TripleStore* store,
+size_t IngestStream(StreamSource* source, TripleStore* store,
                     size_t batch_size,
                     const std::function<void(size_t total)>& on_batch) {
   size_t total = 0;

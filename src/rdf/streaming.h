@@ -12,9 +12,9 @@ namespace lodviz::rdf {
 /// Pull-based source of triples arriving over time (the survey's "dynamic
 /// data" setting: endpoints, APIs, streams). Consumers repeatedly call
 /// NextBatch until it returns an empty batch.
-class TripleSource {
+class StreamSource {
  public:
-  virtual ~TripleSource() = default;
+  virtual ~StreamSource() = default;
 
   /// Returns up to `max_batch` decoded triples; empty when exhausted.
   virtual std::vector<ParsedTriple> NextBatch(size_t max_batch) = 0;
@@ -24,9 +24,9 @@ class TripleSource {
 };
 
 /// Source backed by a pre-materialized vector (tests, replay).
-class VectorTripleSource : public TripleSource {
+class VectorStreamSource : public StreamSource {
  public:
-  explicit VectorTripleSource(std::vector<ParsedTriple> triples)
+  explicit VectorStreamSource(std::vector<ParsedTriple> triples)
       : triples_(std::move(triples)) {}
 
   std::vector<ParsedTriple> NextBatch(size_t max_batch) override;
@@ -40,11 +40,11 @@ class VectorTripleSource : public TripleSource {
 /// Source backed by a generator function; the function returns false when
 /// no more triples exist. Lets workload generators stream without
 /// materializing the whole dataset (bounded-memory experiments).
-class GeneratorTripleSource : public TripleSource {
+class GeneratorStreamSource : public StreamSource {
  public:
   using Generator = std::function<bool(ParsedTriple*)>;
 
-  explicit GeneratorTripleSource(Generator gen) : gen_(std::move(gen)) {}
+  explicit GeneratorStreamSource(Generator gen) : gen_(std::move(gen)) {}
 
   std::vector<ParsedTriple> NextBatch(size_t max_batch) override;
   bool Exhausted() const override { return exhausted_; }
@@ -58,7 +58,7 @@ class GeneratorTripleSource : public TripleSource {
 /// each NextBatch costs one round trip (counted, and optionally padded with
 /// synthetic latency accumulated in `simulated_latency_ms`). This stands in
 /// for live WoD endpoints, exercising the same paged-retrieval code path.
-class EndpointSimulator : public TripleSource {
+class EndpointSimulator : public StreamSource {
  public:
   /// `per_request_ms` models network + server time per page.
   EndpointSimulator(std::vector<ParsedTriple> dataset, size_t page_size,
@@ -85,7 +85,7 @@ class EndpointSimulator : public TripleSource {
 /// Drains `source` into `store` in batches of `batch_size`, invoking
 /// `on_batch` (if set) after each batch — the hook where incremental
 /// indexing / progressive visualization reacts to new data.
-size_t IngestStream(TripleSource* source, TripleStore* store,
+size_t IngestStream(StreamSource* source, TripleStore* store,
                     size_t batch_size,
                     const std::function<void(size_t total)>& on_batch = {});
 

@@ -1,0 +1,21 @@
+#include "rdf/triple_source.h"
+
+#include <algorithm>
+
+namespace lodviz::rdf {
+
+double TripleSource::EstimateSelectivity(const TriplePattern& pattern) const {
+  double total = static_cast<double>(size());
+  if (total == 0) return 0.0;
+  if (pattern.BoundCount() == 0) return 1.0;
+  double est = total;
+  if (pattern.p != kInvalidTermId) {
+    est = static_cast<double>(PredicateCount(pattern.p));
+  }
+  // Heuristic per-position shrink factors for bound subject/object.
+  if (pattern.s != kInvalidTermId) est /= std::max(1.0, total / 100.0);
+  if (pattern.o != kInvalidTermId) est /= std::max(1.0, total / 1000.0);
+  return std::min(1.0, est / total);
+}
+
+}  // namespace lodviz::rdf

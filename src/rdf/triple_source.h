@@ -1,0 +1,70 @@
+#ifndef LODVIZ_RDF_TRIPLE_SOURCE_H_
+#define LODVIZ_RDF_TRIPLE_SOURCE_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "rdf/dictionary.h"
+#include "rdf/triple.h"
+
+namespace lodviz::rdf {
+
+/// Abstract read-only source of dictionary-encoded triples: the storage
+/// contract the SPARQL engine (and every other query-shaped consumer) is
+/// written against, so the same query runs unchanged over the in-memory
+/// `rdf::TripleStore` or the disk-resident `storage::DiskTripleStore`
+/// (via `storage::DiskSourceAdapter`) — the survey's Section 4 demand
+/// that engines "retrieve data dynamically during runtime" from disk
+/// structures instead of being welded to one resident representation.
+///
+/// ## The Scan contract (canonical; implementations reference this)
+///
+/// `Scan(pattern, fn)` streams every triple matching `pattern`
+/// (kInvalidTermId fields are wildcards) to `fn`:
+///
+///  - **Early exit:** `fn` returns `true` to continue and `false` to stop
+///    the scan immediately; no further triples are delivered after a
+///    `false` return.
+///  - **Order:** matches arrive in the order of the best index for the
+///    pattern's bound positions. All lodviz sources index (s,p,o) and
+///    (p,o,s) prefixes identically, so for any pattern the delivery order
+///    is a pure function of the data — never of the backend. This is what
+///    makes query execution bit-identical across memory and disk.
+///  - **Reentrancy:** `fn` must not call back into the same source (an
+///    implementation may hold an internal lock for the whole scan).
+///  - **Thread-safety:** concurrent `Scan` calls on one source must be
+///    safe; implementations serialize internally where the underlying
+///    structure is not concurrent (TripleStore's index mutex, the
+///    adapter's scan mutex over the single-threaded buffer pool).
+class TripleSource {
+ public:
+  using ScanFn = std::function<bool(const Triple&)>;
+
+  virtual ~TripleSource() = default;
+
+  /// Streams matches of `pattern` to `fn` under the contract above.
+  virtual void Scan(const TriplePattern& pattern, const ScanFn& fn) const = 0;
+
+  /// Number of triples matching `pattern`.
+  [[nodiscard]] virtual uint64_t Count(const TriplePattern& pattern) const = 0;
+
+  /// The term dictionary the triple ids refer to.
+  virtual const Dictionary& dict() const = 0;
+
+  /// Total triples in the source.
+  [[nodiscard]] virtual uint64_t size() const = 0;
+
+  /// Occurrences of predicate `p` (planner statistics).
+  [[nodiscard]] virtual uint64_t PredicateCount(TermId p) const = 0;
+
+  /// Estimated fraction of the source matched by `pattern`, used by the
+  /// SPARQL planner's greedy join orderer. Non-virtual on purpose: the
+  /// formula depends only on PredicateCount() and size(), so two sources
+  /// holding the same data estimate — and therefore plan — identically,
+  /// which keeps execution bit-identical across backends.
+  [[nodiscard]] double EstimateSelectivity(const TriplePattern& pattern) const;
+};
+
+}  // namespace lodviz::rdf
+
+#endif  // LODVIZ_RDF_TRIPLE_SOURCE_H_

@@ -89,8 +89,7 @@ bool ScanRange(std::vector<Triple>::const_iterator lo,
 
 }  // namespace
 
-void TripleStore::Scan(const TriplePattern& pattern,
-                       const std::function<bool(const Triple&)>& fn) const {
+void TripleStore::Scan(const TriplePattern& pattern, const ScanFn& fn) const {
   MutexLock lock(&mu_);
   ScanLocked(pattern, fn);
 }
@@ -150,21 +149,6 @@ uint64_t TripleStore::Count(const TriplePattern& pattern) const {
     return true;
   });
   return n;
-}
-
-double TripleStore::EstimateSelectivity(const TriplePattern& pattern) const {
-  double total = static_cast<double>(size());
-  if (total == 0) return 0.0;
-  if (pattern.BoundCount() == 0) return 1.0;
-  double est = total;
-  if (pattern.p != kInvalidTermId) {
-    auto it = pred_counts_.find(pattern.p);
-    est = (it == pred_counts_.end()) ? 0.0 : static_cast<double>(it->second);
-  }
-  // Heuristic per-position shrink factors for bound subject/object.
-  if (pattern.s != kInvalidTermId) est /= std::max(1.0, total / 100.0);
-  if (pattern.o != kInvalidTermId) est /= std::max(1.0, total / 1000.0);
-  return std::min(1.0, est / total);
 }
 
 std::vector<TermId> TripleStore::DistinctSubjects() const {

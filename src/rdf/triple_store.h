@@ -10,11 +10,14 @@
 #include "common/thread_annotations.h"
 #include "rdf/dictionary.h"
 #include "rdf/triple.h"
+#include "rdf/triple_source.h"
 
 namespace lodviz::rdf {
 
 /// In-memory triple store with three sorted permutation indexes
 /// (SPO, POS, OSP) and an unsorted insert buffer for dynamic arrival.
+/// Implements the TripleSource query contract (see triple_source.h for
+/// the canonical Scan early-exit and ordering semantics).
 ///
 /// The survey's "dynamic setting" precludes heavyweight preprocessing:
 /// inserts are O(1) appends into a pending buffer; queries merge the sorted
@@ -26,7 +29,7 @@ namespace lodviz::rdf {
 /// trigger a logically-const compaction — are safe. The dictionary and
 /// predicate statistics are only written by Add/AddEncoded; writers must
 /// still be externally serialized against each other and against readers.
-class TripleStore {
+class TripleStore : public TripleSource {
  public:
   /// `compaction_threshold`: pending-buffer size that triggers a fold into
   /// the sorted indexes.
@@ -41,7 +44,7 @@ class TripleStore {
   TripleStore& operator=(TripleStore&& other) noexcept;
 
   Dictionary& dict() { return dict_; }
-  const Dictionary& dict() const { return dict_; }
+  const Dictionary& dict() const override { return dict_; }
 
   /// Interns the terms and inserts the triple. Duplicates are removed on
   /// the next compaction.
@@ -51,27 +54,29 @@ class TripleStore {
   void AddEncoded(const Triple& t);
 
   /// Total triples (post-dedup count may be lower until compaction).
-  [[nodiscard]] size_t size() const LODVIZ_EXCLUDES(mu_) {
+  [[nodiscard]] uint64_t size() const override LODVIZ_EXCLUDES(mu_) {
     MutexLock lock(&mu_);
     return spo_.size() + pending_.size();
   }
 
-  /// Streams every triple matching `pattern` to `fn`; stop early by
-  /// returning false from `fn`. Uses the best permutation index. `fn` must
+  /// Streams matches of `pattern` to `fn` under the TripleSource Scan
+  /// contract (triple_source.h): `fn` returns false to stop early, must
   /// not reenter this store (the index lock is held during the scan).
-  void Scan(const TriplePattern& pattern,
-            const std::function<bool(const Triple&)>& fn) const
+  /// Uses the best permutation index.
+  void Scan(const TriplePattern& pattern, const ScanFn& fn) const override
       LODVIZ_EXCLUDES(mu_);
 
   /// Materializes all matches.
   [[nodiscard]] std::vector<Triple> Match(const TriplePattern& pattern) const;
 
   /// Number of matches.
-  [[nodiscard]] uint64_t Count(const TriplePattern& pattern) const;
+  [[nodiscard]] uint64_t Count(const TriplePattern& pattern) const override;
 
-  /// Estimated fraction of the store matched by `pattern`, from predicate
-  /// statistics; used by the SPARQL join orderer.
-  [[nodiscard]] double EstimateSelectivity(const TriplePattern& pattern) const;
+  /// Occurrences of predicate `p` (0 if absent).
+  [[nodiscard]] uint64_t PredicateCount(TermId p) const override {
+    auto it = pred_counts_.find(p);
+    return it == pred_counts_.end() ? 0 : it->second;
+  }
 
   /// Distinct predicates with occurrence counts.
   const std::unordered_map<TermId, uint64_t>& predicate_counts() const {

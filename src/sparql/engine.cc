@@ -1,465 +1,45 @@
 #include "sparql/engine.h"
 
 #include <algorithm>
-#include <cmath>
 #include <map>
 #include <set>
-#include <unordered_map>
 
 #include "common/stopwatch.h"
-#include "common/string_util.h"
-#include "exec/parallel.h"
-#include "obs/metrics.h"
 #include "obs/trace.h"
-#include "rdf/vocab.h"
+#include "sparql/executor.h"
 #include "sparql/parser.h"
+#include "sparql/planner.h"
 
 namespace lodviz::sparql {
 
 namespace {
 
-/// Registry handles for the engine's hot counters, looked up once.
-struct SparqlMetrics {
-  obs::Counter& queries;
-  obs::Counter& intermediate_rows;
-  obs::Counter& rows_out;
-  obs::Counter& op_join_rows;
-  obs::Counter& op_filter_dropped;
-  obs::Counter& op_optional_rows;
-  obs::Counter& op_union_rows;
-  obs::Histogram& execute_us;
-
-  static SparqlMetrics& Get() {
-    obs::MetricRegistry& r = obs::MetricRegistry::Global();
-    static SparqlMetrics m{r.GetCounter("sparql.queries"),
-                           r.GetCounter("sparql.intermediate_rows"),
-                           r.GetCounter("sparql.rows_out"),
-                           r.GetCounter("sparql.op.join_rows"),
-                           r.GetCounter("sparql.op.filter_dropped"),
-                           r.GetCounter("sparql.op.optional_rows"),
-                           r.GetCounter("sparql.op.union_rows"),
-                           r.GetHistogram("sparql.execute_us")};
-    return m;
-  }
-};
-
 using rdf::kInvalidTermId;
 using rdf::Term;
 using rdf::TermId;
 
-/// A (partial) solution: variable name -> bound term id.
-using Binding = std::unordered_map<std::string, TermId>;
-
-/// Collects variables of a pattern in order of first appearance.
-void CollectVars(const GraphPattern& group, std::vector<std::string>* out,
-                 std::set<std::string>* seen) {
-  auto add = [&](const NodeOrVar& n) {
-    if (IsVar(n) && seen->insert(AsVar(n).name).second) {
-      out->push_back(AsVar(n).name);
-    }
-  };
-  for (const auto& t : group.triples) {
-    add(t.s);
-    add(t.p);
-    add(t.o);
-  }
-  for (const auto& u : group.union_branches) CollectVars(u, out, seen);
-  for (const auto& o : group.optionals) CollectVars(o, out, seen);
+Result<Query> ParseTraced(std::string_view text) {
+  LODVIZ_TRACE_SPAN("sparql.parse");
+  return ParseQuery(text);
 }
 
-/// Expression evaluation value: a term, or an evaluation error that makes
-/// the enclosing FILTER reject the row (SPARQL error semantics).
-struct EvalContext {
-  const rdf::Dictionary* dict;
-  const Binding* binding;
-};
-
-Result<Term> EvalExpr(const Expr& e, const EvalContext& ctx);
-
-Result<bool> EffectiveBool(const Term& t) {
-  if (!t.is_literal()) {
-    return Status::InvalidArgument("EBV of non-literal");
-  }
-  if (t.datatype == rdf::vocab::kXsdBoolean) return t.lexical == "true";
-  if (t.IsNumericLiteral()) {
-    LODVIZ_ASSIGN_OR_RETURN(double v, t.AsDouble());
-    return v != 0.0;
-  }
-  return !t.lexical.empty();
+/// Row width for executor tables: at least one slot so a zero-variable
+/// query (e.g. ASK with only constants) can still represent its single
+/// empty seed solution.
+size_t RowWidth(const QueryPlan& plan) {
+  return std::max<size_t>(1, plan.num_slots);
 }
 
-Term BoolTerm(bool b) { return Term::BoolLiteral(b); }
-
-/// Three-way comparison following lodviz's pragmatic SPARQL ordering:
-/// numeric if both numeric, temporal if both temporal, else lexical form.
-Result<int> CompareTerms(const Term& a, const Term& b) {
-  if (a.IsNumericLiteral() && b.IsNumericLiteral()) {
-    LODVIZ_ASSIGN_OR_RETURN(double x, a.AsDouble());
-    LODVIZ_ASSIGN_OR_RETURN(double y, b.AsDouble());
-    if (x < y) return -1;
-    if (x > y) return 1;
-    return 0;
+ResultCell CellFor(const rdf::Dictionary& dict, const TermId* row,
+                   SlotId slot) {
+  ResultCell cell;
+  if (slot == kNoSlot || row[slot] == kInvalidTermId) {
+    cell.bound = false;
+  } else {
+    cell.term = dict.term(row[slot]);
   }
-  if (a.IsTemporalLiteral() && b.IsTemporalLiteral()) {
-    LODVIZ_ASSIGN_OR_RETURN(int64_t x, a.AsEpochSeconds());
-    LODVIZ_ASSIGN_OR_RETURN(int64_t y, b.AsEpochSeconds());
-    if (x < y) return -1;
-    if (x > y) return 1;
-    return 0;
-  }
-  int c = a.lexical.compare(b.lexical);
-  return c < 0 ? -1 : (c > 0 ? 1 : 0);
+  return cell;
 }
-
-Result<Term> EvalBinary(const Expr& e, const EvalContext& ctx) {
-  if (e.bin_op == BinOp::kAnd || e.bin_op == BinOp::kOr) {
-    LODVIZ_ASSIGN_OR_RETURN(Term lhs, EvalExpr(*e.args[0], ctx));
-    LODVIZ_ASSIGN_OR_RETURN(bool l, EffectiveBool(lhs));
-    if (e.bin_op == BinOp::kAnd && !l) return BoolTerm(false);
-    if (e.bin_op == BinOp::kOr && l) return BoolTerm(true);
-    LODVIZ_ASSIGN_OR_RETURN(Term rhs, EvalExpr(*e.args[1], ctx));
-    LODVIZ_ASSIGN_OR_RETURN(bool r, EffectiveBool(rhs));
-    return BoolTerm(r);
-  }
-
-  LODVIZ_ASSIGN_OR_RETURN(Term lhs, EvalExpr(*e.args[0], ctx));
-  LODVIZ_ASSIGN_OR_RETURN(Term rhs, EvalExpr(*e.args[1], ctx));
-
-  switch (e.bin_op) {
-    case BinOp::kEq:
-      if (lhs.IsNumericLiteral() && rhs.IsNumericLiteral()) {
-        LODVIZ_ASSIGN_OR_RETURN(int c, CompareTerms(lhs, rhs));
-        return BoolTerm(c == 0);
-      }
-      return BoolTerm(lhs == rhs);
-    case BinOp::kNe:
-      if (lhs.IsNumericLiteral() && rhs.IsNumericLiteral()) {
-        LODVIZ_ASSIGN_OR_RETURN(int c, CompareTerms(lhs, rhs));
-        return BoolTerm(c != 0);
-      }
-      return BoolTerm(!(lhs == rhs));
-    case BinOp::kLt:
-    case BinOp::kLe:
-    case BinOp::kGt:
-    case BinOp::kGe: {
-      LODVIZ_ASSIGN_OR_RETURN(int c, CompareTerms(lhs, rhs));
-      switch (e.bin_op) {
-        case BinOp::kLt:
-          return BoolTerm(c < 0);
-        case BinOp::kLe:
-          return BoolTerm(c <= 0);
-        case BinOp::kGt:
-          return BoolTerm(c > 0);
-        default:
-          return BoolTerm(c >= 0);
-      }
-    }
-    case BinOp::kAdd:
-    case BinOp::kSub:
-    case BinOp::kMul:
-    case BinOp::kDiv: {
-      LODVIZ_ASSIGN_OR_RETURN(double x, lhs.AsDouble());
-      LODVIZ_ASSIGN_OR_RETURN(double y, rhs.AsDouble());
-      double v = 0;
-      switch (e.bin_op) {
-        case BinOp::kAdd:
-          v = x + y;
-          break;
-        case BinOp::kSub:
-          v = x - y;
-          break;
-        case BinOp::kMul:
-          v = x * y;
-          break;
-        default:
-          if (y == 0.0) return Status::InvalidArgument("division by zero");
-          v = x / y;
-      }
-      return Term::DoubleLiteral(v);
-    }
-    default:
-      return Status::Internal("unhandled binary op");
-  }
-}
-
-Result<Term> EvalFunc(const Expr& e, const EvalContext& ctx) {
-  auto arg_term = [&](size_t i) -> Result<Term> {
-    return EvalExpr(*e.args[i], ctx);
-  };
-  switch (e.func) {
-    case FuncOp::kBound: {
-      if (e.args.size() != 1 || e.args[0]->kind != Expr::Kind::kVar) {
-        return Status::InvalidArgument("BOUND needs a variable");
-      }
-      auto it = ctx.binding->find(e.args[0]->var);
-      return BoolTerm(it != ctx.binding->end() && it->second != kInvalidTermId);
-    }
-    case FuncOp::kIsIri: {
-      LODVIZ_ASSIGN_OR_RETURN(Term t, arg_term(0));
-      return BoolTerm(t.is_iri());
-    }
-    case FuncOp::kIsLiteral: {
-      LODVIZ_ASSIGN_OR_RETURN(Term t, arg_term(0));
-      return BoolTerm(t.is_literal());
-    }
-    case FuncOp::kIsBlank: {
-      LODVIZ_ASSIGN_OR_RETURN(Term t, arg_term(0));
-      return BoolTerm(t.is_blank());
-    }
-    case FuncOp::kStr: {
-      LODVIZ_ASSIGN_OR_RETURN(Term t, arg_term(0));
-      return Term::Literal(t.lexical);
-    }
-    case FuncOp::kContains: {
-      LODVIZ_ASSIGN_OR_RETURN(Term a, arg_term(0));
-      LODVIZ_ASSIGN_OR_RETURN(Term b, arg_term(1));
-      return BoolTerm(a.lexical.find(b.lexical) != std::string::npos);
-    }
-    case FuncOp::kStrStarts: {
-      LODVIZ_ASSIGN_OR_RETURN(Term a, arg_term(0));
-      LODVIZ_ASSIGN_OR_RETURN(Term b, arg_term(1));
-      return BoolTerm(a.lexical.rfind(b.lexical, 0) == 0);
-    }
-    case FuncOp::kLang: {
-      LODVIZ_ASSIGN_OR_RETURN(Term t, arg_term(0));
-      return Term::Literal(t.language);
-    }
-    case FuncOp::kDatatype: {
-      LODVIZ_ASSIGN_OR_RETURN(Term t, arg_term(0));
-      if (!t.is_literal()) return Status::InvalidArgument("DATATYPE of non-literal");
-      return Term::Iri(t.datatype.empty() ? rdf::vocab::kXsdString : t.datatype);
-    }
-  }
-  return Status::Internal("unhandled function");
-}
-
-Result<Term> EvalExpr(const Expr& e, const EvalContext& ctx) {
-  switch (e.kind) {
-    case Expr::Kind::kLiteral:
-      return e.literal;
-    case Expr::Kind::kVar: {
-      auto it = ctx.binding->find(e.var);
-      if (it == ctx.binding->end() || it->second == kInvalidTermId) {
-        return Status::NotFound("unbound variable ?" + e.var);
-      }
-      return ctx.dict->term(it->second);
-    }
-    case Expr::Kind::kBinary:
-      return EvalBinary(e, ctx);
-    case Expr::Kind::kUnary: {
-      LODVIZ_ASSIGN_OR_RETURN(Term t, EvalExpr(*e.args[0], ctx));
-      if (e.un_op == UnOp::kNot) {
-        LODVIZ_ASSIGN_OR_RETURN(bool b, EffectiveBool(t));
-        return BoolTerm(!b);
-      }
-      LODVIZ_ASSIGN_OR_RETURN(double v, t.AsDouble());
-      return Term::DoubleLiteral(-v);
-    }
-    case Expr::Kind::kFunc:
-      return EvalFunc(e, ctx);
-  }
-  return Status::Internal("unhandled expr kind");
-}
-
-/// FILTER semantics: keep the row iff the expression evaluates to a true
-/// EBV; evaluation errors reject the row.
-bool PassesFilter(const Expr& e, const EvalContext& ctx) {
-  Result<Term> t = EvalExpr(e, ctx);
-  if (!t.ok()) return false;
-  Result<bool> b = EffectiveBool(t.ValueOrDie());
-  return b.ok() && b.ValueOrDie();
-}
-
-/// The evaluator proper (one per query execution).
-class Evaluator {
- public:
-  Evaluator(const rdf::TripleStore* store, bool optimize)
-      : store_(store), optimize_(optimize) {}
-
-  uint64_t intermediate_rows() const { return intermediate_rows_; }
-
-  std::vector<Binding> EvalGroup(const GraphPattern& group,
-                                 std::vector<Binding> seeds) {
-    std::vector<Binding> solutions = EvalBgp(group.triples, std::move(seeds));
-
-    if (!group.union_branches.empty()) {
-      std::vector<Binding> unioned;
-      for (const GraphPattern& branch : group.union_branches) {
-        std::vector<Binding> branch_solutions = EvalGroup(branch, solutions);
-        unioned.insert(unioned.end(),
-                       std::make_move_iterator(branch_solutions.begin()),
-                       std::make_move_iterator(branch_solutions.end()));
-      }
-      solutions = std::move(unioned);
-      SparqlMetrics::Get().op_union_rows.Increment(solutions.size());
-    }
-
-    for (const GraphPattern& opt : group.optionals) {
-      std::vector<Binding> next;
-      for (const Binding& sol : solutions) {
-        std::vector<Binding> extended = EvalGroup(opt, {sol});
-        if (extended.empty()) {
-          next.push_back(sol);
-        } else {
-          next.insert(next.end(), std::make_move_iterator(extended.begin()),
-                      std::make_move_iterator(extended.end()));
-        }
-      }
-      solutions = std::move(next);
-      SparqlMetrics::Get().op_optional_rows.Increment(solutions.size());
-    }
-
-    if (!group.filters.empty()) {
-      const size_t before = solutions.size();
-      // Filters are pure per solution (dictionary reads are const), so
-      // chunks evaluate independently and keep order on concatenation.
-      std::vector<Binding> kept = exec::ParallelReduce<std::vector<Binding>>(
-          0, solutions.size(), 64,
-          [&](size_t cb, size_t ce) {
-            std::vector<Binding> out;
-            for (size_t si = cb; si < ce; ++si) {
-              Binding& sol = solutions[si];
-              EvalContext ctx{&store_->dict(), &sol};
-              bool pass = true;
-              for (const ExprPtr& f : group.filters) {
-                if (!PassesFilter(*f, ctx)) {
-                  pass = false;
-                  break;
-                }
-              }
-              if (pass) out.push_back(std::move(sol));
-            }
-            return out;
-          },
-          [](std::vector<Binding>& acc, std::vector<Binding>&& rhs) {
-            acc.insert(acc.end(), std::make_move_iterator(rhs.begin()),
-                       std::make_move_iterator(rhs.end()));
-          });
-      solutions = std::move(kept);
-      SparqlMetrics::Get().op_filter_dropped.Increment(before -
-                                                       solutions.size());
-    }
-    return solutions;
-  }
-
- private:
-  /// Returns true if the constant term exists in the dictionary and writes
-  /// its id; a missing constant can never match.
-  bool ResolveConst(const Term& t, TermId* id) const {
-    *id = store_->dict().Lookup(t);
-    return *id != kInvalidTermId;
-  }
-
-  /// Instantiates a pattern under a binding. Returns false if a constant
-  /// (or bound var) cannot match anything.
-  bool Instantiate(const TriplePatternAst& ast, const Binding& b,
-                   rdf::TriplePattern* out) const {
-    auto fill = [&](const NodeOrVar& n, TermId* slot) {
-      if (IsVar(n)) {
-        auto it = b.find(AsVar(n).name);
-        *slot = (it == b.end()) ? kInvalidTermId : it->second;
-        return true;
-      }
-      return ResolveConst(AsTerm(n), slot);
-    };
-    return fill(ast.s, &out->s) && fill(ast.p, &out->p) && fill(ast.o, &out->o);
-  }
-
-  /// Estimated cost of evaluating `ast` under current bound-variable set.
-  double EstimateCost(const TriplePatternAst& ast,
-                      const std::set<std::string>& bound) const {
-    rdf::TriplePattern pat;
-    Binding fake;
-    for (const std::string& v : bound) fake[v] = 1;  // any non-zero id
-    if (!Instantiate(ast, fake, &pat)) return 0.0;  // dead pattern: free
-    return store_->EstimateSelectivity(pat) * static_cast<double>(store_->size());
-  }
-
-  std::vector<Binding> EvalBgp(const std::vector<TriplePatternAst>& triples,
-                               std::vector<Binding> seeds) {
-    if (triples.empty()) return seeds;
-    LODVIZ_TRACE_SPAN("sparql.bgp");
-
-    std::vector<const TriplePatternAst*> remaining;
-    for (const auto& t : triples) remaining.push_back(&t);
-
-    std::set<std::string> bound;
-    if (!seeds.empty()) {
-      for (const auto& [k, v] : seeds.front()) bound.insert(k);
-    }
-
-    std::vector<Binding> current = std::move(seeds);
-    while (!remaining.empty()) {
-      size_t pick = 0;
-      if (optimize_) {
-        LODVIZ_TRACE_SPAN("sparql.plan");
-        double best = std::numeric_limits<double>::infinity();
-        for (size_t i = 0; i < remaining.size(); ++i) {
-          double cost = EstimateCost(*remaining[i], bound);
-          if (cost < best) {
-            best = cost;
-            pick = i;
-          }
-        }
-      }
-      const TriplePatternAst& ast = *remaining[pick];
-      remaining.erase(remaining.begin() + pick);
-
-      // Solutions extend independently; per-chunk outputs concatenate in
-      // chunk order, so `next` is ordered exactly as the serial loop
-      // produced it. Matches are copied out of the Scan callback so the
-      // store lock is held only for the index walk, not the binding work.
-      std::vector<Binding> next = exec::ParallelReduce<std::vector<Binding>>(
-          0, current.size(), 8,
-          [&](size_t cb, size_t ce) {
-            std::vector<Binding> out;
-            for (size_t si = cb; si < ce; ++si) {
-              const Binding& sol = current[si];
-              rdf::TriplePattern pat;
-              if (!Instantiate(ast, sol, &pat)) continue;
-              std::vector<rdf::Triple> matches;
-              store_->Scan(pat, [&](const rdf::Triple& t) {
-                matches.push_back(t);
-                return true;
-              });
-              for (const rdf::Triple& t : matches) {
-                Binding extended = sol;
-                bool ok = true;
-                auto bind = [&](const NodeOrVar& n, TermId value) {
-                  if (!IsVar(n)) return;
-                  auto [it, inserted] = extended.emplace(AsVar(n).name, value);
-                  if (!inserted && it->second != value) ok = false;
-                };
-                bind(ast.s, t.s);
-                if (ok) bind(ast.p, t.p);
-                if (ok) bind(ast.o, t.o);
-                if (ok) out.push_back(std::move(extended));
-              }
-            }
-            return out;
-          },
-          [](std::vector<Binding>& acc, std::vector<Binding>&& rhs) {
-            acc.insert(acc.end(), std::make_move_iterator(rhs.begin()),
-                       std::make_move_iterator(rhs.end()));
-          });
-      intermediate_rows_ += next.size();
-      SparqlMetrics::Get().op_join_rows.Increment(next.size());
-      current = std::move(next);
-      auto note = [&](const NodeOrVar& n) {
-        if (IsVar(n)) bound.insert(AsVar(n).name);
-      };
-      note(ast.s);
-      note(ast.p);
-      note(ast.o);
-      if (current.empty()) break;
-    }
-    return current;
-  }
-
-  const rdf::TripleStore* store_;
-  bool optimize_;
-  uint64_t intermediate_rows_ = 0;
-};
 
 std::string RowKey(const std::vector<ResultCell>& row) {
   std::string key;
@@ -472,77 +52,113 @@ std::string RowKey(const std::vector<ResultCell>& row) {
 
 }  // namespace
 
-QueryEngine::QueryEngine(const rdf::TripleStore* store, Options options)
-    : store_(store), options_(options) {}
+QueryEngine::QueryEngine(const rdf::TripleSource* source, Options options)
+    : source_(source), options_(options) {}
 
-namespace {
-
-Result<Query> ParseTraced(std::string_view text) {
-  LODVIZ_TRACE_SPAN("sparql.parse");
-  return ParseQuery(text);
-}
-
-}  // namespace
-
-Result<ResultTable> QueryEngine::ExecuteString(std::string_view text) const {
+Result<ResultTable> QueryEngine::ExecuteString(std::string_view text,
+                                               QueryStats* stats) const {
   LODVIZ_ASSIGN_OR_RETURN(Query q, ParseTraced(text));
-  return Execute(q);
+  return Execute(q, stats);
 }
 
 Result<std::vector<rdf::ParsedTriple>> QueryEngine::ExecuteGraphString(
-    std::string_view text) const {
+    std::string_view text, QueryStats* stats) const {
   LODVIZ_ASSIGN_OR_RETURN(Query q, ParseTraced(text));
-  return ExecuteGraph(q);
+  return ExecuteGraph(q, stats);
+}
+
+std::string QueryEngine::Explain(const Query& query) const {
+  QueryPlan plan =
+      PlanQuery(query, *source_, {options_.optimize_join_order});
+  return plan.ToString();
+}
+
+Result<std::string> QueryEngine::ExplainString(std::string_view text) const {
+  LODVIZ_ASSIGN_OR_RETURN(Query q, ParseTraced(text));
+  return Explain(q);
 }
 
 Result<std::vector<rdf::ParsedTriple>> QueryEngine::ExecuteGraph(
-    const Query& query) const {
+    const Query& query, QueryStats* stats) const {
   LODVIZ_TRACE_SPAN("sparql.execute");
   SparqlMetrics& metrics = SparqlMetrics::Get();
   metrics.queries.Increment();
   Stopwatch sw;
-  const rdf::Dictionary& dict = store_->dict();
+  const rdf::Dictionary& dict = source_->dict();
   std::vector<rdf::ParsedTriple> out;
   // Record latency and output rows on every exit path.
   struct ExecFold {
     SparqlMetrics& metrics;
     const Stopwatch& sw;
     const std::vector<rdf::ParsedTriple>& out;
+    QueryStats* stats;
     ~ExecFold() {
       metrics.rows_out.Increment(out.size());
       metrics.execute_us.RecordDouble(sw.ElapsedMicros());
+      if (stats != nullptr) stats->rows_out = out.size();
     }
-  } fold{metrics, sw, out};
+  } fold{metrics, sw, out, stats};
   std::set<std::string> seen;
   auto emit = [&](Term s, Term p, Term o) {
-    std::string key = s.ToNTriples() + "\x01" + p.ToNTriples() + "\x01" +
-                      o.ToNTriples();
+    std::string key =
+        s.ToNTriples() + "\x01" + p.ToNTriples() + "\x01" + o.ToNTriples();
     if (seen.insert(std::move(key)).second) {
       out.push_back({std::move(s), std::move(p), std::move(o)});
     }
   };
 
+  QueryPlan plan =
+      PlanQuery(query, *source_, {options_.optimize_join_order});
+  auto eval_where = [&]() {
+    Executor executor(source_, RowWidth(plan));
+    BindingTable seeds(RowWidth(plan));
+    seeds.AppendEmptyRow();
+    BindingTable solutions = executor.EvalGroup(plan.root, std::move(seeds));
+    metrics.intermediate_rows.Increment(executor.intermediate_rows());
+    if (stats != nullptr) {
+      stats->intermediate_rows = executor.intermediate_rows();
+    }
+    return solutions;
+  };
+
   if (query.form == QueryForm::kConstruct) {
-    Evaluator evaluator(store_, options_.optimize_join_order);
-    std::vector<Binding> solutions =
-        evaluator.EvalGroup(query.where, {Binding{}});
-    intermediate_rows_ = evaluator.intermediate_rows();
-    SparqlMetrics::Get().intermediate_rows.Increment(intermediate_rows_);
-    for (const Binding& sol : solutions) {
-      for (const TriplePatternAst& tmpl : query.construct_template) {
-        auto resolve = [&](const NodeOrVar& n, Term* t) {
-          if (!IsVar(n)) {
-            *t = AsTerm(n);
+    BindingTable solutions = eval_where();
+    // Resolve template positions to slots once, not per solution.
+    struct TemplateStep {
+      SlotId s_slot, p_slot, o_slot;
+      Term s_const, p_const, o_const;
+    };
+    std::vector<TemplateStep> compiled;
+    for (const TriplePatternAst& tmpl : query.construct_template) {
+      TemplateStep ts{kNoSlot, kNoSlot, kNoSlot, {}, {}, {}};
+      auto fill = [&](const NodeOrVar& n, SlotId* slot, Term* c) {
+        if (IsVar(n)) {
+          *slot = plan.SlotOf(AsVar(n).name);
+        } else {
+          *c = AsTerm(n);
+        }
+      };
+      fill(tmpl.s, &ts.s_slot, &ts.s_const);
+      fill(tmpl.p, &ts.p_slot, &ts.p_const);
+      fill(tmpl.o, &ts.o_slot, &ts.o_const);
+      compiled.push_back(std::move(ts));
+    }
+    for (size_t i = 0; i < solutions.num_rows(); ++i) {
+      const TermId* row = solutions.row(i);
+      for (const TemplateStep& ts : compiled) {
+        auto resolve = [&](SlotId slot, const Term& c, Term* t) {
+          if (slot == kNoSlot) {
+            *t = c;
             return true;
           }
-          auto it = sol.find(AsVar(n).name);
-          if (it == sol.end() || it->second == kInvalidTermId) return false;
-          *t = dict.term(it->second);
+          if (row[slot] == kInvalidTermId) return false;
+          *t = dict.term(row[slot]);
           return true;
         };
         Term s, p, o;
-        if (!resolve(tmpl.s, &s) || !resolve(tmpl.p, &p) ||
-            !resolve(tmpl.o, &o)) {
+        if (!resolve(ts.s_slot, ts.s_const, &s) ||
+            !resolve(ts.p_slot, ts.p_const, &p) ||
+            !resolve(ts.o_slot, ts.o_const, &o)) {
           continue;  // unbound variable: skip this template instance
         }
         if (s.is_literal() || !p.is_iri()) continue;  // invalid RDF
@@ -555,26 +171,24 @@ Result<std::vector<rdf::ParsedTriple>> QueryEngine::ExecuteGraph(
   if (query.form == QueryForm::kDescribe) {
     // Collect the resources to describe.
     std::vector<TermId> resources;
-    std::vector<std::string> target_vars;
+    std::vector<SlotId> target_slots;
+    bool has_var_target = false;
     for (const NodeOrVar& target : query.describe_targets) {
       if (IsVar(target)) {
-        target_vars.push_back(AsVar(target).name);
+        has_var_target = true;
+        target_slots.push_back(plan.SlotOf(AsVar(target).name));
       } else {
         TermId id = dict.Lookup(AsTerm(target));
         if (id != kInvalidTermId) resources.push_back(id);
       }
     }
-    if (!target_vars.empty()) {
-      Evaluator evaluator(store_, options_.optimize_join_order);
-      std::vector<Binding> solutions =
-          evaluator.EvalGroup(query.where, {Binding{}});
-      intermediate_rows_ = evaluator.intermediate_rows();
-    SparqlMetrics::Get().intermediate_rows.Increment(intermediate_rows_);
-      for (const Binding& sol : solutions) {
-        for (const std::string& var : target_vars) {
-          auto it = sol.find(var);
-          if (it != sol.end() && it->second != kInvalidTermId) {
-            resources.push_back(it->second);
+    if (has_var_target) {
+      BindingTable solutions = eval_where();
+      for (size_t i = 0; i < solutions.num_rows(); ++i) {
+        const TermId* row = solutions.row(i);
+        for (SlotId slot : target_slots) {
+          if (slot != kNoSlot && row[slot] != kInvalidTermId) {
+            resources.push_back(row[slot]);
           }
         }
       }
@@ -585,16 +199,16 @@ Result<std::vector<rdf::ParsedTriple>> QueryEngine::ExecuteGraph(
 
     // Emit every triple where the resource is subject or object.
     for (TermId r : resources) {
-      store_->Scan({r, kInvalidTermId, kInvalidTermId},
-                   [&](const rdf::Triple& t) {
-                     emit(dict.term(t.s), dict.term(t.p), dict.term(t.o));
-                     return true;
-                   });
-      store_->Scan({kInvalidTermId, kInvalidTermId, r},
-                   [&](const rdf::Triple& t) {
-                     emit(dict.term(t.s), dict.term(t.p), dict.term(t.o));
-                     return true;
-                   });
+      source_->Scan({r, kInvalidTermId, kInvalidTermId},
+                    [&](const rdf::Triple& t) {
+                      emit(dict.term(t.s), dict.term(t.p), dict.term(t.o));
+                      return true;
+                    });
+      source_->Scan({kInvalidTermId, kInvalidTermId, r},
+                    [&](const rdf::Triple& t) {
+                      emit(dict.term(t.s), dict.term(t.p), dict.term(t.o));
+                      return true;
+                    });
     }
     return out;
   }
@@ -603,7 +217,8 @@ Result<std::vector<rdf::ParsedTriple>> QueryEngine::ExecuteGraph(
       "ExecuteGraph expects a CONSTRUCT or DESCRIBE query");
 }
 
-Result<ResultTable> QueryEngine::Execute(const Query& query) const {
+Result<ResultTable> QueryEngine::Execute(const Query& query,
+                                         QueryStats* stats) const {
   if (query.form == QueryForm::kConstruct ||
       query.form == QueryForm::kDescribe) {
     return Status::InvalidArgument(
@@ -613,48 +228,48 @@ Result<ResultTable> QueryEngine::Execute(const Query& query) const {
   SparqlMetrics& metrics = SparqlMetrics::Get();
   metrics.queries.Increment();
   Stopwatch sw;
-  Evaluator evaluator(store_, options_.optimize_join_order);
-  std::vector<Binding> solutions =
-      evaluator.EvalGroup(query.where, {Binding{}});
-  intermediate_rows_ = evaluator.intermediate_rows();
-  metrics.intermediate_rows.Increment(intermediate_rows_);
+
+  QueryPlan plan =
+      PlanQuery(query, *source_, {options_.optimize_join_order});
+  Executor executor(source_, RowWidth(plan));
+  BindingTable seeds(RowWidth(plan));
+  seeds.AppendEmptyRow();
+  BindingTable solutions = executor.EvalGroup(plan.root, std::move(seeds));
+  metrics.intermediate_rows.Increment(executor.intermediate_rows());
+  if (stats != nullptr) {
+    stats->intermediate_rows = executor.intermediate_rows();
+  }
+
   // Record latency and output rows on every exit path.
   uint64_t rows_out = 0;
   struct ExecFold {
     SparqlMetrics& metrics;
     const Stopwatch& sw;
     const uint64_t& rows_out;
+    QueryStats* stats;
     ~ExecFold() {
       metrics.rows_out.Increment(rows_out);
       metrics.execute_us.RecordDouble(sw.ElapsedMicros());
+      if (stats != nullptr) stats->rows_out = rows_out;
     }
-  } fold{metrics, sw, rows_out};
+  } fold{metrics, sw, rows_out, stats};
 
-  const rdf::Dictionary& dict = store_->dict();
+  const rdf::Dictionary& dict = source_->dict();
 
   if (query.form == QueryForm::kAsk) {
     ResultTable table;
-    table.ask_result = !solutions.empty();
+    table.ask_result = solutions.num_rows() > 0;
     return table;
   }
 
   // Determine output columns.
   std::vector<std::string> columns = query.select_vars;
   if (columns.empty() && query.aggregates.empty()) {
-    std::set<std::string> seen;
-    CollectVars(query.where, &columns, &seen);
+    columns = plan.visible_vars;
   }
-
-  auto cell_for = [&](const Binding& b, const std::string& var) {
-    ResultCell cell;
-    auto it = b.find(var);
-    if (it == b.end() || it->second == kInvalidTermId) {
-      cell.bound = false;
-    } else {
-      cell.term = dict.term(it->second);
-    }
-    return cell;
-  };
+  std::vector<SlotId> column_slots;
+  column_slots.reserve(columns.size());
+  for (const std::string& v : columns) column_slots.push_back(plan.SlotOf(v));
 
   // ---- Aggregation path ----
   if (!query.aggregates.empty()) {
@@ -662,49 +277,60 @@ Result<ResultTable> QueryEngine::Execute(const Query& query) const {
     for (const Aggregate& a : query.aggregates) out_columns.push_back(a.alias);
     ResultTable table(out_columns);
 
-    // Group solutions by the group-by key.
-    std::map<std::string, std::vector<const Binding*>> groups;
-    for (const Binding& sol : solutions) {
-      std::string key;
-      for (const std::string& v : query.group_by) {
-        auto it = sol.find(v);
-        key += (it != sol.end()) ? std::to_string(it->second) : "~";
-        key += '|';
+    std::vector<SlotId> group_slots;
+    group_slots.reserve(query.group_by.size());
+    for (const std::string& v : query.group_by) {
+      group_slots.push_back(plan.SlotOf(v));
+    }
+
+    // Group solution rows by the group-by key (slot values; unbound = 0).
+    std::map<std::vector<TermId>, std::vector<size_t>> groups;
+    for (size_t i = 0; i < solutions.num_rows(); ++i) {
+      const TermId* row = solutions.row(i);
+      std::vector<TermId> key;
+      key.reserve(group_slots.size());
+      for (SlotId slot : group_slots) {
+        key.push_back(slot == kNoSlot ? kInvalidTermId : row[slot]);
       }
-      groups[key].push_back(&sol);
+      groups[std::move(key)].push_back(i);
     }
     if (groups.empty() && query.group_by.empty()) {
-      groups[""] = {};  // aggregates over zero rows still yield one row
+      groups[{}] = {};  // aggregates over zero rows still yield one row
     }
 
     for (const auto& [key, members] : groups) {
       std::vector<ResultCell> row;
       if (!members.empty()) {
-        for (const std::string& v : query.group_by) {
-          row.push_back(cell_for(*members.front(), v));
+        const TermId* first = solutions.row(members.front());
+        for (SlotId slot : group_slots) {
+          row.push_back(CellFor(dict, first, slot));
         }
       } else {
-        for (size_t i = 0; i < query.group_by.size(); ++i) {
+        for (size_t i = 0; i < group_slots.size(); ++i) {
           row.push_back(ResultCell{{}, false});
         }
       }
       for (const Aggregate& agg : query.aggregates) {
         if (agg.fn == Aggregate::Fn::kCount && agg.var.empty()) {
-          row.push_back(ResultCell{Term::IntLiteral(
-              static_cast<int64_t>(members.size()))});
+          row.push_back(ResultCell{
+              Term::IntLiteral(static_cast<int64_t>(members.size()))});
           continue;
         }
-        // Collect the argument terms (bound only).
+        // Collect the argument terms (bound only). DISTINCT dedups on the
+        // dictionary id: interning is injective, so id equality is term
+        // equality.
+        SlotId arg_slot = plan.SlotOf(agg.var);
         std::vector<Term> values;
-        std::set<std::string> distinct_seen;
-        for (const Binding* b : members) {
-          auto it = b->find(agg.var);
-          if (it == b->end() || it->second == kInvalidTermId) continue;
-          Term t = dict.term(it->second);
-          if (agg.distinct && !distinct_seen.insert(t.ToNTriples()).second) {
+        std::set<TermId> distinct_seen;
+        for (size_t member : members) {
+          const TermId* mrow = solutions.row(member);
+          if (arg_slot == kNoSlot || mrow[arg_slot] == kInvalidTermId) {
             continue;
           }
-          values.push_back(std::move(t));
+          if (agg.distinct && !distinct_seen.insert(mrow[arg_slot]).second) {
+            continue;
+          }
+          values.push_back(dict.term(mrow[arg_slot]));
         }
         switch (agg.fn) {
           case Aggregate::Fn::kCount:
@@ -722,10 +348,10 @@ Result<ResultTable> QueryEngine::Execute(const Query& query) const {
                 ++n;
               }
             }
-            double out = agg.fn == Aggregate::Fn::kSum
-                             ? sum
-                             : (n ? sum / static_cast<double>(n) : 0.0);
-            row.push_back(ResultCell{Term::DoubleLiteral(out)});
+            double result = agg.fn == Aggregate::Fn::kSum
+                                ? sum
+                                : (n ? sum / static_cast<double>(n) : 0.0);
+            row.push_back(ResultCell{Term::DoubleLiteral(result)});
             break;
           }
           case Aggregate::Fn::kMin:
@@ -737,10 +363,9 @@ Result<ResultTable> QueryEngine::Execute(const Query& query) const {
             const Term* best = &values.front();
             for (const Term& t : values) {
               Result<int> c = CompareTerms(t, *best);
-              if (c.ok() && ((agg.fn == Aggregate::Fn::kMin &&
-                              c.ValueOrDie() < 0) ||
-                             (agg.fn == Aggregate::Fn::kMax &&
-                              c.ValueOrDie() > 0))) {
+              if (c.ok() &&
+                  ((agg.fn == Aggregate::Fn::kMin && c.ValueOrDie() < 0) ||
+                   (agg.fn == Aggregate::Fn::kMax && c.ValueOrDie() > 0))) {
                 best = &t;
               }
             }
@@ -757,10 +382,11 @@ Result<ResultTable> QueryEngine::Execute(const Query& query) const {
 
   // ---- Plain projection path ----
   ResultTable table(columns);
-  for (const Binding& sol : solutions) {
+  for (size_t i = 0; i < solutions.num_rows(); ++i) {
+    const TermId* srow = solutions.row(i);
     std::vector<ResultCell> row;
     row.reserve(columns.size());
-    for (const std::string& v : columns) row.push_back(cell_for(sol, v));
+    for (SlotId slot : column_slots) row.push_back(CellFor(dict, srow, slot));
     table.AddRow(std::move(row));
   }
 
@@ -771,26 +397,26 @@ Result<ResultTable> QueryEngine::Execute(const Query& query) const {
       key_idx.push_back(table.ColumnIndex(k.var));
     }
     std::vector<std::vector<ResultCell>> rows = table.rows();
-    std::stable_sort(
-        rows.begin(), rows.end(),
-        [&](const std::vector<ResultCell>& a,
-            const std::vector<ResultCell>& b) {
-          for (size_t i = 0; i < key_idx.size(); ++i) {
-            int idx = key_idx[i];
-            if (idx < 0) continue;
-            const ResultCell& ca = a[idx];
-            const ResultCell& cb = b[idx];
-            if (!ca.bound && !cb.bound) continue;
-            if (!ca.bound) return query.order_by[i].ascending;
-            if (!cb.bound) return !query.order_by[i].ascending;
-            Result<int> c = CompareTerms(ca.term, cb.term);
-            int cv = c.ok() ? c.ValueOrDie() : 0;
-            if (cv != 0) {
-              return query.order_by[i].ascending ? cv < 0 : cv > 0;
-            }
-          }
-          return false;
-        });
+    std::stable_sort(rows.begin(), rows.end(),
+                     [&](const std::vector<ResultCell>& a,
+                         const std::vector<ResultCell>& b) {
+                       for (size_t i = 0; i < key_idx.size(); ++i) {
+                         int idx = key_idx[i];
+                         if (idx < 0) continue;
+                         const ResultCell& ca = a[idx];
+                         const ResultCell& cb = b[idx];
+                         if (!ca.bound && !cb.bound) continue;
+                         if (!ca.bound) return query.order_by[i].ascending;
+                         if (!cb.bound) return !query.order_by[i].ascending;
+                         Result<int> c = CompareTerms(ca.term, cb.term);
+                         int cv = c.ok() ? c.ValueOrDie() : 0;
+                         if (cv != 0) {
+                           return query.order_by[i].ascending ? cv < 0
+                                                              : cv > 0;
+                         }
+                       }
+                       return false;
+                     });
     ResultTable sorted(columns);
     for (auto& r : rows) sorted.AddRow(std::move(r));
     table = std::move(sorted);

@@ -1,19 +1,37 @@
 #ifndef LODVIZ_SPARQL_ENGINE_H_
 #define LODVIZ_SPARQL_ENGINE_H_
 
+#include <string>
 #include <string_view>
 
 #include "common/result.h"
 #include "rdf/ntriples.h"
-#include "rdf/triple_store.h"
+#include "rdf/triple_source.h"
 #include "sparql/ast.h"
 #include "sparql/result_table.h"
 
 namespace lodviz::sparql {
 
-/// Executes parsed queries against an in-memory TripleStore using
+/// Per-query execution statistics, returned through an out-parameter so
+/// the engine keeps no mutable per-query state and a single QueryEngine is
+/// safely shareable across threads.
+struct QueryStats {
+  /// Rows produced by BGP evaluation, including intermediate join results
+  /// (cost introspection for E10).
+  uint64_t intermediate_rows = 0;
+  /// Rows (SELECT/ASK) or triples (CONSTRUCT/DESCRIBE) in the result.
+  uint64_t rows_out = 0;
+};
+
+/// Executes parsed queries against any rdf::TripleSource — the in-memory
+/// store or a disk-resident one behind storage::DiskSourceAdapter — using
 /// selectivity-ordered index nested-loop joins (volcano-style, fully
-/// materialized per group).
+/// materialized per group) over slot-addressed binding rows; planning
+/// lives in planner.h, the operator pipeline in executor.h.
+///
+/// Thread-safety: all methods are const and keep no per-query state, so
+/// one engine may serve concurrent queries (the source serializes its own
+/// scans per the TripleSource contract).
 class QueryEngine {
  public:
   struct Options {
@@ -23,32 +41,35 @@ class QueryEngine {
     bool optimize_join_order = true;
   };
 
-  explicit QueryEngine(const rdf::TripleStore* store)
-      : QueryEngine(store, Options()) {}
-  QueryEngine(const rdf::TripleStore* store, Options options);
+  explicit QueryEngine(const rdf::TripleSource* source)
+      : QueryEngine(source, Options()) {}
+  QueryEngine(const rdf::TripleSource* source, Options options);
 
   /// Parses and executes a SELECT/ASK query.
-  Result<ResultTable> ExecuteString(std::string_view text) const;
+  Result<ResultTable> ExecuteString(std::string_view text,
+                                    QueryStats* stats = nullptr) const;
 
   /// Executes an already-parsed SELECT/ASK query.
-  Result<ResultTable> Execute(const Query& query) const;
+  Result<ResultTable> Execute(const Query& query,
+                              QueryStats* stats = nullptr) const;
 
   /// Parses and executes a CONSTRUCT/DESCRIBE query, yielding triples.
   Result<std::vector<rdf::ParsedTriple>> ExecuteGraphString(
-      std::string_view text) const;
+      std::string_view text, QueryStats* stats = nullptr) const;
 
   /// Executes an already-parsed CONSTRUCT/DESCRIBE query.
   Result<std::vector<rdf::ParsedTriple>> ExecuteGraph(
-      const Query& query) const;
+      const Query& query, QueryStats* stats = nullptr) const;
 
-  /// Rows produced by the most recent BGP evaluation, including
-  /// intermediate join results (cost introspection for E10).
-  uint64_t last_intermediate_rows() const { return intermediate_rows_; }
+  /// Renders the logical plan (slot table, join order, per-pattern
+  /// cardinality estimates) without executing — the explain hook used by
+  /// explore sessions and the CLI.
+  Result<std::string> ExplainString(std::string_view text) const;
+  [[nodiscard]] std::string Explain(const Query& query) const;
 
  private:
-  const rdf::TripleStore* store_;
+  const rdf::TripleSource* source_;
   Options options_;
-  mutable uint64_t intermediate_rows_ = 0;
 };
 
 }  // namespace lodviz::sparql

@@ -1,0 +1,356 @@
+#include "sparql/executor.h"
+
+#include <algorithm>
+
+#include "exec/parallel.h"
+#include "obs/trace.h"
+#include "rdf/vocab.h"
+
+namespace lodviz::sparql {
+
+using rdf::kInvalidTermId;
+using rdf::Term;
+using rdf::TermId;
+
+SparqlMetrics& SparqlMetrics::Get() {
+  obs::MetricRegistry& r = obs::MetricRegistry::Global();
+  static SparqlMetrics m{r.GetCounter("sparql.queries"),
+                         r.GetCounter("sparql.intermediate_rows"),
+                         r.GetCounter("sparql.rows_out"),
+                         r.GetCounter("sparql.op.join_rows"),
+                         r.GetCounter("sparql.op.filter_dropped"),
+                         r.GetCounter("sparql.op.optional_rows"),
+                         r.GetCounter("sparql.op.union_rows"),
+                         r.GetHistogram("sparql.execute_us")};
+  return m;
+}
+
+namespace {
+
+Term BoolTerm(bool b) { return Term::BoolLiteral(b); }
+
+Result<Term> EvalBinary(const CompiledExpr& e, const rdf::Dictionary& dict,
+                        const TermId* row) {
+  if (e.bin_op == BinOp::kAnd || e.bin_op == BinOp::kOr) {
+    LODVIZ_ASSIGN_OR_RETURN(Term lhs, EvalExpr(e.args[0], dict, row));
+    LODVIZ_ASSIGN_OR_RETURN(bool l, EffectiveBool(lhs));
+    if (e.bin_op == BinOp::kAnd && !l) return BoolTerm(false);
+    if (e.bin_op == BinOp::kOr && l) return BoolTerm(true);
+    LODVIZ_ASSIGN_OR_RETURN(Term rhs, EvalExpr(e.args[1], dict, row));
+    LODVIZ_ASSIGN_OR_RETURN(bool r, EffectiveBool(rhs));
+    return BoolTerm(r);
+  }
+
+  LODVIZ_ASSIGN_OR_RETURN(Term lhs, EvalExpr(e.args[0], dict, row));
+  LODVIZ_ASSIGN_OR_RETURN(Term rhs, EvalExpr(e.args[1], dict, row));
+
+  switch (e.bin_op) {
+    case BinOp::kEq:
+      if (lhs.IsNumericLiteral() && rhs.IsNumericLiteral()) {
+        LODVIZ_ASSIGN_OR_RETURN(int c, CompareTerms(lhs, rhs));
+        return BoolTerm(c == 0);
+      }
+      return BoolTerm(lhs == rhs);
+    case BinOp::kNe:
+      if (lhs.IsNumericLiteral() && rhs.IsNumericLiteral()) {
+        LODVIZ_ASSIGN_OR_RETURN(int c, CompareTerms(lhs, rhs));
+        return BoolTerm(c != 0);
+      }
+      return BoolTerm(!(lhs == rhs));
+    case BinOp::kLt:
+    case BinOp::kLe:
+    case BinOp::kGt:
+    case BinOp::kGe: {
+      LODVIZ_ASSIGN_OR_RETURN(int c, CompareTerms(lhs, rhs));
+      switch (e.bin_op) {
+        case BinOp::kLt:
+          return BoolTerm(c < 0);
+        case BinOp::kLe:
+          return BoolTerm(c <= 0);
+        case BinOp::kGt:
+          return BoolTerm(c > 0);
+        default:
+          return BoolTerm(c >= 0);
+      }
+    }
+    case BinOp::kAdd:
+    case BinOp::kSub:
+    case BinOp::kMul:
+    case BinOp::kDiv: {
+      LODVIZ_ASSIGN_OR_RETURN(double x, lhs.AsDouble());
+      LODVIZ_ASSIGN_OR_RETURN(double y, rhs.AsDouble());
+      double v = 0;
+      switch (e.bin_op) {
+        case BinOp::kAdd:
+          v = x + y;
+          break;
+        case BinOp::kSub:
+          v = x - y;
+          break;
+        case BinOp::kMul:
+          v = x * y;
+          break;
+        default:
+          if (y == 0.0) return Status::InvalidArgument("division by zero");
+          v = x / y;
+      }
+      return Term::DoubleLiteral(v);
+    }
+    default:
+      return Status::Internal("unhandled binary op");
+  }
+}
+
+Result<Term> EvalFunc(const CompiledExpr& e, const rdf::Dictionary& dict,
+                      const TermId* row) {
+  auto arg_term = [&](size_t i) -> Result<Term> {
+    return EvalExpr(e.args[i], dict, row);
+  };
+  switch (e.func) {
+    case FuncOp::kBound: {
+      if (e.args.size() != 1 || e.args[0].kind != Expr::Kind::kVar) {
+        return Status::InvalidArgument("BOUND needs a variable");
+      }
+      SlotId slot = e.args[0].slot;
+      return BoolTerm(slot != kNoSlot && row[slot] != kInvalidTermId);
+    }
+    case FuncOp::kIsIri: {
+      LODVIZ_ASSIGN_OR_RETURN(Term t, arg_term(0));
+      return BoolTerm(t.is_iri());
+    }
+    case FuncOp::kIsLiteral: {
+      LODVIZ_ASSIGN_OR_RETURN(Term t, arg_term(0));
+      return BoolTerm(t.is_literal());
+    }
+    case FuncOp::kIsBlank: {
+      LODVIZ_ASSIGN_OR_RETURN(Term t, arg_term(0));
+      return BoolTerm(t.is_blank());
+    }
+    case FuncOp::kStr: {
+      LODVIZ_ASSIGN_OR_RETURN(Term t, arg_term(0));
+      return Term::Literal(t.lexical);
+    }
+    case FuncOp::kContains: {
+      LODVIZ_ASSIGN_OR_RETURN(Term a, arg_term(0));
+      LODVIZ_ASSIGN_OR_RETURN(Term b, arg_term(1));
+      return BoolTerm(a.lexical.find(b.lexical) != std::string::npos);
+    }
+    case FuncOp::kStrStarts: {
+      LODVIZ_ASSIGN_OR_RETURN(Term a, arg_term(0));
+      LODVIZ_ASSIGN_OR_RETURN(Term b, arg_term(1));
+      return BoolTerm(a.lexical.rfind(b.lexical, 0) == 0);
+    }
+    case FuncOp::kLang: {
+      LODVIZ_ASSIGN_OR_RETURN(Term t, arg_term(0));
+      return Term::Literal(t.language);
+    }
+    case FuncOp::kDatatype: {
+      LODVIZ_ASSIGN_OR_RETURN(Term t, arg_term(0));
+      if (!t.is_literal()) {
+        return Status::InvalidArgument("DATATYPE of non-literal");
+      }
+      return Term::Iri(t.datatype.empty() ? rdf::vocab::kXsdString
+                                          : t.datatype);
+    }
+  }
+  return Status::Internal("unhandled function");
+}
+
+}  // namespace
+
+Result<bool> EffectiveBool(const Term& t) {
+  if (!t.is_literal()) {
+    return Status::InvalidArgument("EBV of non-literal");
+  }
+  if (t.datatype == rdf::vocab::kXsdBoolean) return t.lexical == "true";
+  if (t.IsNumericLiteral()) {
+    LODVIZ_ASSIGN_OR_RETURN(double v, t.AsDouble());
+    return v != 0.0;
+  }
+  return !t.lexical.empty();
+}
+
+Result<int> CompareTerms(const Term& a, const Term& b) {
+  if (a.IsNumericLiteral() && b.IsNumericLiteral()) {
+    LODVIZ_ASSIGN_OR_RETURN(double x, a.AsDouble());
+    LODVIZ_ASSIGN_OR_RETURN(double y, b.AsDouble());
+    if (x < y) return -1;
+    if (x > y) return 1;
+    return 0;
+  }
+  if (a.IsTemporalLiteral() && b.IsTemporalLiteral()) {
+    LODVIZ_ASSIGN_OR_RETURN(int64_t x, a.AsEpochSeconds());
+    LODVIZ_ASSIGN_OR_RETURN(int64_t y, b.AsEpochSeconds());
+    if (x < y) return -1;
+    if (x > y) return 1;
+    return 0;
+  }
+  int c = a.lexical.compare(b.lexical);
+  return c < 0 ? -1 : (c > 0 ? 1 : 0);
+}
+
+Result<Term> EvalExpr(const CompiledExpr& e, const rdf::Dictionary& dict,
+                      const TermId* row) {
+  switch (e.kind) {
+    case Expr::Kind::kLiteral:
+      return e.literal;
+    case Expr::Kind::kVar: {
+      if (e.slot == kNoSlot || row[e.slot] == kInvalidTermId) {
+        return Status::NotFound("unbound variable");
+      }
+      return dict.term(row[e.slot]);
+    }
+    case Expr::Kind::kBinary:
+      return EvalBinary(e, dict, row);
+    case Expr::Kind::kUnary: {
+      LODVIZ_ASSIGN_OR_RETURN(Term t, EvalExpr(e.args[0], dict, row));
+      if (e.un_op == UnOp::kNot) {
+        LODVIZ_ASSIGN_OR_RETURN(bool b, EffectiveBool(t));
+        return BoolTerm(!b);
+      }
+      LODVIZ_ASSIGN_OR_RETURN(double v, t.AsDouble());
+      return Term::DoubleLiteral(-v);
+    }
+    case Expr::Kind::kFunc:
+      return EvalFunc(e, dict, row);
+  }
+  return Status::Internal("unhandled expr kind");
+}
+
+bool PassesFilter(const CompiledExpr& e, const rdf::Dictionary& dict,
+                  const TermId* row) {
+  Result<Term> t = EvalExpr(e, dict, row);
+  if (!t.ok()) return false;
+  Result<bool> b = EffectiveBool(t.ValueOrDie());
+  return b.ok() && b.ValueOrDie();
+}
+
+BindingTable Executor::EvalBgp(const std::vector<PatternStep>& steps,
+                               BindingTable seeds) {
+  if (steps.empty()) return seeds;
+  LODVIZ_TRACE_SPAN("sparql.bgp");
+
+  BindingTable current = std::move(seeds);
+  for (const PatternStep& st : steps) {
+    BindingTable next(width_);
+    if (!st.dead && current.num_rows() > 0) {
+      // Solutions extend independently; per-chunk outputs concatenate in
+      // chunk order, so `next` is ordered exactly as the serial loop would
+      // produce it. Matches are copied out of the Scan callback so the
+      // source's scan lock is held only for the index walk, not the
+      // binding work.
+      next = exec::ParallelReduce<BindingTable>(
+          0, current.num_rows(), 8,
+          [&](size_t cb, size_t ce) {
+            BindingTable out(width_);
+            std::vector<rdf::Triple> matches;
+            std::vector<TermId> extended(width_);
+            for (size_t si = cb; si < ce; ++si) {
+              const TermId* sol = current.row(si);
+              rdf::TriplePattern pat(
+                  st.s_slot == kNoSlot ? st.s_id : sol[st.s_slot],
+                  st.p_slot == kNoSlot ? st.p_id : sol[st.p_slot],
+                  st.o_slot == kNoSlot ? st.o_id : sol[st.o_slot]);
+              matches.clear();
+              source_->Scan(pat, [&](const rdf::Triple& t) {
+                matches.push_back(t);
+                return true;
+              });
+              for (const rdf::Triple& t : matches) {
+                std::copy(sol, sol + width_, extended.begin());
+                bool ok = true;
+                auto bind = [&](SlotId slot, TermId value) {
+                  if (slot == kNoSlot) return;
+                  TermId& cell = extended[slot];
+                  if (cell == kInvalidTermId) {
+                    cell = value;
+                  } else if (cell != value) {
+                    ok = false;
+                  }
+                };
+                bind(st.s_slot, t.s);
+                if (ok) bind(st.p_slot, t.p);
+                if (ok) bind(st.o_slot, t.o);
+                if (ok) out.AppendRow(extended.data());
+              }
+            }
+            return out;
+          },
+          [](BindingTable& acc, BindingTable&& rhs) {
+            acc.Append(std::move(rhs));
+          });
+    }
+    intermediate_rows_ += next.num_rows();
+    SparqlMetrics::Get().op_join_rows.Increment(next.num_rows());
+    current = std::move(next);
+    if (current.num_rows() == 0) break;
+  }
+  return current;
+}
+
+BindingTable Executor::EvalGroup(const GroupPlan& plan, BindingTable seeds) {
+  BindingTable solutions = EvalBgp(plan.steps, std::move(seeds));
+
+  if (!plan.union_branches.empty()) {
+    BindingTable unioned(width_);
+    for (const GroupPlan& branch : plan.union_branches) {
+      BindingTable branch_seeds(width_);
+      branch_seeds.Reserve(solutions.num_rows());
+      for (size_t i = 0; i < solutions.num_rows(); ++i) {
+        branch_seeds.AppendRow(solutions.row(i));
+      }
+      unioned.Append(EvalGroup(branch, std::move(branch_seeds)));
+    }
+    solutions = std::move(unioned);
+    SparqlMetrics::Get().op_union_rows.Increment(solutions.num_rows());
+  }
+
+  for (const GroupPlan& opt : plan.optionals) {
+    BindingTable next(width_);
+    for (size_t i = 0; i < solutions.num_rows(); ++i) {
+      BindingTable seed(width_);
+      seed.AppendRow(solutions.row(i));
+      BindingTable extended = EvalGroup(opt, std::move(seed));
+      if (extended.num_rows() == 0) {
+        next.AppendRow(solutions.row(i));
+      } else {
+        next.Append(std::move(extended));
+      }
+    }
+    solutions = std::move(next);
+    SparqlMetrics::Get().op_optional_rows.Increment(solutions.num_rows());
+  }
+
+  if (!plan.filters.empty() && solutions.num_rows() > 0) {
+    const size_t before = solutions.num_rows();
+    const rdf::Dictionary& dict = source_->dict();
+    // Filters are pure per solution (dictionary reads are const), so
+    // chunks evaluate independently and keep order on concatenation.
+    BindingTable kept = exec::ParallelReduce<BindingTable>(
+        0, before, 64,
+        [&](size_t cb, size_t ce) {
+          BindingTable out(width_);
+          for (size_t si = cb; si < ce; ++si) {
+            const TermId* row = solutions.row(si);
+            bool pass = true;
+            for (const CompiledExpr& f : plan.filters) {
+              if (!PassesFilter(f, dict, row)) {
+                pass = false;
+                break;
+              }
+            }
+            if (pass) out.AppendRow(row);
+          }
+          return out;
+        },
+        [](BindingTable& acc, BindingTable&& rhs) {
+          acc.Append(std::move(rhs));
+        });
+    solutions = std::move(kept);
+    SparqlMetrics::Get().op_filter_dropped.Increment(before -
+                                                     solutions.num_rows());
+  }
+  return solutions;
+}
+
+}  // namespace lodviz::sparql

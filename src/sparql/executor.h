@@ -1,0 +1,123 @@
+#ifndef LODVIZ_SPARQL_EXECUTOR_H_
+#define LODVIZ_SPARQL_EXECUTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "obs/metrics.h"
+#include "rdf/dictionary.h"
+#include "rdf/triple_source.h"
+#include "sparql/planner.h"
+
+namespace lodviz::sparql {
+
+/// Registry handles for the sparql hot counters, looked up once. Shared by
+/// the executor (per-operator counters) and the engine facade (query and
+/// latency counters).
+struct SparqlMetrics {
+  obs::Counter& queries;
+  obs::Counter& intermediate_rows;
+  obs::Counter& rows_out;
+  obs::Counter& op_join_rows;
+  obs::Counter& op_filter_dropped;
+  obs::Counter& op_optional_rows;
+  obs::Counter& op_union_rows;
+  obs::Histogram& execute_us;
+
+  static SparqlMetrics& Get();
+};
+
+/// A dense solution multiset: every row is `width` TermId slots, one per
+/// query variable (see planner.h), stored contiguously. kInvalidTermId
+/// marks an unbound slot. This replaces the original engine's per-row
+/// `unordered_map<string, TermId>` bindings: extension, conflict checks
+/// and filters index slots directly instead of hashing names.
+class BindingTable {
+ public:
+  BindingTable() = default;
+  explicit BindingTable(size_t width) : width_(width) {}
+
+  [[nodiscard]] size_t width() const { return width_; }
+  [[nodiscard]] size_t num_rows() const {
+    return width_ == 0 ? 0 : data_.size() / width_;
+  }
+
+  [[nodiscard]] const rdf::TermId* row(size_t i) const {
+    return data_.data() + i * width_;
+  }
+
+  /// Appends a copy of `src` (width TermIds).
+  void AppendRow(const rdf::TermId* src) {
+    data_.insert(data_.end(), src, src + width_);
+  }
+
+  /// Appends one all-unbound row.
+  void AppendEmptyRow() { data_.resize(data_.size() + width_, rdf::kInvalidTermId); }
+
+  /// Concatenates `other` (same width; an empty table of any width is ok).
+  void Append(BindingTable&& other) {
+    if (other.data_.empty()) return;
+    if (data_.empty()) {
+      *this = std::move(other);
+      return;
+    }
+    data_.insert(data_.end(), other.data_.begin(), other.data_.end());
+  }
+
+  void Reserve(size_t rows) { data_.reserve(rows * width_); }
+
+ private:
+  size_t width_ = 0;
+  std::vector<rdf::TermId> data_;
+};
+
+/// Three-way comparison following lodviz's pragmatic SPARQL ordering:
+/// numeric if both numeric, temporal if both temporal, else lexical form.
+/// Used by FILTER relations, ORDER BY and MIN/MAX aggregates.
+Result<int> CompareTerms(const rdf::Term& a, const rdf::Term& b);
+
+/// SPARQL effective boolean value; errors on non-literals.
+Result<bool> EffectiveBool(const rdf::Term& t);
+
+/// Evaluates a compiled expression over one slot row (SPARQL error
+/// semantics: unbound variables and type errors surface as Status).
+Result<rdf::Term> EvalExpr(const CompiledExpr& e, const rdf::Dictionary& dict,
+                           const rdf::TermId* row);
+
+/// FILTER semantics: keep the row iff the expression evaluates to a true
+/// EBV; evaluation errors reject the row.
+bool PassesFilter(const CompiledExpr& e, const rdf::Dictionary& dict,
+                  const rdf::TermId* row);
+
+/// Executes a compiled GroupPlan against a TripleSource: index nested-loop
+/// joins over slot rows, then unions, optionals and filters. One Executor
+/// per query execution (it accumulates the intermediate-row statistic);
+/// the underlying source is only read.
+class Executor {
+ public:
+  Executor(const rdf::TripleSource* source, size_t width)
+      : source_(source), width_(width) {}
+
+  /// Evaluates `plan` with `seeds` as the initial solutions (pass a single
+  /// all-unbound row for a top-level group).
+  BindingTable EvalGroup(const GroupPlan& plan, BindingTable seeds);
+
+  /// Rows produced across all BGP steps, including intermediate join
+  /// results (cost introspection for E10).
+  [[nodiscard]] uint64_t intermediate_rows() const {
+    return intermediate_rows_;
+  }
+
+ private:
+  BindingTable EvalBgp(const std::vector<PatternStep>& steps,
+                       BindingTable seeds);
+
+  const rdf::TripleSource* source_;
+  size_t width_;
+  uint64_t intermediate_rows_ = 0;
+};
+
+}  // namespace lodviz::sparql
+
+#endif  // LODVIZ_SPARQL_EXECUTOR_H_

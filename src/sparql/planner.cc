@@ -1,0 +1,244 @@
+#include "sparql/planner.h"
+
+#include <limits>
+#include <set>
+
+#include "obs/trace.h"
+
+namespace lodviz::sparql {
+
+namespace {
+
+using rdf::kInvalidTermId;
+using rdf::TermId;
+
+class PlannerImpl {
+ public:
+  PlannerImpl(const rdf::TripleSource& source, const PlannerOptions& options,
+              QueryPlan* plan)
+      : source_(source), options_(options), plan_(plan) {}
+
+  void Run(const Query& query) {
+    // Pass 1: intern triple-pattern variables of the WHERE clause in
+    // first-appearance order. Their slots form the `SELECT *` projection,
+    // matching the original engine's CollectVars column order.
+    CollectPatternVars(query.where);
+    plan_->visible_vars = plan_->slot_names;
+
+    // Pass 2: every other place a variable can occur gets a (later) slot.
+    for (const std::string& v : query.select_vars) InternVar(v);
+    for (const Aggregate& a : query.aggregates) {
+      if (!a.var.empty()) InternVar(a.var);
+    }
+    for (const std::string& v : query.group_by) InternVar(v);
+    for (const OrderKey& k : query.order_by) InternVar(k.var);
+    for (const TriplePatternAst& t : query.construct_template) {
+      InternTripleVars(t);
+    }
+    for (const NodeOrVar& n : query.describe_targets) {
+      if (IsVar(n)) InternVar(AsVar(n).name);
+    }
+
+    // Pass 3: compile the operator tree (filters may intern more slots).
+    PlanGroup(query.where, {}, &plan_->root);
+    plan_->num_slots = plan_->slot_names.size();
+  }
+
+ private:
+  SlotId InternVar(const std::string& name) {
+    auto [it, inserted] = plan_->slots.emplace(
+        name, static_cast<SlotId>(plan_->slot_names.size()));
+    if (inserted) plan_->slot_names.push_back(name);
+    return it->second;
+  }
+
+  void InternTripleVars(const TriplePatternAst& t) {
+    if (IsVar(t.s)) InternVar(AsVar(t.s).name);
+    if (IsVar(t.p)) InternVar(AsVar(t.p).name);
+    if (IsVar(t.o)) InternVar(AsVar(t.o).name);
+  }
+
+  void CollectPatternVars(const GraphPattern& group) {
+    for (const TriplePatternAst& t : group.triples) InternTripleVars(t);
+    for (const GraphPattern& u : group.union_branches) CollectPatternVars(u);
+    for (const GraphPattern& o : group.optionals) CollectPatternVars(o);
+  }
+
+  /// Estimated result size of scanning `ast` with the variables in `bound`
+  /// already bound — the exact cost model of the original dynamic greedy
+  /// loop (bound variables stand in as an arbitrary non-zero id; a constant
+  /// missing from the dictionary makes the pattern free: it kills the
+  /// conjunction immediately).
+  double EstimateCost(const TriplePatternAst& ast,
+                      const std::set<std::string>& bound) const {
+    rdf::TriplePattern pat;
+    auto fill = [&](const NodeOrVar& n, TermId* slot) {
+      if (IsVar(n)) {
+        *slot = bound.count(AsVar(n).name) ? TermId(1) : kInvalidTermId;
+        return true;
+      }
+      *slot = source_.dict().Lookup(AsTerm(n));
+      return *slot != kInvalidTermId;
+    };
+    if (!fill(ast.s, &pat.s) || !fill(ast.p, &pat.p) || !fill(ast.o, &pat.o)) {
+      return 0.0;
+    }
+    return source_.EstimateSelectivity(pat) *
+           static_cast<double>(source_.size());
+  }
+
+  PatternStep CompileStep(const TriplePatternAst& ast) {
+    PatternStep st;
+    auto fill = [&](const NodeOrVar& n, SlotId* slot, TermId* id,
+                    std::string* label) {
+      if (IsVar(n)) {
+        *slot = InternVar(AsVar(n).name);
+        *label += "?" + AsVar(n).name;
+      } else {
+        *id = source_.dict().Lookup(AsTerm(n));
+        if (*id == kInvalidTermId) st.dead = true;
+        *label += AsTerm(n).ToNTriples();
+      }
+    };
+    fill(ast.s, &st.s_slot, &st.s_id, &st.label);
+    st.label += " ";
+    fill(ast.p, &st.p_slot, &st.p_id, &st.label);
+    st.label += " ";
+    fill(ast.o, &st.o_slot, &st.o_id, &st.label);
+    return st;
+  }
+
+  CompiledExpr CompileExpr(const Expr& e) {
+    CompiledExpr c;
+    c.kind = e.kind;
+    c.literal = e.literal;
+    c.bin_op = e.bin_op;
+    c.un_op = e.un_op;
+    c.func = e.func;
+    if (e.kind == Expr::Kind::kVar) c.slot = InternVar(e.var);
+    c.args.reserve(e.args.size());
+    for (const ExprPtr& a : e.args) c.args.push_back(CompileExpr(*a));
+    return c;
+  }
+
+  /// Compiles one group. `bound_in` is the set of variables certainly
+  /// bound by the enclosing context (the static image of the dynamic
+  /// engine's seed-binding keys). Returns the variables certainly bound in
+  /// every solution the group emits: input vars + own triple vars + the
+  /// intersection across union branches; optionals contribute nothing
+  /// (they may not match).
+  std::set<std::string> PlanGroup(const GraphPattern& group,
+                                  std::set<std::string> bound,
+                                  GroupPlan* out) {
+    LODVIZ_TRACE_SPAN("sparql.plan");
+
+    // Replay the greedy selectivity loop statically: repeatedly take the
+    // cheapest remaining pattern under the evolving bound set (first
+    // minimum wins, as in the dynamic loop), or keep textual order when
+    // join optimization is off.
+    std::vector<const TriplePatternAst*> remaining;
+    remaining.reserve(group.triples.size());
+    for (const TriplePatternAst& t : group.triples) remaining.push_back(&t);
+    while (!remaining.empty()) {
+      size_t pick = 0;
+      if (options_.optimize_join_order) {
+        double best = std::numeric_limits<double>::infinity();
+        for (size_t i = 0; i < remaining.size(); ++i) {
+          double cost = EstimateCost(*remaining[i], bound);
+          if (cost < best) {
+            best = cost;
+            pick = i;
+          }
+        }
+      }
+      const TriplePatternAst& ast = *remaining[pick];
+      remaining.erase(remaining.begin() + pick);
+      PatternStep st = CompileStep(ast);
+      st.est_rows = EstimateCost(ast, bound);
+      out->steps.push_back(std::move(st));
+      auto note = [&](const NodeOrVar& n) {
+        if (IsVar(n)) bound.insert(AsVar(n).name);
+      };
+      note(ast.s);
+      note(ast.p);
+      note(ast.o);
+    }
+
+    if (!group.union_branches.empty()) {
+      std::set<std::string> certain;
+      bool first = true;
+      for (const GraphPattern& branch : group.union_branches) {
+        std::set<std::string> branch_certain =
+            PlanGroup(branch, bound, &out->union_branches.emplace_back());
+        if (first) {
+          certain = std::move(branch_certain);
+          first = false;
+        } else {
+          std::set<std::string> inter;
+          for (const std::string& v : certain) {
+            if (branch_certain.count(v)) inter.insert(v);
+          }
+          certain = std::move(inter);
+        }
+      }
+      bound = std::move(certain);
+    }
+
+    for (const GraphPattern& opt : group.optionals) {
+      PlanGroup(opt, bound, &out->optionals.emplace_back());
+    }
+
+    out->filters.reserve(group.filters.size());
+    for (const ExprPtr& f : group.filters) {
+      out->filters.push_back(CompileExpr(*f));
+    }
+    return bound;
+  }
+
+  const rdf::TripleSource& source_;
+  const PlannerOptions& options_;
+  QueryPlan* plan_;
+};
+
+void AppendGroup(const GroupPlan& g, int depth, std::string* out) {
+  std::string indent(static_cast<size_t>(depth) * 2, ' ');
+  for (const PatternStep& st : g.steps) {
+    *out += indent + "scan " + st.label + "  est_rows=" +
+            std::to_string(st.est_rows);
+    if (st.dead) *out += "  [dead: constant not in dictionary]";
+    *out += "\n";
+  }
+  for (const GroupPlan& u : g.union_branches) {
+    *out += indent + "union branch:\n";
+    AppendGroup(u, depth + 1, out);
+  }
+  for (const GroupPlan& o : g.optionals) {
+    *out += indent + "optional:\n";
+    AppendGroup(o, depth + 1, out);
+  }
+  if (!g.filters.empty()) {
+    *out += indent + "filter x" + std::to_string(g.filters.size()) + "\n";
+  }
+}
+
+}  // namespace
+
+std::string QueryPlan::ToString() const {
+  std::string out = "plan: " + std::to_string(num_slots) + " slots [";
+  for (size_t i = 0; i < slot_names.size(); ++i) {
+    if (i) out += " ";
+    out += "?" + slot_names[i];
+  }
+  out += "]\n";
+  AppendGroup(root, 1, &out);
+  return out;
+}
+
+QueryPlan PlanQuery(const Query& query, const rdf::TripleSource& source,
+                    const PlannerOptions& options) {
+  QueryPlan plan;
+  PlannerImpl(source, options, &plan).Run(query);
+  return plan;
+}
+
+}  // namespace lodviz::sparql

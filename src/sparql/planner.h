@@ -1,0 +1,116 @@
+#ifndef LODVIZ_SPARQL_PLANNER_H_
+#define LODVIZ_SPARQL_PLANNER_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/triple.h"
+#include "rdf/triple_source.h"
+#include "sparql/ast.h"
+
+namespace lodviz::sparql {
+
+/// Index of a query variable in a slot row: the executor represents every
+/// (partial) solution as a dense `width`-wide array of TermIds, one slot
+/// per variable, with rdf::kInvalidTermId meaning "unbound". Slots replace
+/// the per-row string-keyed hash maps of the original engine.
+using SlotId = uint32_t;
+inline constexpr SlotId kNoSlot = UINT32_MAX;
+
+/// An ast::Expr compiled for slot-row evaluation: the same tree shape with
+/// every variable name resolved to its SlotId at plan time, so execution
+/// never touches strings.
+struct CompiledExpr {
+  Expr::Kind kind = Expr::Kind::kLiteral;
+  rdf::Term literal;       // kLiteral
+  SlotId slot = kNoSlot;   // kVar
+  BinOp bin_op{};          // kBinary
+  UnOp un_op{};            // kUnary
+  FuncOp func{};           // kFunc
+  std::vector<CompiledExpr> args;
+};
+
+/// One triple pattern scheduled for execution. Each position is either a
+/// slot (variable) or a constant already resolved to its dictionary id.
+struct PatternStep {
+  SlotId s_slot = kNoSlot;
+  SlotId p_slot = kNoSlot;
+  SlotId o_slot = kNoSlot;
+  rdf::TermId s_id = rdf::kInvalidTermId;
+  rdf::TermId p_id = rdf::kInvalidTermId;
+  rdf::TermId o_id = rdf::kInvalidTermId;
+
+  /// A constant term absent from the dictionary: the step (and therefore
+  /// the whole conjunction) matches nothing.
+  bool dead = false;
+
+  /// Planner cardinality estimate at this point of the join order
+  /// (EstimateSelectivity x source size); surfaced by explain.
+  double est_rows = 0.0;
+
+  /// Human-readable pattern text for explain output.
+  std::string label;
+};
+
+/// A group graph pattern compiled against one TripleSource: triple steps
+/// in execution order, then union branches, optionals, and filters —
+/// mirroring the evaluation order of GraphPattern.
+struct GroupPlan {
+  std::vector<PatternStep> steps;
+  std::vector<CompiledExpr> filters;
+  std::vector<GroupPlan> union_branches;
+  std::vector<GroupPlan> optionals;
+};
+
+/// A compiled query: slot table + operator tree. Produced by PlanQuery;
+/// consumed by the Executor and (rendered) by explore/explain.
+struct QueryPlan {
+  /// Width of every binding row.
+  size_t num_slots = 0;
+
+  /// SlotId -> variable name.
+  std::vector<std::string> slot_names;
+
+  /// Variables appearing in triple-pattern positions of the WHERE clause,
+  /// in first-appearance order (the projection for `SELECT *`).
+  std::vector<std::string> visible_vars;
+
+  GroupPlan root;
+
+  /// Slot of `var`; kNoSlot if the variable occurs nowhere in the query
+  /// (a projected-but-never-bound column).
+  [[nodiscard]] SlotId SlotOf(const std::string& var) const {
+    auto it = slots.find(var);
+    return it == slots.end() ? kNoSlot : it->second;
+  }
+
+  /// Multi-line rendering of the plan (slots, join order, per-pattern
+  /// cardinality estimates) for explore/explain.
+  [[nodiscard]] std::string ToString() const;
+
+  /// Variable name -> slot (name resolution happens only at plan time).
+  std::unordered_map<std::string, SlotId> slots;
+};
+
+struct PlannerOptions {
+  /// Greedy selectivity-based join ordering; disable to execute basic
+  /// graph patterns in textual order (used by the E10 bench and the
+  /// order-independence property test).
+  bool optimize_join_order = true;
+};
+
+/// Compiles `query` against `source`: resolves variable names to slots and
+/// constants to dictionary ids, and fixes the join order with the greedy
+/// selectivity heuristic. The plan depends only on the query and the
+/// source's data statistics (PredicateCount/size via the shared
+/// EstimateSelectivity), so two sources holding the same data — e.g. the
+/// in-memory store and its disk mirror — produce identical plans, which is
+/// what makes execution bit-identical across backends.
+QueryPlan PlanQuery(const Query& query, const rdf::TripleSource& source,
+                    const PlannerOptions& options);
+
+}  // namespace lodviz::sparql
+
+#endif  // LODVIZ_SPARQL_PLANNER_H_

@@ -1,0 +1,50 @@
+#include "storage/disk_source_adapter.h"
+
+#include "common/logging.h"
+#include "obs/metrics.h"
+
+namespace lodviz::storage {
+
+namespace {
+
+obs::Counter& ScanErrors() {
+  static obs::Counter& c =
+      obs::MetricRegistry::Global().GetCounter("storage.adapter.scan_errors");
+  return c;
+}
+
+}  // namespace
+
+DiskSourceAdapter::DiskSourceAdapter(const DiskTripleStore* store,
+                                     const rdf::Dictionary* dict)
+    : store_(store), dict_(dict) {
+  // One full pass to build the predicate statistics the planner's shared
+  // EstimateSelectivity needs; with identical data this makes the disk
+  // backend plan exactly like the in-memory one.
+  Status s = store_->Scan(rdf::TriplePattern(), [&](const rdf::Triple& t) {
+    ++pred_counts_[t.p];
+    return true;
+  });
+  if (!s.ok()) {
+    ScanErrors().Increment();
+    LODVIZ_LOG_WARN() << "DiskSourceAdapter statistics scan failed: "
+                      << s.ToString();
+  }
+}
+
+void DiskSourceAdapter::Scan(const rdf::TriplePattern& pattern,
+                             const ScanFn& fn) const {
+  MutexLock lock(&scan_mu_);
+  Status s = store_->Scan(pattern, fn);
+  if (!s.ok()) {
+    ScanErrors().Increment();
+    LODVIZ_LOG_WARN() << "DiskSourceAdapter scan failed: " << s.ToString();
+  }
+}
+
+uint64_t DiskSourceAdapter::Count(const rdf::TriplePattern& pattern) const {
+  MutexLock lock(&scan_mu_);
+  return store_->Count(pattern);
+}
+
+}  // namespace lodviz::storage

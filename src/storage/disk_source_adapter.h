@@ -1,0 +1,67 @@
+#ifndef LODVIZ_STORAGE_DISK_SOURCE_ADAPTER_H_
+#define LODVIZ_STORAGE_DISK_SOURCE_ADAPTER_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "rdf/dictionary.h"
+#include "rdf/triple_source.h"
+#include "storage/disk_triple_store.h"
+
+namespace lodviz::storage {
+
+/// Presents a DiskTripleStore as an rdf::TripleSource so the SPARQL engine
+/// (and anything else written against the source contract) runs unchanged
+/// over disk-resident indexes. The adapter does not own the store or the
+/// dictionary; both must outlive it. Pair it with the dictionary that
+/// encoded the store's triples — typically the in-memory store's dict when
+/// the disk store mirrors it.
+///
+/// Thread-safety: DiskTripleStore reads go through a BufferPool whose frame
+/// table is not concurrent, so the adapter serializes all Scan/Count calls
+/// on an internal mutex, satisfying the TripleSource requirement that
+/// concurrent Scans be safe. Parallel BGP execution over this source is
+/// therefore correct but effectively serialized at the storage layer.
+///
+/// Predicate statistics (for the planner's shared EstimateSelectivity) are
+/// computed once at construction with a full scan; the adapter assumes the
+/// underlying store is not mutated afterwards. Rebuild the adapter after a
+/// bulk load.
+class DiskSourceAdapter : public rdf::TripleSource {
+ public:
+  DiskSourceAdapter(const DiskTripleStore* store, const rdf::Dictionary* dict);
+
+  /// TripleSource Scan contract (see triple_source.h). Storage-layer errors
+  /// cannot surface through the void interface: they are logged, counted on
+  /// `storage.adapter.scan_errors`, and the scan ends early (matches seen
+  /// before the error were already delivered).
+  void Scan(const rdf::TriplePattern& pattern, const ScanFn& fn) const override
+      LODVIZ_EXCLUDES(scan_mu_);
+
+  [[nodiscard]] uint64_t Count(const rdf::TriplePattern& pattern) const
+      override LODVIZ_EXCLUDES(scan_mu_);
+
+  const rdf::Dictionary& dict() const override { return *dict_; }
+
+  [[nodiscard]] uint64_t size() const override { return store_->size(); }
+
+  [[nodiscard]] uint64_t PredicateCount(rdf::TermId p) const override {
+    auto it = pred_counts_.find(p);
+    return it == pred_counts_.end() ? 0 : it->second;
+  }
+
+ private:
+  const DiskTripleStore* store_;
+  const rdf::Dictionary* dict_;
+
+  /// Serializes buffer-pool access across concurrent scans.
+  mutable Mutex scan_mu_;
+
+  std::unordered_map<rdf::TermId, uint64_t> pred_counts_;
+};
+
+}  // namespace lodviz::storage
+
+#endif  // LODVIZ_STORAGE_DISK_SOURCE_ADAPTER_H_

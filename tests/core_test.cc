@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <set>
+#include <string>
+#include <unistd.h>
 
 #include "core/archetype.h"
 #include "core/capabilities.h"
@@ -264,10 +267,50 @@ TEST_F(EngineFixture, LodvizRowExecutesEverything) {
   }
 }
 
+TEST_F(EngineFixture, DiskBackendMatchesMemoryAndTracksLoads) {
+  Engine::Options opts;
+  opts.backend = Engine::Backend::kDisk;
+  opts.disk_path =
+      "/tmp/lodviz_core_disk_" + std::to_string(::getpid()) + ".db";
+  opts.pool_pages = 32;
+  Engine disk_engine(opts);
+  workload::SyntheticLodOptions lod;
+  lod.num_entities = 400;
+  lod.seed = 99;
+  disk_engine.LoadSynthetic(lod);
+
+  const char* q =
+      "SELECT ?s ?a WHERE { ?s <http://lod.example/ontology/age> ?a . "
+      "FILTER(?a > 80) } ORDER BY ?s";
+  auto mem = engine_.Query(q);
+  auto disk = disk_engine.Query(q);
+  ASSERT_TRUE(mem.ok()) << mem.status().ToString();
+  ASSERT_TRUE(disk.ok()) << disk.status().ToString();
+  EXPECT_EQ(mem->ToString(mem->num_rows()), disk->ToString(disk->num_rows()));
+
+  // The plan is backend-independent too, and mentions an estimate.
+  auto mem_plan = engine_.ExplainQuery(q);
+  auto disk_plan = disk_engine.ExplainQuery(q);
+  ASSERT_TRUE(mem_plan.ok() && disk_plan.ok());
+  EXPECT_EQ(mem_plan.ValueOrDie(), disk_plan.ValueOrDie());
+
+  // Loading more data invalidates the mirror: the next query sees it.
+  ASSERT_TRUE(disk_engine
+                  .LoadNTriples("<http://x/new> "
+                                "<http://lod.example/ontology/age> "
+                                "\"99\"^^<http://www.w3.org/2001/"
+                                "XMLSchema#integer> .\n")
+                  .ok());
+  auto after = disk_engine.Query(q);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_EQ(after->num_rows(), disk->num_rows() + 1);
+  std::remove(opts.disk_path.c_str());
+}
+
 TEST_F(EngineFixture, StreamingIngestInvalidatesDerivedState) {
   auto triples = workload::GenerateSyntheticLodTriples(
       {.num_entities = 50, .seed = 123});
-  rdf::VectorTripleSource source(triples);
+  rdf::VectorStreamSource source(triples);
   size_t before = engine_.store().size();
   size_t added = engine_.IngestStream(&source, 64);
   EXPECT_GT(added, 100u);

@@ -1,0 +1,22 @@
+// LINT-EXPECT: sparql.no_concrete_store
+// Query-layer code naming a concrete storage backend: planning and
+// execution must go through the abstract rdf::TripleSource contract so
+// the in-memory and disk backends stay interchangeable (and bit-identical
+// in their answers). Both concrete class names are banned.
+
+namespace lodviz::rdf {
+class TripleStore;
+}  // namespace lodviz::rdf
+namespace lodviz::storage {
+class DiskTripleStore;
+}  // namespace lodviz::storage
+
+namespace lodviz::sparql {
+
+// Bad: execution pinned to the in-memory store.
+void BindToConcreteStore(const rdf::TripleStore* store);
+
+// Bad: execution pinned to the disk store.
+void BindToDiskStore(const storage::DiskTripleStore* store);
+
+}  // namespace lodviz::sparql

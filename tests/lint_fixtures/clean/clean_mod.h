@@ -21,6 +21,13 @@ class CleanMod {
   std::unique_ptr<int> owned_;  // make_unique in the .cc, never naked new
 };
 
+/// Near-miss for sparql.no_concrete_store: the abstract interface name
+/// (and identifiers merely containing "TripleStore") must not fire; only
+/// the exact concrete class names do.
+class TripleSource;
+void UseAbstractSource(const TripleSource* source);
+void UseLookalike(int my_triple_store_count);
+
 }  // namespace lodviz
 
 #endif  // LODVIZ_CLEAN_MOD_H_

@@ -240,7 +240,7 @@ TEST(StreamingTest, VectorSourceDeliversAll) {
     data.push_back({Term::Iri("http://x/s" + std::to_string(i)),
                     Term::Iri("http://x/p"), Term::IntLiteral(i)});
   }
-  VectorTripleSource source(data);
+  VectorStreamSource source(data);
   TripleStore store;
   size_t batches = 0;
   size_t total = IngestStream(&source, &store, 3,
@@ -252,7 +252,7 @@ TEST(StreamingTest, VectorSourceDeliversAll) {
 
 TEST(StreamingTest, GeneratorSourceStopsWhenDone) {
   int produced = 0;
-  GeneratorTripleSource source([&](ParsedTriple* out) {
+  GeneratorStreamSource source([&](ParsedTriple* out) {
     if (produced >= 5) return false;
     out->subject = Term::Iri("http://x/s" + std::to_string(produced));
     out->predicate = Term::Iri("http://x/p");

@@ -1,0 +1,297 @@
+// Backend-parity suite: every representative SPARQL query must return a
+// bit-identical ResultTable whether it executes over the in-memory
+// rdf::TripleStore or the disk-resident DiskTripleStore behind a
+// deliberately tiny buffer pool (so scans actually page) — and the answer
+// must not depend on how many executor threads are configured. These are
+// the TripleSource-contract guarantees PR 4 introduced; the suite also
+// carries the TSan regression for the shared-QueryEngine data race that
+// the old `mutable intermediate_rows_` member caused.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "exec/parallel.h"
+#include "rdf/ntriples.h"
+#include "rdf/triple_store.h"
+#include "sparql/engine.h"
+#include "storage/disk_source_adapter.h"
+#include "storage/disk_triple_store.h"
+
+namespace lodviz::sparql {
+namespace {
+
+// The same graph the engine unit tests use, so parity covers the exact
+// behaviors those tests pin down.
+constexpr const char* kDoc = R"(
+<http://x/alice> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://x/Person> .
+<http://x/bob> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://x/Person> .
+<http://x/carol> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://x/Person> .
+<http://x/acme> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://x/Company> .
+<http://x/alice> <http://x/name> "Alice" .
+<http://x/bob> <http://x/name> "Bob" .
+<http://x/carol> <http://x/name> "Carol" .
+<http://x/alice> <http://x/age> "30"^^<http://www.w3.org/2001/XMLSchema#integer> .
+<http://x/bob> <http://x/age> "40"^^<http://www.w3.org/2001/XMLSchema#integer> .
+<http://x/carol> <http://x/age> "35"^^<http://www.w3.org/2001/XMLSchema#integer> .
+<http://x/alice> <http://x/knows> <http://x/bob> .
+<http://x/bob> <http://x/knows> <http://x/carol> .
+<http://x/alice> <http://x/worksAt> <http://x/acme> .
+<http://x/alice> <http://x/city> "Athens" .
+<http://x/bob> <http://x/city> "Melbourne" .
+)";
+
+// Every SELECT/ASK query exercised by the engine unit tests, in one list.
+const char* kSelectQueries[] = {
+    "SELECT ?s WHERE { ?s <http://x/knows> <http://x/bob> . }",
+    "SELECT ?a ?c WHERE { ?a <http://x/knows> ?b . ?b <http://x/knows> ?c . }",
+    "SELECT ?s WHERE { ?s <http://x/age> ?a . FILTER(?a > 32 && ?a <= 40) } "
+    "ORDER BY ?s",
+    "SELECT ?s WHERE { ?s <http://x/age> ?a . FILTER(?a * 2 = 60) }",
+    "SELECT ?s WHERE { ?s <http://x/name> ?n . FILTER(CONTAINS(?n, \"aro\")) }",
+    "SELECT ?s WHERE { ?s <http://x/name> ?n . FILTER(STRSTARTS(?n, \"A\")) }",
+    "SELECT ?s ?w WHERE { ?s a <http://x/Person> . "
+    "OPTIONAL { ?s <http://x/worksAt> ?w . } } ORDER BY ?s",
+    "SELECT ?s WHERE { ?s a <http://x/Person> . "
+    "OPTIONAL { ?s <http://x/worksAt> ?w . } FILTER(!BOUND(?w)) } ORDER BY ?s",
+    "SELECT ?s WHERE { { ?s <http://x/city> \"Athens\" . } UNION "
+    "{ ?s <http://x/city> \"Melbourne\" . } } ORDER BY ?s",
+    "SELECT ?p WHERE { ?s ?p ?o . }",
+    "SELECT DISTINCT ?p WHERE { ?s ?p ?o . }",
+    "SELECT ?p WHERE { ?s ?p ?o . } LIMIT 3 OFFSET 1",
+    "SELECT * WHERE { ?s <http://x/knows> ?o . }",
+    "SELECT ?t (COUNT(*) AS ?n) WHERE { ?s a ?t . } GROUP BY ?t ORDER BY ?t",
+    "SELECT (SUM(?a) AS ?sum) (AVG(?a) AS ?avg) (MIN(?a) AS ?lo) "
+    "(MAX(?a) AS ?hi) WHERE { ?s <http://x/age> ?a . }",
+    "SELECT (COUNT(DISTINCT ?t) AS ?n) WHERE { ?s a ?t . }",
+    "ASK { <http://x/alice> <http://x/knows> ?x . }",
+    "ASK { <http://x/carol> <http://x/knows> ?x . }",
+    "SELECT ?o WHERE { <http://x/nobody> ?p ?o . }",
+    "SELECT ?s ?a WHERE { ?s <http://x/age> ?a . } ORDER BY DESC(?a)",
+    "SELECT ?s WHERE { ?s <http://x/name> ?n . "
+    "FILTER(CONTAINS(STR(?s), \"alice\")) }",
+    "SELECT ?o WHERE { ?s <http://x/name> ?o . FILTER(LANG(?o) = \"\") }",
+    "SELECT ?o WHERE { ?s <http://x/age> ?o . "
+    "FILTER(DATATYPE(?o) = <http://www.w3.org/2001/XMLSchema#integer>) }",
+    "SELECT ?o WHERE { <http://x/alice> ?p ?o . FILTER(isIRI(?o)) }",
+    "SELECT ?o WHERE { <http://x/alice> ?p ?o . FILTER(isLITERAL(?o)) }",
+    "SELECT ?s WHERE { ?s <http://x/age> ?a . FILTER(1 / (?a - 30) > 0) }",
+    "SELECT ?s WHERE { ?s <http://x/age> ?a . FILTER(-?a < -36) }",
+    "SELECT ?s WHERE { ?s <http://x/age> ?a . FILTER(!(?a > 32)) }",
+    "SELECT ?s ?n WHERE { ?s ?p ?o . ?s <http://x/name> ?n . }",
+    "SELECT ?s WHERE { ?s a <http://x/Person> . ?s <http://x/age> ?a . "
+    "FILTER(?a < 36) }",
+};
+
+const char* kGraphQueries[] = {
+    "CONSTRUCT { ?b <http://x/knownBy> ?a . } WHERE "
+    "{ ?a <http://x/knows> ?b . }",
+    "CONSTRUCT { ?s <http://x/employer> ?w . } WHERE { "
+    "?s a <http://x/Person> . OPTIONAL { ?s <http://x/worksAt> ?w . } }",
+    "CONSTRUCT { ?s a <http://x/Thing> . } WHERE { ?s ?p ?o . }",
+    "DESCRIBE <http://x/bob>",
+};
+
+std::string TableKey(const ResultTable& t) {
+  std::string key = t.ask_result ? "ask:true\n" : "ask:false\n";
+  key += t.ToString(t.num_rows());
+  return key;
+}
+
+std::string GraphKey(const std::vector<rdf::ParsedTriple>& triples) {
+  std::string key;
+  for (const rdf::ParsedTriple& t : triples) {
+    key += t.subject.ToNTriples() + " " + t.predicate.ToNTriples() + " " +
+           t.object.ToNTriples() + " .\n";
+  }
+  return key;
+}
+
+class SparqlParityFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = "/tmp/lodviz_parity_" + std::to_string(::getpid()) + ".db";
+    ASSERT_TRUE(rdf::LoadNTriplesString(kDoc, &store_).ok());
+    // Parity contract: compact (dedup) before mirroring so both backends
+    // hold identical triples.
+    store_.Compact();
+    std::vector<rdf::Triple> triples;
+    store_.Scan(rdf::TriplePattern(), [&](const rdf::Triple& t) {
+      triples.push_back(t);
+      return true;
+    });
+    // A 8-page pool is far smaller than the data needs, so disk scans
+    // genuinely go through buffer-pool traffic.
+    auto disk = storage::DiskTripleStore::Create(path_, 8);
+    ASSERT_TRUE(disk.ok()) << disk.status().ToString();
+    disk_ = std::move(disk).ValueOrDie();
+    ASSERT_TRUE(disk_->BulkLoad(triples).ok());
+    adapter_ = std::make_unique<storage::DiskSourceAdapter>(disk_.get(),
+                                                            &store_.dict());
+    mem_engine_ = std::make_unique<QueryEngine>(&store_);
+    disk_engine_ = std::make_unique<QueryEngine>(adapter_.get());
+  }
+
+  void TearDown() override {
+    adapter_.reset();
+    disk_.reset();
+    std::remove(path_.c_str());
+  }
+
+  std::string path_;
+  rdf::TripleStore store_;
+  std::unique_ptr<storage::DiskTripleStore> disk_;
+  std::unique_ptr<storage::DiskSourceAdapter> adapter_;
+  std::unique_ptr<QueryEngine> mem_engine_;
+  std::unique_ptr<QueryEngine> disk_engine_;
+};
+
+TEST_F(SparqlParityFixture, SelectAndAskIdenticalAcrossBackends) {
+  for (const char* q : kSelectQueries) {
+    auto mem = mem_engine_->ExecuteString(q);
+    auto disk = disk_engine_->ExecuteString(q);
+    ASSERT_TRUE(mem.ok()) << q << "\n" << mem.status().ToString();
+    ASSERT_TRUE(disk.ok()) << q << "\n" << disk.status().ToString();
+    EXPECT_EQ(TableKey(mem.ValueOrDie()), TableKey(disk.ValueOrDie())) << q;
+  }
+}
+
+TEST_F(SparqlParityFixture, GraphQueriesIdenticalAcrossBackends) {
+  for (const char* q : kGraphQueries) {
+    auto mem = mem_engine_->ExecuteGraphString(q);
+    auto disk = disk_engine_->ExecuteGraphString(q);
+    ASSERT_TRUE(mem.ok()) << q << "\n" << mem.status().ToString();
+    ASSERT_TRUE(disk.ok()) << q << "\n" << disk.status().ToString();
+    EXPECT_EQ(GraphKey(mem.ValueOrDie()), GraphKey(disk.ValueOrDie())) << q;
+  }
+}
+
+TEST_F(SparqlParityFixture, PlansIdenticalAcrossBackends) {
+  // Bit-identical execution starts with identical plans: the shared
+  // (non-virtual) selectivity model over the virtual statistics interface
+  // must order joins the same way for both backends.
+  for (const char* q : kSelectQueries) {
+    auto mem = mem_engine_->ExplainString(q);
+    auto disk = disk_engine_->ExplainString(q);
+    ASSERT_TRUE(mem.ok()) << q;
+    ASSERT_TRUE(disk.ok()) << q;
+    EXPECT_EQ(mem.ValueOrDie(), disk.ValueOrDie()) << q;
+  }
+}
+
+TEST_F(SparqlParityFixture, ThreadCountDoesNotChangeResults) {
+  for (const char* q : kSelectQueries) {
+    exec::SetThreads(1);
+    auto serial_mem = mem_engine_->ExecuteString(q);
+    auto serial_disk = disk_engine_->ExecuteString(q);
+    exec::SetThreads(4);
+    auto four_mem = mem_engine_->ExecuteString(q);
+    auto four_disk = disk_engine_->ExecuteString(q);
+    exec::SetThreads(0);  // hardware default
+    auto auto_mem = mem_engine_->ExecuteString(q);
+    ASSERT_TRUE(serial_mem.ok() && serial_disk.ok() && four_mem.ok() &&
+                four_disk.ok() && auto_mem.ok())
+        << q;
+    const std::string want = TableKey(serial_mem.ValueOrDie());
+    EXPECT_EQ(want, TableKey(four_mem.ValueOrDie())) << q;
+    EXPECT_EQ(want, TableKey(auto_mem.ValueOrDie())) << q;
+    EXPECT_EQ(want, TableKey(serial_disk.ValueOrDie())) << q;
+    EXPECT_EQ(want, TableKey(four_disk.ValueOrDie())) << q;
+  }
+  exec::SetThreads(0);
+}
+
+// Regression for the `mutable uint64_t intermediate_rows_` race: a single
+// QueryEngine must be shareable across threads. Per-query row counts now
+// come back through QueryStats, so concurrent queries cannot trample each
+// other's statistics. Run under TSan via scripts/check.sh.
+TEST(SparqlParitySharedEngine, ConcurrentQueriesOnOneEngine) {
+  rdf::TripleStore store;
+  ASSERT_TRUE(rdf::LoadNTriplesString(kDoc, &store).ok());
+  store.Compact();
+  QueryEngine engine(&store);
+
+  const char* q =
+      "SELECT ?a ?c WHERE { ?a <http://x/knows> ?b . "
+      "?b <http://x/knows> ?c . }";
+  auto want = engine.ExecuteString(q);
+  ASSERT_TRUE(want.ok());
+  const std::string want_key = TableKey(want.ValueOrDie());
+
+  constexpr int kThreads = 4;
+  constexpr int kQueriesPerThread = 16;
+  std::vector<std::thread> workers;
+  std::vector<int> mismatches(kThreads, 0);
+  std::vector<uint64_t> stat_errors(kThreads, 0);
+  for (int i = 0; i < kThreads; ++i) {
+    workers.emplace_back([&, i] {
+      for (int j = 0; j < kQueriesPerThread; ++j) {
+        QueryStats stats;
+        auto got = engine.ExecuteString(q, &stats);
+        if (!got.ok() || TableKey(got.ValueOrDie()) != want_key) {
+          ++mismatches[i];
+        }
+        // Each query joins 2 `knows` scans: rows must be per-query, not
+        // an accumulating shared total.
+        if (stats.intermediate_rows == 0 || stats.intermediate_rows > 8) {
+          ++stat_errors[i];
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  for (int i = 0; i < kThreads; ++i) {
+    EXPECT_EQ(mismatches[i], 0) << "thread " << i;
+    EXPECT_EQ(stat_errors[i], 0u) << "thread " << i;
+  }
+}
+
+TEST(SparqlParitySharedEngine, ConcurrentQueriesOnDiskBackend) {
+  // The disk adapter serializes buffer-pool access internally; concurrent
+  // callers must still each get the right answer.
+  const std::string path = "/tmp/lodviz_parity_shared_" +
+                           std::to_string(::getpid()) + ".db";
+  rdf::TripleStore store;
+  ASSERT_TRUE(rdf::LoadNTriplesString(kDoc, &store).ok());
+  store.Compact();
+  std::vector<rdf::Triple> triples;
+  store.Scan(rdf::TriplePattern(), [&](const rdf::Triple& t) {
+    triples.push_back(t);
+    return true;
+  });
+  auto disk = storage::DiskTripleStore::Create(path, 8);
+  ASSERT_TRUE(disk.ok());
+  ASSERT_TRUE(disk.ValueOrDie()->BulkLoad(triples).ok());
+  storage::DiskSourceAdapter adapter(disk.ValueOrDie().get(), &store.dict());
+  QueryEngine engine(&adapter);
+
+  const char* q = "SELECT ?s ?a WHERE { ?s <http://x/age> ?a . } ORDER BY ?s";
+  auto want = engine.ExecuteString(q);
+  ASSERT_TRUE(want.ok());
+  const std::string want_key = TableKey(want.ValueOrDie());
+
+  constexpr int kThreads = 4;
+  std::vector<std::thread> workers;
+  std::vector<int> mismatches(kThreads, 0);
+  for (int i = 0; i < kThreads; ++i) {
+    workers.emplace_back([&, i] {
+      for (int j = 0; j < 8; ++j) {
+        auto got = engine.ExecuteString(q);
+        if (!got.ok() || TableKey(got.ValueOrDie()) != want_key) {
+          ++mismatches[i];
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  for (int i = 0; i < kThreads; ++i) EXPECT_EQ(mismatches[i], 0);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace lodviz::sparql

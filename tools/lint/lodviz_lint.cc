@@ -18,6 +18,10 @@
 //                            outside src/common/ and src/obs/; go through
 //                            common/stopwatch.h so time is observable and
 //                            mockable in one place
+//   sparql.no_concrete_store no rdf::TripleStore / storage::DiskTripleStore
+//                            in src/sparql/; the query layer sees only the
+//                            abstract rdf::TripleSource contract so every
+//                            backend runs the same plans and operators
 //
 // Usage:
 //   lodviz_lint --root <repo-root> [dirs...]     (default: src bench tests tools)
@@ -318,6 +322,26 @@ void CheckRawThread(const std::string& rel, const std::vector<Token>& toks,
   }
 }
 
+/// sparql.no_concrete_store: src/sparql/ must depend only on the abstract
+/// rdf::TripleSource contract. Naming a concrete store (the in-memory
+/// TripleStore or the disk-resident DiskTripleStore) inside the query
+/// layer re-couples planning/execution to one backend and silently breaks
+/// the memory/disk parity guarantee the core engine relies on.
+void CheckNoConcreteStore(const std::string& rel,
+                          const std::vector<Token>& toks,
+                          std::vector<Violation>* out) {
+  for (const Token& t : toks) {
+    if (!t.ident) continue;
+    if (t.text == "TripleStore" || t.text == "DiskTripleStore") {
+      out->push_back({rel, t.line, "sparql.no_concrete_store",
+                      "`" + t.text +
+                          "` in src/sparql/; the query layer may only see "
+                          "the abstract rdf::TripleSource interface "
+                          "(rdf/triple_source.h)"});
+    }
+  }
+}
+
 /// Scope-stack analysis for unchecked Result access.
 ///
 /// Tracks (a) identifiers declared as `Result<...> name`, and (b)
@@ -477,6 +501,8 @@ void LintFile(const fs::path& abs, const std::string& rel, bool all_rules,
   if (!clock_sanctioned) CheckRawClock(rel, toks, out);
   const bool thread_sanctioned = !all_rules && rel.rfind("src/exec/", 0) == 0;
   if (in_src && !thread_sanctioned) CheckRawThread(rel, toks, out);
+  const bool in_sparql = all_rules || rel.rfind("src/sparql/", 0) == 0;
+  if (in_sparql) CheckNoConcreteStore(rel, toks, out);
   CheckUncheckedResult(rel, toks, out);
 }
 
