@@ -16,6 +16,8 @@
 #include "storage/buffer_pool.h"
 #include "storage/page_file.h"
 
+#include <memory>
+#include <mutex>
 #include <string>
 #include <unistd.h>
 #include <unordered_map>
@@ -231,6 +233,167 @@ void BM_ObsSpanDisabled(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ObsSpanDisabled);
+
+// --- Adaptive-join substrate -------------------------------------------
+//
+// Hash vs index nested-loop on a fanout self-join at three probe-rows/
+// bucket-size cardinality ratios. Every subject has `fanout` p1-edges and
+// the second pattern re-derives the edge with a variable predicate
+// (`?a ?p ?b`), so a nested-loop probe must index-scan the subject's
+// whole `fanout`-row range to find its single match, while the hash probe
+// jumps straight to a one-element (?a,?b)-keyed bucket. Output is pinned
+// at 8192 rows for every arg, so the measured difference is pure probe
+// cost: NLJ work grows linearly with fanout, hash work stays flat.
+
+constexpr int kJoinResultRows = 8192;
+
+void FillJoinStore(rdf::TripleStore* store, int fanout) {
+  rdf::Dictionary& dict = store->dict();
+  rdf::TermId p1 = dict.InternIri("http://bench.example/p1");
+  const int subjects = kJoinResultRows / fanout;
+  for (int i = 0; i < subjects; ++i) {
+    rdf::TermId a =
+        dict.InternIri("http://bench.example/a/" + std::to_string(i));
+    for (int k = 0; k < fanout; ++k) {
+      rdf::TermId b = dict.InternIri("http://bench.example/b/" +
+                                     std::to_string(i * fanout + k));
+      store->AddEncoded({a, p1, b});
+    }
+  }
+  store->Compact();
+}
+
+void RunJoinBench(benchmark::State& state, sparql::JoinForce force) {
+  rdf::TripleStore store;
+  FillJoinStore(&store, static_cast<int>(state.range(0)));
+  sparql::QueryEngine::Options opts;
+  opts.force_join = force;
+  sparql::QueryEngine engine(&store, opts);
+  // COUNT(*) keeps the measurement on the join itself — materializing
+  // 8192 projected term rows would otherwise dominate both strategies.
+  sparql::Query query = bench::Unwrap(sparql::ParseQuery(
+      "SELECT (COUNT(*) AS ?n) WHERE { ?a <http://bench.example/p1> ?b . "
+      "?a ?p ?b . }"));
+  for (auto _ : state) {
+    auto r = engine.Execute(query);
+    benchmark::DoNotOptimize(r.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * kJoinResultRows);
+}
+
+void BM_SparqlJoinNestedLoop(benchmark::State& state) {
+  RunJoinBench(state, sparql::JoinForce::kNestedLoop);
+}
+BENCHMARK(BM_SparqlJoinNestedLoop)->Arg(4)->Arg(32)->Arg(256);
+
+void BM_SparqlJoinHash(benchmark::State& state) {
+  RunJoinBench(state, sparql::JoinForce::kHash);
+}
+BENCHMARK(BM_SparqlJoinHash)->Arg(4)->Arg(32)->Arg(256);
+
+// --- Buffer-pool striping ----------------------------------------------
+//
+// Fetch throughput on an all-hits working set, striped pool vs the same
+// pool behind one big mutex (how the pre-PR-5 DiskSourceAdapter
+// serialized every scan). Run at 1/2/4/8 threads: the striped pool's
+// per-shard mutexes should keep scaling where the single mutex flatlines.
+// On a single-core host both curves flatline — the interesting signal is
+// then the absence of *regression* at thread counts > 1.
+
+struct PoolBenchEnv {
+  std::string path;
+  storage::PageFile file;
+  std::unique_ptr<storage::BufferPool> pool;
+  std::mutex big_lock;
+  std::vector<storage::PageId> ids;
+};
+PoolBenchEnv* g_pool_env = nullptr;
+
+void PoolBenchSetup() {
+  auto* env = new PoolBenchEnv;
+  env->path = "/tmp/lodviz_microbench_stripe_" + std::to_string(::getpid());
+  (void)env->file.Open(env->path, true);
+  env->pool = std::make_unique<storage::BufferPool>(&env->file, 128);
+  for (int i = 0; i < 128; ++i) {
+    auto p = env->pool->NewPage();
+    env->ids.push_back(p->page_id());
+  }
+  g_pool_env = env;
+}
+
+void PoolBenchTeardown() {
+  std::string path = g_pool_env->path;
+  delete g_pool_env;
+  g_pool_env = nullptr;
+  std::remove(path.c_str());
+}
+
+void BM_BufferPoolFetchStriped(benchmark::State& state) {
+  if (state.thread_index() == 0) PoolBenchSetup();
+  // google-benchmark barriers all threads at loop entry, so the setup
+  // above is visible before any thread iterates.
+  Rng rng(100 + static_cast<uint64_t>(state.thread_index()));
+  for (auto _ : state) {
+    auto p = g_pool_env->pool->Fetch(
+        g_pool_env->ids[rng.Uniform(g_pool_env->ids.size())]);
+    benchmark::DoNotOptimize(p->data());
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) PoolBenchTeardown();
+}
+BENCHMARK(BM_BufferPoolFetchStriped)->ThreadRange(1, 8)->UseRealTime();
+
+void BM_BufferPoolFetchSingleMutex(benchmark::State& state) {
+  if (state.thread_index() == 0) PoolBenchSetup();
+  Rng rng(200 + static_cast<uint64_t>(state.thread_index()));
+  for (auto _ : state) {
+    std::lock_guard<std::mutex> lock(g_pool_env->big_lock);
+    auto p = g_pool_env->pool->Fetch(
+        g_pool_env->ids[rng.Uniform(g_pool_env->ids.size())]);
+    benchmark::DoNotOptimize(p->data());
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) PoolBenchTeardown();
+}
+BENCHMARK(BM_BufferPoolFetchSingleMutex)->ThreadRange(1, 8)->UseRealTime();
+
+// --- Decoded-literal fast path -----------------------------------------
+//
+// The cost of one numeric filter comparison per row: via the dictionary's
+// decoded-value side table (one indexed load) vs re-parsing the literal's
+// lexical form the way the pre-PR-5 evaluator did on every row.
+
+void BM_FilterNumericDecoded(benchmark::State& state) {
+  rdf::Dictionary dict;
+  std::vector<rdf::TermId> ids;
+  for (int i = 0; i < 4096; ++i) {
+    ids.push_back(dict.Intern(rdf::Term::IntLiteral(i % 90)));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    const rdf::DecodedValue& d = dict.decoded(ids[i++ & 4095]);
+    bool pass = d.kind == rdf::DecodedValue::Kind::kNum && d.num < 10.0;
+    benchmark::DoNotOptimize(pass);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FilterNumericDecoded);
+
+void BM_FilterNumericStringParse(benchmark::State& state) {
+  rdf::Dictionary dict;
+  std::vector<rdf::TermId> ids;
+  for (int i = 0; i < 4096; ++i) {
+    ids.push_back(dict.Intern(rdf::Term::IntLiteral(i % 90)));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    auto v = dict.term(ids[i++ & 4095]).AsDouble();
+    bool pass = v.ok() && v.ValueOrDie() < 10.0;
+    benchmark::DoNotOptimize(pass);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FilterNumericStringParse);
 
 }  // namespace
 }  // namespace lodviz

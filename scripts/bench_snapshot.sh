@@ -20,8 +20,11 @@ JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)"
 # longer benches (e7 disk exploration, ...) accept the same env var; run
 # them by hand when their numbers are needed. e10's snapshot includes the
 # memory-vs-disk backend phases (per-query mem_qN_*/disk_qN_* latency,
-# rows/s, and buffer-pool hit rate); e7 records the same phase keys for
-# its exploration queries.
+# rows/s, and buffer-pool hit rate), the Part D thread-scaling phases
+# (disk_bgp_{serialized,striped}_{1,4}t_ms over the lock-striped buffer
+# pool plus the disk_bgp_4t_striped_speedup ratio), and the Part E join
+# strategy phases (disk_join_{nlj,hash}_ms); e7 records the same phase
+# keys for its exploration queries.
 BENCHES=(e1_sampling e5_hetree e10_sparql)
 
 echo "== bench_snapshot: building ${BENCHES[*]} =="

@@ -35,8 +35,11 @@ echo "== [3/3] TSan obs + exec + sparql concurrency tests =="
 # own build tree. The Exec suites cover the thread pool plus every
 # parallelized hot path (hetree, progressive, clustering, bundling, layout,
 # sparql); the SparqlParity suites add the shared-QueryEngine regression
-# (per-query stats instead of a mutable member) and the memory/disk backend
-# parity checks, so this is the race gate for query execution too.
+# (per-query stats instead of a mutable member), the memory/disk backend
+# parity checks, and the SparqlParityStripedPool suite — concurrent
+# Fetch/eviction and dirty write-back on the lock-striped BufferPool
+# (which replaced the serialized disk adapter), so this is the race gate
+# for query execution and the storage layer under it.
 cmake -B "$TSAN_BUILD" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DLODVIZ_SANITIZE=thread >/dev/null
 cmake --build "$TSAN_BUILD" --target obs_test exec_test sparql_parity_test \

@@ -1,9 +1,39 @@
 #include "rdf/dictionary.h"
 
+#include "rdf/vocab.h"
+
 namespace lodviz::rdf {
+
+DecodedValue DecodeTerm(const Term& term) {
+  DecodedValue d;
+  if (!term.is_literal()) return d;
+  if (term.datatype == vocab::kXsdBoolean) {
+    d.kind = DecodedValue::Kind::kBool;
+    d.b = term.lexical == "true";
+    return d;
+  }
+  if (term.IsNumericLiteral()) {
+    Result<double> v = term.AsDouble();
+    if (v.ok()) {
+      d.kind = DecodedValue::Kind::kNum;
+      d.num = v.ValueOrDie();
+    }
+    return d;
+  }
+  if (term.IsTemporalLiteral()) {
+    Result<int64_t> v = term.AsEpochSeconds();
+    if (v.ok()) {
+      d.kind = DecodedValue::Kind::kTime;
+      d.epoch = v.ValueOrDie();
+    }
+    return d;
+  }
+  return d;
+}
 
 Dictionary::Dictionary() {
   terms_.emplace_back();  // sentinel for kInvalidTermId
+  decoded_.emplace_back();
 }
 
 std::string Dictionary::MakeKey(const Term& term) {
@@ -25,6 +55,7 @@ TermId Dictionary::Intern(const Term& term) {
   if (it != index_.end()) return it->second;
   TermId id = static_cast<TermId>(terms_.size());
   terms_.push_back(term);
+  decoded_.push_back(DecodeTerm(term));
   index_.emplace(std::move(key), id);
   return id;
 }
@@ -43,7 +74,8 @@ Result<Term> Dictionary::GetTerm(TermId id) const {
 }
 
 size_t Dictionary::MemoryUsage() const {
-  size_t bytes = terms_.capacity() * sizeof(Term);
+  size_t bytes = terms_.capacity() * sizeof(Term) +
+                 decoded_.capacity() * sizeof(DecodedValue);
   for (const Term& t : terms_) {
     bytes += t.lexical.capacity() + t.datatype.capacity() + t.language.capacity();
   }

@@ -17,6 +17,30 @@ using TermId = uint32_t;
 
 inline constexpr TermId kInvalidTermId = 0;
 
+/// Parsed value of a literal, cached per TermId at intern time so hot
+/// comparison paths (FILTER relations, hash-join key checks) never re-parse
+/// lexical forms per row. `kNum`/`kTime` are set only when the literal both
+/// claims the type (Term::IsNumericLiteral / IsTemporalLiteral) and parses
+/// cleanly; everything else is `kNone` and falls back to the Term-based
+/// slow path, so semantics are identical — just computed once.
+struct DecodedValue {
+  enum class Kind : uint8_t {
+    kNone = 0,  // not a decodable literal (or unparseable): use the Term
+    kNum,       // numeric literal; `num` holds AsDouble()
+    kTime,      // temporal literal; `epoch` holds AsEpochSeconds()
+    kBool,      // xsd:boolean literal; `b` holds the EBV
+  };
+  Kind kind = Kind::kNone;
+  double num = 0.0;
+  int64_t epoch = 0;
+  bool b = false;
+};
+
+/// Computes the decoded-value cache entry for `term` (pure function; the
+/// dictionary calls it at intern time, plan-time constant folding reuses it
+/// for literals that are not interned).
+DecodedValue DecodeTerm(const Term& term);
+
 /// Bidirectional term <-> id mapping (dictionary encoding).
 ///
 /// All higher layers (triple store, SPARQL engine, graph, cube) operate on
@@ -54,6 +78,13 @@ class Dictionary {
     return terms_[id];
   }
 
+  /// Decoded-value cache entry for `id`, computed once at intern time.
+  /// Same validity contract as term().
+  const DecodedValue& decoded(TermId id) const {
+    LODVIZ_DCHECK(Contains(id)) << "term id" << id << "not interned";
+    return decoded_[id];
+  }
+
   [[nodiscard]] bool Contains(TermId id) const {
     return id >= 1 && id < terms_.size();
   }
@@ -68,6 +99,7 @@ class Dictionary {
   static std::string MakeKey(const Term& term);
 
   std::vector<Term> terms_;  // terms_[0] is an unused sentinel
+  std::vector<DecodedValue> decoded_;  // parallel to terms_
   std::unordered_map<std::string, TermId> index_;
 };
 

@@ -34,8 +34,9 @@ namespace lodviz::rdf {
 ///    implementation may hold an internal lock for the whole scan).
 ///  - **Thread-safety:** concurrent `Scan` calls on one source must be
 ///    safe; implementations serialize internally where the underlying
-///    structure is not concurrent (TripleStore's index mutex, the
-///    adapter's scan mutex over the single-threaded buffer pool).
+///    structure is not concurrent (TripleStore's index mutex) or rely on
+///    concurrent substructures (the disk adapter scans B-trees over the
+///    lock-striped buffer pool, so disjoint scans run in parallel).
 class TripleSource {
  public:
   using ScanFn = std::function<bool(const Triple&)>;

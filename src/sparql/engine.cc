@@ -50,6 +50,13 @@ std::string RowKey(const std::vector<ResultCell>& row) {
   return key;
 }
 
+PlannerOptions ToPlannerOptions(const QueryEngine::Options& o) {
+  PlannerOptions p;
+  p.optimize_join_order = o.optimize_join_order;
+  p.force_join = o.force_join;
+  return p;
+}
+
 }  // namespace
 
 QueryEngine::QueryEngine(const rdf::TripleSource* source, Options options)
@@ -68,8 +75,7 @@ Result<std::vector<rdf::ParsedTriple>> QueryEngine::ExecuteGraphString(
 }
 
 std::string QueryEngine::Explain(const Query& query) const {
-  QueryPlan plan =
-      PlanQuery(query, *source_, {options_.optimize_join_order});
+  QueryPlan plan = PlanQuery(query, *source_, ToPlannerOptions(options_));
   return plan.ToString();
 }
 
@@ -107,13 +113,12 @@ Result<std::vector<rdf::ParsedTriple>> QueryEngine::ExecuteGraph(
     }
   };
 
-  QueryPlan plan =
-      PlanQuery(query, *source_, {options_.optimize_join_order});
+  QueryPlan plan = PlanQuery(query, *source_, ToPlannerOptions(options_));
   auto eval_where = [&]() {
     Executor executor(source_, RowWidth(plan));
     BindingTable seeds(RowWidth(plan));
     seeds.AppendEmptyRow();
-    BindingTable solutions = executor.EvalGroup(plan.root, std::move(seeds));
+    BindingTable solutions = executor.EvalGroup(plan.root, seeds);
     metrics.intermediate_rows.Increment(executor.intermediate_rows());
     if (stats != nullptr) {
       stats->intermediate_rows = executor.intermediate_rows();
@@ -229,12 +234,11 @@ Result<ResultTable> QueryEngine::Execute(const Query& query,
   metrics.queries.Increment();
   Stopwatch sw;
 
-  QueryPlan plan =
-      PlanQuery(query, *source_, {options_.optimize_join_order});
+  QueryPlan plan = PlanQuery(query, *source_, ToPlannerOptions(options_));
   Executor executor(source_, RowWidth(plan));
   BindingTable seeds(RowWidth(plan));
   seeds.AppendEmptyRow();
-  BindingTable solutions = executor.EvalGroup(plan.root, std::move(seeds));
+  BindingTable solutions = executor.EvalGroup(plan.root, seeds);
   metrics.intermediate_rows.Increment(executor.intermediate_rows());
   if (stats != nullptr) {
     stats->intermediate_rows = executor.intermediate_rows();

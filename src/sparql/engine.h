@@ -8,6 +8,7 @@
 #include "rdf/ntriples.h"
 #include "rdf/triple_source.h"
 #include "sparql/ast.h"
+#include "sparql/planner.h"
 #include "sparql/result_table.h"
 
 namespace lodviz::sparql {
@@ -25,13 +26,14 @@ struct QueryStats {
 
 /// Executes parsed queries against any rdf::TripleSource — the in-memory
 /// store or a disk-resident one behind storage::DiskSourceAdapter — using
-/// selectivity-ordered index nested-loop joins (volcano-style, fully
+/// selectivity-ordered joins (per pattern either an index nested-loop or a
+/// build-once hash join, chosen by the planner; volcano-style, fully
 /// materialized per group) over slot-addressed binding rows; planning
 /// lives in planner.h, the operator pipeline in executor.h.
 ///
 /// Thread-safety: all methods are const and keep no per-query state, so
-/// one engine may serve concurrent queries (the source serializes its own
-/// scans per the TripleSource contract).
+/// one engine may serve concurrent queries (TripleSource scans are safe to
+/// run concurrently per the TripleSource contract).
 class QueryEngine {
  public:
   struct Options {
@@ -39,6 +41,10 @@ class QueryEngine {
     /// graph patterns in textual order (used by the E10 bench and the
     /// order-independence property test).
     bool optimize_join_order = true;
+
+    /// Overrides the planner's adaptive hash-vs-NLJ join choice (parity
+    /// tests and join micro-benchmarks); production leaves it on kAuto.
+    JoinForce force_join = JoinForce::kAuto;
   };
 
   explicit QueryEngine(const rdf::TripleSource* source)

@@ -1,6 +1,7 @@
 #include "sparql/executor.h"
 
 #include <algorithm>
+#include <unordered_map>
 
 #include "exec/parallel.h"
 #include "obs/trace.h"
@@ -19,8 +20,11 @@ SparqlMetrics& SparqlMetrics::Get() {
                          r.GetCounter("sparql.rows_out"),
                          r.GetCounter("sparql.op.join_rows"),
                          r.GetCounter("sparql.op.filter_dropped"),
+                         r.GetCounter("sparql.op.filter_errors"),
                          r.GetCounter("sparql.op.optional_rows"),
                          r.GetCounter("sparql.op.union_rows"),
+                         r.GetCounter("sparql.op.hash_joins"),
+                         r.GetCounter("sparql.op.hash_build_rows"),
                          r.GetHistogram("sparql.execute_us")};
   return m;
 }
@@ -29,82 +33,260 @@ namespace {
 
 Term BoolTerm(bool b) { return Term::BoolLiteral(b); }
 
-Result<Term> EvalBinary(const CompiledExpr& e, const rdf::Dictionary& dict,
-                        const TermId* row) {
+/// A value flowing through expression evaluation without materializing a
+/// string-carrying Term per row. Bound variables and plan-time constants
+/// are references to already-interned terms plus their decoded cache entry
+/// (kRef); computed numerics and booleans stay machine values (kNum,
+/// kBool); only the string-producing functions (STR/LANG/DATATYPE) build a
+/// fresh Term (kOwned).
+struct SlimVal {
+  enum class Kind : uint8_t { kRef, kNum, kBool, kOwned };
+  Kind kind = Kind::kRef;
+  const Term* term = nullptr;              // kRef
+  const rdf::DecodedValue* dec = nullptr;  // kRef
+  TermId id = kInvalidTermId;              // kRef: 0 for plan constants
+  double num = 0.0;                        // kNum
+  bool b = false;                          // kBool
+  Term owned;                              // kOwned
+
+  static SlimVal Ref(const Term* t, const rdf::DecodedValue* d, TermId i) {
+    SlimVal v;
+    v.kind = Kind::kRef;
+    v.term = t;
+    v.dec = d;
+    v.id = i;
+    return v;
+  }
+  static SlimVal Num(double x) {
+    SlimVal v;
+    v.kind = Kind::kNum;
+    v.num = x;
+    return v;
+  }
+  static SlimVal Bool(bool x) {
+    SlimVal v;
+    v.kind = Kind::kBool;
+    v.b = x;
+    return v;
+  }
+  static SlimVal Owned(Term t) {
+    SlimVal v;
+    v.kind = Kind::kOwned;
+    v.owned = std::move(t);
+    return v;
+  }
+};
+
+/// Term view of `v`. Only computed values (kNum/kBool) build a Term, into
+/// `*scratch`; references are returned as-is, so the common paths stay
+/// allocation-free.
+const Term* SlimTermPtr(const SlimVal& v, Term* scratch) {
+  switch (v.kind) {
+    case SlimVal::Kind::kRef:
+      return v.term;
+    case SlimVal::Kind::kOwned:
+      return &v.owned;
+    case SlimVal::Kind::kNum:
+      *scratch = Term::DoubleLiteral(v.num);
+      return scratch;
+    case SlimVal::Kind::kBool:
+      *scratch = BoolTerm(v.b);
+      return scratch;
+  }
+  return scratch;
+}
+
+bool SlimIsNumeric(const SlimVal& v) {
+  switch (v.kind) {
+    case SlimVal::Kind::kNum:
+      return true;
+    case SlimVal::Kind::kBool:
+      return false;
+    case SlimVal::Kind::kRef:
+      // kNum in the cache implies IsNumericLiteral; kNone does not imply
+      // the opposite (unparseable typed numerics decode to kNone).
+      return v.dec->kind == rdf::DecodedValue::Kind::kNum ||
+             v.term->IsNumericLiteral();
+    case SlimVal::Kind::kOwned:
+      return v.owned.IsNumericLiteral();
+  }
+  return false;
+}
+
+bool SlimIsTemporal(const SlimVal& v) {
+  switch (v.kind) {
+    case SlimVal::Kind::kRef:
+      return v.dec->kind == rdf::DecodedValue::Kind::kTime ||
+             v.term->IsTemporalLiteral();
+    case SlimVal::Kind::kOwned:
+      return v.owned.IsTemporalLiteral();
+    default:
+      return false;
+  }
+}
+
+/// AsDouble with the decoded fast path; everything the cache could not
+/// decode takes the exact Term slow path (including its errors).
+Result<double> SlimNum(const SlimVal& v) {
+  switch (v.kind) {
+    case SlimVal::Kind::kNum:
+      return v.num;
+    case SlimVal::Kind::kRef:
+      if (v.dec->kind == rdf::DecodedValue::Kind::kNum) return v.dec->num;
+      return v.term->AsDouble();
+    case SlimVal::Kind::kOwned:
+      return v.owned.AsDouble();
+    case SlimVal::Kind::kBool:
+      return BoolTerm(v.b).AsDouble();
+  }
+  return Status::Internal("unhandled slim kind");
+}
+
+Result<int64_t> SlimEpoch(const SlimVal& v) {
+  if (v.kind == SlimVal::Kind::kRef &&
+      v.dec->kind == rdf::DecodedValue::Kind::kTime) {
+    return v.dec->epoch;
+  }
+  Term scratch;
+  return SlimTermPtr(v, &scratch)->AsEpochSeconds();
+}
+
+/// SPARQL effective boolean value (mirrors EffectiveBool on Terms).
+Result<bool> SlimBool(const SlimVal& v) {
+  switch (v.kind) {
+    case SlimVal::Kind::kBool:
+      return v.b;
+    case SlimVal::Kind::kNum:
+      return v.num != 0.0;
+    case SlimVal::Kind::kRef:
+      switch (v.dec->kind) {
+        case rdf::DecodedValue::Kind::kBool:
+          return v.dec->b;
+        case rdf::DecodedValue::Kind::kNum:
+          return v.dec->num != 0.0;
+        case rdf::DecodedValue::Kind::kTime:
+          return true;  // a parsed temporal literal has a non-empty lexical
+        case rdf::DecodedValue::Kind::kNone:
+          return EffectiveBool(*v.term);
+      }
+      return EffectiveBool(*v.term);
+    case SlimVal::Kind::kOwned:
+      return EffectiveBool(v.owned);
+  }
+  return Status::Internal("unhandled slim kind");
+}
+
+/// Three-way comparison with the semantics of CompareTerms, taking the
+/// decoded fast path wherever the cache has a value.
+Result<int> SlimCompare(const SlimVal& a, const SlimVal& b) {
+  if (SlimIsNumeric(a) && SlimIsNumeric(b)) {
+    LODVIZ_ASSIGN_OR_RETURN(double x, SlimNum(a));
+    LODVIZ_ASSIGN_OR_RETURN(double y, SlimNum(b));
+    if (x < y) return -1;
+    if (x > y) return 1;
+    return 0;
+  }
+  if (SlimIsTemporal(a) && SlimIsTemporal(b)) {
+    LODVIZ_ASSIGN_OR_RETURN(int64_t x, SlimEpoch(a));
+    LODVIZ_ASSIGN_OR_RETURN(int64_t y, SlimEpoch(b));
+    if (x < y) return -1;
+    if (x > y) return 1;
+    return 0;
+  }
+  Term sa, sb;
+  int c = SlimTermPtr(a, &sa)->lexical.compare(SlimTermPtr(b, &sb)->lexical);
+  return c < 0 ? -1 : (c > 0 ? 1 : 0);
+}
+
+/// Structural term equality (the non-numeric branch of = and !=). Two
+/// valid dictionary ids compare directly: interning is injective, so equal
+/// ids mean equal terms and vice versa within one dictionary.
+bool SlimTermEq(const SlimVal& a, const SlimVal& b) {
+  if (a.kind == SlimVal::Kind::kRef && b.kind == SlimVal::Kind::kRef &&
+      a.id != kInvalidTermId && b.id != kInvalidTermId) {
+    return a.id == b.id;
+  }
+  if (a.kind == SlimVal::Kind::kBool && b.kind == SlimVal::Kind::kBool) {
+    return a.b == b.b;
+  }
+  Term sa, sb;
+  return *SlimTermPtr(a, &sa) == *SlimTermPtr(b, &sb);
+}
+
+Result<SlimVal> EvalSlim(const CompiledExpr& e, const rdf::Dictionary& dict,
+                         const TermId* row);
+
+Result<SlimVal> EvalSlimBinary(const CompiledExpr& e,
+                               const rdf::Dictionary& dict,
+                               const TermId* row) {
   if (e.bin_op == BinOp::kAnd || e.bin_op == BinOp::kOr) {
-    LODVIZ_ASSIGN_OR_RETURN(Term lhs, EvalExpr(e.args[0], dict, row));
-    LODVIZ_ASSIGN_OR_RETURN(bool l, EffectiveBool(lhs));
-    if (e.bin_op == BinOp::kAnd && !l) return BoolTerm(false);
-    if (e.bin_op == BinOp::kOr && l) return BoolTerm(true);
-    LODVIZ_ASSIGN_OR_RETURN(Term rhs, EvalExpr(e.args[1], dict, row));
-    LODVIZ_ASSIGN_OR_RETURN(bool r, EffectiveBool(rhs));
-    return BoolTerm(r);
+    LODVIZ_ASSIGN_OR_RETURN(SlimVal lhs, EvalSlim(e.args[0], dict, row));
+    LODVIZ_ASSIGN_OR_RETURN(bool l, SlimBool(lhs));
+    if (e.bin_op == BinOp::kAnd && !l) return SlimVal::Bool(false);
+    if (e.bin_op == BinOp::kOr && l) return SlimVal::Bool(true);
+    LODVIZ_ASSIGN_OR_RETURN(SlimVal rhs, EvalSlim(e.args[1], dict, row));
+    LODVIZ_ASSIGN_OR_RETURN(bool r, SlimBool(rhs));
+    return SlimVal::Bool(r);
   }
 
-  LODVIZ_ASSIGN_OR_RETURN(Term lhs, EvalExpr(e.args[0], dict, row));
-  LODVIZ_ASSIGN_OR_RETURN(Term rhs, EvalExpr(e.args[1], dict, row));
+  LODVIZ_ASSIGN_OR_RETURN(SlimVal lhs, EvalSlim(e.args[0], dict, row));
+  LODVIZ_ASSIGN_OR_RETURN(SlimVal rhs, EvalSlim(e.args[1], dict, row));
 
   switch (e.bin_op) {
     case BinOp::kEq:
-      if (lhs.IsNumericLiteral() && rhs.IsNumericLiteral()) {
-        LODVIZ_ASSIGN_OR_RETURN(int c, CompareTerms(lhs, rhs));
-        return BoolTerm(c == 0);
+    case BinOp::kNe: {
+      bool eq;
+      if (SlimIsNumeric(lhs) && SlimIsNumeric(rhs)) {
+        LODVIZ_ASSIGN_OR_RETURN(int c, SlimCompare(lhs, rhs));
+        eq = c == 0;
+      } else {
+        eq = SlimTermEq(lhs, rhs);
       }
-      return BoolTerm(lhs == rhs);
-    case BinOp::kNe:
-      if (lhs.IsNumericLiteral() && rhs.IsNumericLiteral()) {
-        LODVIZ_ASSIGN_OR_RETURN(int c, CompareTerms(lhs, rhs));
-        return BoolTerm(c != 0);
-      }
-      return BoolTerm(!(lhs == rhs));
+      return SlimVal::Bool(e.bin_op == BinOp::kEq ? eq : !eq);
+    }
     case BinOp::kLt:
     case BinOp::kLe:
     case BinOp::kGt:
     case BinOp::kGe: {
-      LODVIZ_ASSIGN_OR_RETURN(int c, CompareTerms(lhs, rhs));
+      LODVIZ_ASSIGN_OR_RETURN(int c, SlimCompare(lhs, rhs));
       switch (e.bin_op) {
         case BinOp::kLt:
-          return BoolTerm(c < 0);
+          return SlimVal::Bool(c < 0);
         case BinOp::kLe:
-          return BoolTerm(c <= 0);
+          return SlimVal::Bool(c <= 0);
         case BinOp::kGt:
-          return BoolTerm(c > 0);
+          return SlimVal::Bool(c > 0);
         default:
-          return BoolTerm(c >= 0);
+          return SlimVal::Bool(c >= 0);
       }
     }
     case BinOp::kAdd:
     case BinOp::kSub:
     case BinOp::kMul:
     case BinOp::kDiv: {
-      LODVIZ_ASSIGN_OR_RETURN(double x, lhs.AsDouble());
-      LODVIZ_ASSIGN_OR_RETURN(double y, rhs.AsDouble());
-      double v = 0;
+      LODVIZ_ASSIGN_OR_RETURN(double x, SlimNum(lhs));
+      LODVIZ_ASSIGN_OR_RETURN(double y, SlimNum(rhs));
       switch (e.bin_op) {
         case BinOp::kAdd:
-          v = x + y;
-          break;
+          return SlimVal::Num(x + y);
         case BinOp::kSub:
-          v = x - y;
-          break;
+          return SlimVal::Num(x - y);
         case BinOp::kMul:
-          v = x * y;
-          break;
+          return SlimVal::Num(x * y);
         default:
           if (y == 0.0) return Status::InvalidArgument("division by zero");
-          v = x / y;
+          return SlimVal::Num(x / y);
       }
-      return Term::DoubleLiteral(v);
     }
     default:
       return Status::Internal("unhandled binary op");
   }
 }
 
-Result<Term> EvalFunc(const CompiledExpr& e, const rdf::Dictionary& dict,
-                      const TermId* row) {
-  auto arg_term = [&](size_t i) -> Result<Term> {
-    return EvalExpr(e.args[i], dict, row);
+Result<SlimVal> EvalSlimFunc(const CompiledExpr& e, const rdf::Dictionary& dict,
+                             const TermId* row) {
+  auto arg = [&](size_t i) -> Result<SlimVal> {
+    return EvalSlim(e.args[i], dict, row);
   };
   switch (e.func) {
     case FuncOp::kBound: {
@@ -112,48 +294,89 @@ Result<Term> EvalFunc(const CompiledExpr& e, const rdf::Dictionary& dict,
         return Status::InvalidArgument("BOUND needs a variable");
       }
       SlotId slot = e.args[0].slot;
-      return BoolTerm(slot != kNoSlot && row[slot] != kInvalidTermId);
+      return SlimVal::Bool(slot != kNoSlot && row[slot] != kInvalidTermId);
     }
     case FuncOp::kIsIri: {
-      LODVIZ_ASSIGN_OR_RETURN(Term t, arg_term(0));
-      return BoolTerm(t.is_iri());
+      LODVIZ_ASSIGN_OR_RETURN(SlimVal t, arg(0));
+      Term scratch;
+      return SlimVal::Bool(SlimTermPtr(t, &scratch)->is_iri());
     }
     case FuncOp::kIsLiteral: {
-      LODVIZ_ASSIGN_OR_RETURN(Term t, arg_term(0));
-      return BoolTerm(t.is_literal());
+      LODVIZ_ASSIGN_OR_RETURN(SlimVal t, arg(0));
+      Term scratch;
+      return SlimVal::Bool(SlimTermPtr(t, &scratch)->is_literal());
     }
     case FuncOp::kIsBlank: {
-      LODVIZ_ASSIGN_OR_RETURN(Term t, arg_term(0));
-      return BoolTerm(t.is_blank());
+      LODVIZ_ASSIGN_OR_RETURN(SlimVal t, arg(0));
+      Term scratch;
+      return SlimVal::Bool(SlimTermPtr(t, &scratch)->is_blank());
     }
     case FuncOp::kStr: {
-      LODVIZ_ASSIGN_OR_RETURN(Term t, arg_term(0));
-      return Term::Literal(t.lexical);
+      LODVIZ_ASSIGN_OR_RETURN(SlimVal t, arg(0));
+      Term scratch;
+      return SlimVal::Owned(Term::Literal(SlimTermPtr(t, &scratch)->lexical));
     }
     case FuncOp::kContains: {
-      LODVIZ_ASSIGN_OR_RETURN(Term a, arg_term(0));
-      LODVIZ_ASSIGN_OR_RETURN(Term b, arg_term(1));
-      return BoolTerm(a.lexical.find(b.lexical) != std::string::npos);
+      LODVIZ_ASSIGN_OR_RETURN(SlimVal a, arg(0));
+      LODVIZ_ASSIGN_OR_RETURN(SlimVal b, arg(1));
+      Term sa, sb;
+      return SlimVal::Bool(SlimTermPtr(a, &sa)->lexical.find(
+                               SlimTermPtr(b, &sb)->lexical) !=
+                           std::string::npos);
     }
     case FuncOp::kStrStarts: {
-      LODVIZ_ASSIGN_OR_RETURN(Term a, arg_term(0));
-      LODVIZ_ASSIGN_OR_RETURN(Term b, arg_term(1));
-      return BoolTerm(a.lexical.rfind(b.lexical, 0) == 0);
+      LODVIZ_ASSIGN_OR_RETURN(SlimVal a, arg(0));
+      LODVIZ_ASSIGN_OR_RETURN(SlimVal b, arg(1));
+      Term sa, sb;
+      return SlimVal::Bool(SlimTermPtr(a, &sa)->lexical.rfind(
+                               SlimTermPtr(b, &sb)->lexical, 0) == 0);
     }
     case FuncOp::kLang: {
-      LODVIZ_ASSIGN_OR_RETURN(Term t, arg_term(0));
-      return Term::Literal(t.language);
+      LODVIZ_ASSIGN_OR_RETURN(SlimVal t, arg(0));
+      Term scratch;
+      return SlimVal::Owned(Term::Literal(SlimTermPtr(t, &scratch)->language));
     }
     case FuncOp::kDatatype: {
-      LODVIZ_ASSIGN_OR_RETURN(Term t, arg_term(0));
-      if (!t.is_literal()) {
+      LODVIZ_ASSIGN_OR_RETURN(SlimVal t, arg(0));
+      Term scratch;
+      const Term* tp = SlimTermPtr(t, &scratch);
+      if (!tp->is_literal()) {
         return Status::InvalidArgument("DATATYPE of non-literal");
       }
-      return Term::Iri(t.datatype.empty() ? rdf::vocab::kXsdString
-                                          : t.datatype);
+      return SlimVal::Owned(Term::Iri(
+          tp->datatype.empty() ? rdf::vocab::kXsdString : tp->datatype));
     }
   }
   return Status::Internal("unhandled function");
+}
+
+Result<SlimVal> EvalSlim(const CompiledExpr& e, const rdf::Dictionary& dict,
+                         const TermId* row) {
+  switch (e.kind) {
+    case Expr::Kind::kLiteral:
+      return SlimVal::Ref(&e.literal, &e.lit_decoded, kInvalidTermId);
+    case Expr::Kind::kVar: {
+      if (e.slot == kNoSlot || row[e.slot] == kInvalidTermId) {
+        return Status::NotFound("unbound variable");
+      }
+      const TermId id = row[e.slot];
+      return SlimVal::Ref(&dict.term(id), &dict.decoded(id), id);
+    }
+    case Expr::Kind::kBinary:
+      return EvalSlimBinary(e, dict, row);
+    case Expr::Kind::kUnary: {
+      LODVIZ_ASSIGN_OR_RETURN(SlimVal t, EvalSlim(e.args[0], dict, row));
+      if (e.un_op == UnOp::kNot) {
+        LODVIZ_ASSIGN_OR_RETURN(bool b, SlimBool(t));
+        return SlimVal::Bool(!b);
+      }
+      LODVIZ_ASSIGN_OR_RETURN(double v, SlimNum(t));
+      return SlimVal::Num(-v);
+    }
+    case Expr::Kind::kFunc:
+      return EvalSlimFunc(e, dict, row);
+  }
+  return Status::Internal("unhandled expr kind");
 }
 
 }  // namespace
@@ -191,134 +414,243 @@ Result<int> CompareTerms(const Term& a, const Term& b) {
 
 Result<Term> EvalExpr(const CompiledExpr& e, const rdf::Dictionary& dict,
                       const TermId* row) {
-  switch (e.kind) {
-    case Expr::Kind::kLiteral:
-      return e.literal;
-    case Expr::Kind::kVar: {
-      if (e.slot == kNoSlot || row[e.slot] == kInvalidTermId) {
-        return Status::NotFound("unbound variable");
-      }
-      return dict.term(row[e.slot]);
-    }
-    case Expr::Kind::kBinary:
-      return EvalBinary(e, dict, row);
-    case Expr::Kind::kUnary: {
-      LODVIZ_ASSIGN_OR_RETURN(Term t, EvalExpr(e.args[0], dict, row));
-      if (e.un_op == UnOp::kNot) {
-        LODVIZ_ASSIGN_OR_RETURN(bool b, EffectiveBool(t));
-        return BoolTerm(!b);
-      }
-      LODVIZ_ASSIGN_OR_RETURN(double v, t.AsDouble());
-      return Term::DoubleLiteral(-v);
-    }
-    case Expr::Kind::kFunc:
-      return EvalFunc(e, dict, row);
+  LODVIZ_ASSIGN_OR_RETURN(SlimVal v, EvalSlim(e, dict, row));
+  switch (v.kind) {
+    case SlimVal::Kind::kRef:
+      return *v.term;
+    case SlimVal::Kind::kOwned:
+      return std::move(v.owned);
+    case SlimVal::Kind::kNum:
+      return Term::DoubleLiteral(v.num);
+    case SlimVal::Kind::kBool:
+      return BoolTerm(v.b);
   }
-  return Status::Internal("unhandled expr kind");
+  return Status::Internal("unhandled slim kind");
 }
 
 bool PassesFilter(const CompiledExpr& e, const rdf::Dictionary& dict,
                   const TermId* row) {
-  Result<Term> t = EvalExpr(e, dict, row);
-  if (!t.ok()) return false;
-  Result<bool> b = EffectiveBool(t.ValueOrDie());
-  return b.ok() && b.ValueOrDie();
+  Result<SlimVal> v = EvalSlim(e, dict, row);
+  if (!v.ok()) {
+    SparqlMetrics::Get().op_filter_errors.Increment();
+    return false;
+  }
+  Result<bool> b = SlimBool(v.ValueOrDie());
+  if (!b.ok()) {
+    SparqlMetrics::Get().op_filter_errors.Increment();
+    return false;
+  }
+  return b.ValueOrDie();
 }
 
+namespace {
+
+/// Hash-join key: the runtime TermIds at the pattern's statically-bound
+/// join slots; kInvalidTermId at every other position.
+struct JoinKey {
+  TermId a = kInvalidTermId;
+  TermId b = kInvalidTermId;
+  TermId c = kInvalidTermId;
+  bool operator==(const JoinKey& o) const {
+    return a == o.a && b == o.b && c == o.c;
+  }
+};
+
+struct JoinKeyHash {
+  size_t operator()(const JoinKey& k) const {
+    uint64_t h = static_cast<uint64_t>(k.a) * 0x9E3779B97F4A7C15ULL;
+    h ^= static_cast<uint64_t>(k.b) + 0x9E3779B97F4A7C15ULL + (h << 6) +
+         (h >> 2);
+    h ^= static_cast<uint64_t>(k.c) + 0x9E3779B97F4A7C15ULL + (h << 6) +
+         (h >> 2);
+    return static_cast<size_t>(h);
+  }
+};
+
+}  // namespace
+
 BindingTable Executor::EvalBgp(const std::vector<PatternStep>& steps,
-                               BindingTable seeds) {
+                               const BindingTable& seeds) {
   if (steps.empty()) return seeds;
   LODVIZ_TRACE_SPAN("sparql.bgp");
 
-  BindingTable current = std::move(seeds);
+  const BindingTable* input = &seeds;
+  BindingTable current;
   for (const PatternStep& st : steps) {
     BindingTable next(width_);
-    if (!st.dead && current.num_rows() > 0) {
-      // Solutions extend independently; per-chunk outputs concatenate in
-      // chunk order, so `next` is ordered exactly as the serial loop would
-      // produce it. Matches are copied out of the Scan callback so the
-      // source's scan lock is held only for the index walk, not the
+    if (!st.dead && input->num_rows() > 0) {
+      // Extends `sol` with one matching triple: bind pattern variables,
+      // reject on conflict with an existing binding. Shared verbatim by
+      // both join strategies so kept rows (and their order within one
+      // solution's match list) are identical by construction.
+      auto extend = [&](BindingTable& out, const TermId* sol,
+                        std::vector<TermId>& extended, const rdf::Triple& t) {
+        std::copy(sol, sol + width_, extended.begin());
+        bool ok = true;
+        auto bind = [&](SlotId slot, TermId value) {
+          if (slot == kNoSlot) return;
+          TermId& cell = extended[slot];
+          if (cell == kInvalidTermId) {
+            cell = value;
+          } else if (cell != value) {
+            ok = false;
+          }
+        };
+        bind(st.s_slot, t.s);
+        if (ok) bind(st.p_slot, t.p);
+        if (ok) bind(st.o_slot, t.o);
+        if (ok) out.AppendRow(extended.data());
+      };
+
+      // Index nested-loop for one solution: probe the source with the
+      // runtime-substituted pattern. Matches are copied out of the Scan
+      // callback so the source is held only for the index walk, not the
       // binding work.
-      next = exec::ParallelReduce<BindingTable>(
-          0, current.num_rows(), 8,
-          [&](size_t cb, size_t ce) {
-            BindingTable out(width_);
-            std::vector<rdf::Triple> matches;
-            std::vector<TermId> extended(width_);
-            for (size_t si = cb; si < ce; ++si) {
-              const TermId* sol = current.row(si);
-              rdf::TriplePattern pat(
-                  st.s_slot == kNoSlot ? st.s_id : sol[st.s_slot],
-                  st.p_slot == kNoSlot ? st.p_id : sol[st.p_slot],
-                  st.o_slot == kNoSlot ? st.o_id : sol[st.o_slot]);
-              matches.clear();
-              source_->Scan(pat, [&](const rdf::Triple& t) {
-                matches.push_back(t);
-                return true;
-              });
-              for (const rdf::Triple& t : matches) {
-                std::copy(sol, sol + width_, extended.begin());
-                bool ok = true;
-                auto bind = [&](SlotId slot, TermId value) {
-                  if (slot == kNoSlot) return;
-                  TermId& cell = extended[slot];
-                  if (cell == kInvalidTermId) {
-                    cell = value;
-                  } else if (cell != value) {
-                    ok = false;
-                  }
-                };
-                bind(st.s_slot, t.s);
-                if (ok) bind(st.p_slot, t.p);
-                if (ok) bind(st.o_slot, t.o);
-                if (ok) out.AppendRow(extended.data());
+      auto nlj_row = [&](BindingTable& out, const TermId* sol,
+                         std::vector<rdf::Triple>& matches,
+                         std::vector<TermId>& extended) {
+        rdf::TriplePattern pat(
+            st.s_slot == kNoSlot ? st.s_id : sol[st.s_slot],
+            st.p_slot == kNoSlot ? st.p_id : sol[st.p_slot],
+            st.o_slot == kNoSlot ? st.o_id : sol[st.o_slot]);
+        matches.clear();
+        source_->Scan(pat, [&](const rdf::Triple& t) {
+          matches.push_back(t);
+          return true;
+        });
+        for (const rdf::Triple& t : matches) extend(out, sol, extended, t);
+      };
+
+      auto combine = [](BindingTable& acc, BindingTable&& rhs) {
+        acc.Append(std::move(rhs));
+      };
+
+      if (st.strategy == JoinStrategy::kHash) {
+        // Build once: a single scan with the join slots wildcarded (only
+        // plan constants stay fixed), bucketed on the key positions.
+        SparqlMetrics::Get().op_hash_joins.Increment();
+        rdf::TriplePattern build_pat(
+            st.s_slot == kNoSlot ? st.s_id : kInvalidTermId,
+            st.p_slot == kNoSlot ? st.p_id : kInvalidTermId,
+            st.o_slot == kNoSlot ? st.o_id : kInvalidTermId);
+        std::unordered_map<JoinKey, std::vector<rdf::Triple>, JoinKeyHash>
+            table;
+        uint64_t build_rows = 0;
+        source_->Scan(build_pat, [&](const rdf::Triple& t) {
+          ++build_rows;
+          JoinKey k{st.s_bound ? t.s : kInvalidTermId,
+                    st.p_bound ? t.p : kInvalidTermId,
+                    st.o_bound ? t.o : kInvalidTermId};
+          table[k].push_back(t);
+          return true;
+        });
+        SparqlMetrics::Get().op_hash_build_rows.Increment(build_rows);
+
+        // Restore NLJ probe delivery order inside every bucket: the index
+        // a probe would pick is a function of which positions are bound
+        // (SPO when the s position is, else POS when p is, else SPO for
+        // o-only — both backends agree, see DESIGN.md §4.5), and a sorted
+        // bucket filtered by the runtime bindings stays in that order.
+        const bool s_fixed = st.s_slot == kNoSlot || st.s_bound;
+        const bool p_fixed = st.p_slot == kNoSlot || st.p_bound;
+        for (auto& [key, bucket] : table) {
+          if (s_fixed || !p_fixed) {
+            std::sort(bucket.begin(), bucket.end(), rdf::OrderSpo());
+          } else {
+            std::sort(bucket.begin(), bucket.end(), rdf::OrderPos());
+          }
+        }
+
+        next = exec::ParallelReduce<BindingTable>(
+            0, input->num_rows(), 8,
+            [&](size_t cb, size_t ce) {
+              BindingTable out(width_);
+              std::vector<rdf::Triple> matches;
+              std::vector<TermId> extended(width_);
+              for (size_t si = cb; si < ce; ++si) {
+                const TermId* sol = input->row(si);
+                // The planner's "certainly bound" is a static property: a
+                // key slot can still be unbound at runtime (seeds from an
+                // outer group), where NLJ semantics treat it as a
+                // wildcard. Fall back to the index probe for such rows.
+                if ((st.s_bound && sol[st.s_slot] == kInvalidTermId) ||
+                    (st.p_bound && sol[st.p_slot] == kInvalidTermId) ||
+                    (st.o_bound && sol[st.o_slot] == kInvalidTermId)) {
+                  nlj_row(out, sol, matches, extended);
+                  continue;
+                }
+                JoinKey k{st.s_bound ? sol[st.s_slot] : kInvalidTermId,
+                          st.p_bound ? sol[st.p_slot] : kInvalidTermId,
+                          st.o_bound ? sol[st.o_slot] : kInvalidTermId};
+                auto it = table.find(k);
+                if (it == table.end()) continue;
+                for (const rdf::Triple& t : it->second) {
+                  extend(out, sol, extended, t);
+                }
               }
-            }
-            return out;
-          },
-          [](BindingTable& acc, BindingTable&& rhs) {
-            acc.Append(std::move(rhs));
-          });
+              return out;
+            },
+            combine);
+      } else {
+        // Solutions extend independently; per-chunk outputs concatenate
+        // in chunk order, so `next` is ordered exactly as the serial loop
+        // would produce it.
+        next = exec::ParallelReduce<BindingTable>(
+            0, input->num_rows(), 8,
+            [&](size_t cb, size_t ce) {
+              BindingTable out(width_);
+              std::vector<rdf::Triple> matches;
+              std::vector<TermId> extended(width_);
+              for (size_t si = cb; si < ce; ++si) {
+                nlj_row(out, input->row(si), matches, extended);
+              }
+              return out;
+            },
+            combine);
+      }
     }
     intermediate_rows_ += next.num_rows();
     SparqlMetrics::Get().op_join_rows.Increment(next.num_rows());
     current = std::move(next);
+    input = &current;
     if (current.num_rows() == 0) break;
   }
   return current;
 }
 
-BindingTable Executor::EvalGroup(const GroupPlan& plan, BindingTable seeds) {
-  BindingTable solutions = EvalBgp(plan.steps, std::move(seeds));
+BindingTable Executor::EvalGroup(const GroupPlan& plan,
+                                 const BindingTable& seeds) {
+  BindingTable solutions = EvalBgp(plan.steps, seeds);
 
   if (!plan.union_branches.empty()) {
     BindingTable unioned(width_);
     for (const GroupPlan& branch : plan.union_branches) {
-      BindingTable branch_seeds(width_);
-      branch_seeds.Reserve(solutions.num_rows());
-      for (size_t i = 0; i < solutions.num_rows(); ++i) {
-        branch_seeds.AppendRow(solutions.row(i));
-      }
-      unioned.Append(EvalGroup(branch, std::move(branch_seeds)));
+      unioned.Append(EvalGroup(branch, solutions));
     }
     solutions = std::move(unioned);
     SparqlMetrics::Get().op_union_rows.Increment(solutions.num_rows());
   }
 
-  for (const GroupPlan& opt : plan.optionals) {
-    BindingTable next(width_);
-    for (size_t i = 0; i < solutions.num_rows(); ++i) {
-      BindingTable seed(width_);
-      seed.AppendRow(solutions.row(i));
-      BindingTable extended = EvalGroup(opt, std::move(seed));
-      if (extended.num_rows() == 0) {
-        next.AppendRow(solutions.row(i));
-      } else {
-        next.Append(std::move(extended));
+  if (!plan.optionals.empty()) {
+    // One reusable seed table for the whole loop; each iteration clears
+    // it and appends the current row instead of allocating a fresh table.
+    BindingTable seed(width_);
+    for (const GroupPlan& opt : plan.optionals) {
+      BindingTable next(width_);
+      next.Reserve(solutions.num_rows());
+      for (size_t i = 0; i < solutions.num_rows(); ++i) {
+        seed.Clear();
+        seed.AppendRow(solutions.row(i));
+        BindingTable extended = EvalGroup(opt, seed);
+        if (extended.num_rows() == 0) {
+          next.AppendRow(solutions.row(i));
+        } else {
+          next.Append(std::move(extended));
+        }
       }
+      solutions = std::move(next);
+      SparqlMetrics::Get().op_optional_rows.Increment(solutions.num_rows());
     }
-    solutions = std::move(next);
-    SparqlMetrics::Get().op_optional_rows.Increment(solutions.num_rows());
   }
 
   if (!plan.filters.empty() && solutions.num_rows() > 0) {

@@ -21,8 +21,11 @@ struct SparqlMetrics {
   obs::Counter& rows_out;
   obs::Counter& op_join_rows;
   obs::Counter& op_filter_dropped;
+  obs::Counter& op_filter_errors;
   obs::Counter& op_optional_rows;
   obs::Counter& op_union_rows;
+  obs::Counter& op_hash_joins;
+  obs::Counter& op_hash_build_rows;
   obs::Histogram& execute_us;
 
   static SparqlMetrics& Get();
@@ -67,6 +70,9 @@ class BindingTable {
 
   void Reserve(size_t rows) { data_.reserve(rows * width_); }
 
+  /// Drops all rows, keeping capacity (for seed-table reuse in loops).
+  void Clear() { data_.clear(); }
+
  private:
   size_t width_ = 0;
   std::vector<rdf::TermId> data_;
@@ -86,22 +92,26 @@ Result<rdf::Term> EvalExpr(const CompiledExpr& e, const rdf::Dictionary& dict,
                            const rdf::TermId* row);
 
 /// FILTER semantics: keep the row iff the expression evaluates to a true
-/// EBV; evaluation errors reject the row.
+/// EBV; evaluation errors reject the row (and bump the
+/// `sparql.op.filter_errors` counter so silent per-row errors show up in
+/// the metrics snapshot).
 bool PassesFilter(const CompiledExpr& e, const rdf::Dictionary& dict,
                   const rdf::TermId* row);
 
-/// Executes a compiled GroupPlan against a TripleSource: index nested-loop
-/// joins over slot rows, then unions, optionals and filters. One Executor
-/// per query execution (it accumulates the intermediate-row statistic);
-/// the underlying source is only read.
+/// Executes a compiled GroupPlan against a TripleSource: per-step index
+/// nested-loop or build-once hash joins over slot rows (the planner picks
+/// per PatternStep), then unions, optionals and filters. One Executor per
+/// query execution (it accumulates the intermediate-row statistic); the
+/// underlying source is only read.
 class Executor {
  public:
   Executor(const rdf::TripleSource* source, size_t width)
       : source_(source), width_(width) {}
 
   /// Evaluates `plan` with `seeds` as the initial solutions (pass a single
-  /// all-unbound row for a top-level group).
-  BindingTable EvalGroup(const GroupPlan& plan, BindingTable seeds);
+  /// all-unbound row for a top-level group). `seeds` is only read; the
+  /// caller keeps ownership.
+  BindingTable EvalGroup(const GroupPlan& plan, const BindingTable& seeds);
 
   /// Rows produced across all BGP steps, including intermediate join
   /// results (cost introspection for E10).
@@ -111,7 +121,7 @@ class Executor {
 
  private:
   BindingTable EvalBgp(const std::vector<PatternStep>& steps,
-                       BindingTable seeds);
+                       const BindingTable& seeds);
 
   const rdf::TripleSource* source_;
   size_t width_;

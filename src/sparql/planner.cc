@@ -4,6 +4,7 @@
 #include <set>
 
 #include "obs/trace.h"
+#include "sparql/executor.h"
 
 namespace lodviz::sparql {
 
@@ -11,6 +12,26 @@ namespace {
 
 using rdf::kInvalidTermId;
 using rdf::TermId;
+
+/// Cost-model constants for the hash-vs-NLJ choice (rows-equivalent).
+/// An index probe walks a tree; a hash-table probe is one lookup; building
+/// the table touches every build row twice (scan + insert). Pure numbers,
+/// so the choice depends only on the source statistics.
+constexpr double kNljProbeCost = 4.0;
+constexpr double kHashProbeCost = 1.0;
+constexpr double kHashBuildCost = 2.0;
+
+/// True when every node of the compiled subtree is a literal (no variable
+/// and therefore no slot/row dependency anywhere beneath).
+bool IsConstExpr(const CompiledExpr& e) {
+  if (e.kind == Expr::Kind::kVar) return false;
+  if (e.kind == Expr::Kind::kLiteral) return true;
+  // BOUND() takes a variable; any other function of constants is constant.
+  for (const CompiledExpr& a : e.args) {
+    if (!IsConstExpr(a)) return false;
+  }
+  return true;
+}
 
 class PlannerImpl {
  public:
@@ -40,7 +61,7 @@ class PlannerImpl {
     }
 
     // Pass 3: compile the operator tree (filters may intern more slots).
-    PlanGroup(query.where, {}, &plan_->root);
+    PlanGroup(query.where, {}, 1.0, &plan_->root);
     plan_->num_slots = plan_->slot_names.size();
   }
 
@@ -116,8 +137,24 @@ class PlannerImpl {
     c.un_op = e.un_op;
     c.func = e.func;
     if (e.kind == Expr::Kind::kVar) c.slot = InternVar(e.var);
+    if (e.kind == Expr::Kind::kLiteral) c.lit_decoded = rdf::DecodeTerm(c.literal);
     c.args.reserve(e.args.size());
     for (const ExprPtr& a : e.args) c.args.push_back(CompileExpr(*a));
+
+    // Constant folding: a variable-free subtree evaluates to the same term
+    // for every row, so evaluate it once now. A constant that *errors*
+    // (e.g. 1/0) is left unfolded — re-evaluating per row reproduces the
+    // SPARQL error semantics (the filter rejects every row) exactly.
+    if (c.kind != Expr::Kind::kLiteral && IsConstExpr(c)) {
+      Result<rdf::Term> folded = EvalExpr(c, source_.dict(), nullptr);
+      if (folded.ok()) {
+        CompiledExpr lit;
+        lit.kind = Expr::Kind::kLiteral;
+        lit.literal = std::move(folded).ValueOrDie();
+        lit.lit_decoded = rdf::DecodeTerm(lit.literal);
+        return lit;
+      }
+    }
     return c;
   }
 
@@ -129,7 +166,8 @@ class PlannerImpl {
   /// (they may not match).
   std::set<std::string> PlanGroup(const GraphPattern& group,
                                   std::set<std::string> bound,
-                                  GroupPlan* out) {
+                                  double in_est, GroupPlan* out,
+                                  bool in_optional = false) {
     LODVIZ_TRACE_SPAN("sparql.plan");
 
     // Replay the greedy selectivity loop statically: repeatedly take the
@@ -155,6 +193,32 @@ class PlannerImpl {
       remaining.erase(remaining.begin() + pick);
       PatternStep st = CompileStep(ast);
       st.est_rows = EstimateCost(ast, bound);
+      st.s_bound = IsVar(ast.s) && bound.count(AsVar(ast.s).name) > 0;
+      st.p_bound = IsVar(ast.p) && bound.count(AsVar(ast.p).name) > 0;
+      st.o_bound = IsVar(ast.o) && bound.count(AsVar(ast.o).name) > 0;
+      st.est_build_rows = EstimateCost(ast, {});
+
+      // Adaptive join choice. NLJ probes the index once per intermediate
+      // solution; the hash join pays one build-side scan up front and then
+      // a constant-time probe per solution. Both costs are pure functions
+      // of PredicateCount/size, so every backend plans identically.
+      const bool has_key = st.s_bound || st.p_bound || st.o_bound;
+      if (has_key && !st.dead) {
+        const double nlj_cost = in_est * (kNljProbeCost + st.est_rows);
+        const double hash_cost =
+            kHashBuildCost * st.est_build_rows + kHashProbeCost * in_est;
+        bool pick_hash = hash_cost < nlj_cost;
+        // Optional groups are re-evaluated once per parent solution, so a
+        // hash step here would rebuild its table per row — quadratic, never
+        // a win. Under kAuto they always use NLJ; a forced kHash still
+        // applies (the parity tests rely on forcing both strategies).
+        if (in_optional) pick_hash = false;
+        if (options_.force_join == JoinForce::kNestedLoop) pick_hash = false;
+        if (options_.force_join == JoinForce::kHash) pick_hash = true;
+        st.strategy =
+            pick_hash ? JoinStrategy::kHash : JoinStrategy::kNestedLoop;
+      }
+      in_est *= st.est_rows;
       out->steps.push_back(std::move(st));
       auto note = [&](const NodeOrVar& n) {
         if (IsVar(n)) bound.insert(AsVar(n).name);
@@ -169,7 +233,8 @@ class PlannerImpl {
       bool first = true;
       for (const GraphPattern& branch : group.union_branches) {
         std::set<std::string> branch_certain =
-            PlanGroup(branch, bound, &out->union_branches.emplace_back());
+            PlanGroup(branch, bound, in_est, &out->union_branches.emplace_back(),
+                      in_optional);
         if (first) {
           certain = std::move(branch_certain);
           first = false;
@@ -185,7 +250,8 @@ class PlannerImpl {
     }
 
     for (const GraphPattern& opt : group.optionals) {
-      PlanGroup(opt, bound, &out->optionals.emplace_back());
+      PlanGroup(opt, bound, in_est, &out->optionals.emplace_back(),
+                /*in_optional=*/true);
     }
 
     out->filters.reserve(group.filters.size());
@@ -203,8 +269,10 @@ class PlannerImpl {
 void AppendGroup(const GroupPlan& g, int depth, std::string* out) {
   std::string indent(static_cast<size_t>(depth) * 2, ' ');
   for (const PatternStep& st : g.steps) {
-    *out += indent + "scan " + st.label + "  est_rows=" +
-            std::to_string(st.est_rows);
+    const bool hash = st.strategy == JoinStrategy::kHash;
+    *out += indent + (hash ? "hash-join " : "scan ") + st.label +
+            "  est_rows=" + std::to_string(st.est_rows);
+    if (hash) *out += "  build_est=" + std::to_string(st.est_build_rows);
     if (st.dead) *out += "  [dead: constant not in dictionary]";
     *out += "\n";
   }

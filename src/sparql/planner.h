@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "rdf/dictionary.h"
 #include "rdf/triple.h"
 #include "rdf/triple_source.h"
 #include "sparql/ast.h"
@@ -21,7 +22,10 @@ inline constexpr SlotId kNoSlot = UINT32_MAX;
 
 /// An ast::Expr compiled for slot-row evaluation: the same tree shape with
 /// every variable name resolved to its SlotId at plan time, so execution
-/// never touches strings.
+/// never touches strings. Constant sub-expressions (no variables anywhere
+/// beneath) are folded into a single kLiteral node at plan time, and every
+/// literal carries its decoded numeric/temporal value so per-row filter
+/// evaluation never re-parses a constant.
 struct CompiledExpr {
   Expr::Kind kind = Expr::Kind::kLiteral;
   rdf::Term literal;       // kLiteral
@@ -30,6 +34,21 @@ struct CompiledExpr {
   UnOp un_op{};            // kUnary
   FuncOp func{};           // kFunc
   std::vector<CompiledExpr> args;
+
+  /// Plan-time decode of `literal` (kLiteral only): the same cache entry
+  /// the dictionary keeps for interned terms, computed here because filter
+  /// constants need not be in the dictionary.
+  rdf::DecodedValue lit_decoded;
+};
+
+/// How a PatternStep joins against the solutions produced so far.
+enum class JoinStrategy : uint8_t {
+  /// Index nested-loop: one index probe per intermediate solution.
+  kNestedLoop = 0,
+  /// Build-once hash join: a single scan of the pattern (join slots
+  /// treated as wildcards) builds a hash table keyed on the shared slots;
+  /// every solution then probes the table instead of the index.
+  kHash = 1,
 };
 
 /// One triple pattern scheduled for execution. Each position is either a
@@ -46,9 +65,23 @@ struct PatternStep {
   /// the whole conjunction) matches nothing.
   bool dead = false;
 
+  /// Join strategy picked by the planner — a pure function of the source
+  /// statistics, so identical data yields identical plans on any backend.
+  JoinStrategy strategy = JoinStrategy::kNestedLoop;
+
+  /// Per-position flag: the slot is certainly bound by earlier steps when
+  /// this one runs. These positions form the hash-join key.
+  bool s_bound = false;
+  bool p_bound = false;
+  bool o_bound = false;
+
   /// Planner cardinality estimate at this point of the join order
   /// (EstimateSelectivity x source size); surfaced by explain.
   double est_rows = 0.0;
+
+  /// Estimated rows of the build-side scan (pattern with join slots
+  /// wildcarded); drives the hash-vs-NLJ choice and explain output.
+  double est_build_rows = 0.0;
 
   /// Human-readable pattern text for explain output.
   std::string label;
@@ -94,11 +127,24 @@ struct QueryPlan {
   std::unordered_map<std::string, SlotId> slots;
 };
 
+/// Overrides the planner's adaptive hash-vs-NLJ choice. Used by the parity
+/// tests (every query under both strategies must return identical rows)
+/// and the join micro-benchmarks; production code leaves it on kAuto.
+enum class JoinForce : uint8_t {
+  kAuto = 0,        // cost-based choice
+  kNestedLoop = 1,  // always index nested-loop
+  kHash = 2,        // hash join wherever a join key exists (steps without
+                    // a bound slot still run as NLJ — there is no key)
+};
+
 struct PlannerOptions {
   /// Greedy selectivity-based join ordering; disable to execute basic
   /// graph patterns in textual order (used by the E10 bench and the
   /// order-independence property test).
   bool optimize_join_order = true;
+
+  /// Test/bench knob forcing the per-step join strategy.
+  JoinForce force_join = JoinForce::kAuto;
 };
 
 /// Compiles `query` against `source`: resolves variable names to slots and

@@ -27,12 +27,16 @@ PageRef& PageRef::operator=(PageRef&& other) noexcept {
   return *this;
 }
 
+// While a PageRef is alive the frame is pinned, so page_id and data are
+// stable and safe to read without the shard mutex.
 uint8_t* PageRef::data() { return pool_->frames_[frame_].data.get(); }
 const uint8_t* PageRef::data() const {
   return pool_->frames_[frame_].data.get();
 }
 PageId PageRef::page_id() const { return pool_->frames_[frame_].page_id; }
-void PageRef::MarkDirty() { pool_->frames_[frame_].dirty = true; }
+void PageRef::MarkDirty() {
+  pool_->frames_[frame_].dirty.store(true, std::memory_order_release);
+}
 
 void PageRef::Release() {
   if (pool_ != nullptr) {
@@ -42,10 +46,30 @@ void PageRef::Release() {
   }
 }
 
-BufferPool::BufferPool(PageFile* file, size_t capacity_pages) : file_(file) {
+size_t BufferPool::PickShards(size_t capacity) {
+  size_t shards = 1;
+  while (shards < 8 && capacity / (shards * 2) >= 8) shards *= 2;
+  return shards;
+}
+
+BufferPool::BufferPool(PageFile* file, size_t capacity_pages)
+    : file_(file),
+      capacity_(capacity_pages),
+      num_shards_(PickShards(capacity_pages)) {
   LODVIZ_CHECK(capacity_pages >= 4) << "buffer pool too small";
-  frames_.resize(capacity_pages);
-  for (Frame& f : frames_) f.data = std::make_unique<uint8_t[]>(kPageSize);
+  frames_ = std::make_unique<Frame[]>(capacity_);
+  for (size_t i = 0; i < capacity_; ++i) {
+    frames_[i].data = std::make_unique<uint8_t[]>(kPageSize);
+  }
+  shards_ = std::make_unique<Shard[]>(num_shards_);
+  // Split the frame array into contiguous per-shard ranges; the last
+  // shard absorbs the remainder.
+  const size_t per_shard = capacity_ / num_shards_;
+  for (size_t s = 0; s < num_shards_; ++s) {
+    shards_[s].begin = static_cast<int32_t>(s * per_shard);
+    shards_[s].end = static_cast<int32_t>(
+        s + 1 == num_shards_ ? capacity_ : (s + 1) * per_shard);
+  }
   obs::MetricRegistry& registry = obs::MetricRegistry::Global();
   agg_hits_ = &registry.GetCounter("storage.buffer_pool.hits");
   agg_misses_ = &registry.GetCounter("storage.buffer_pool.misses");
@@ -61,74 +85,93 @@ void BufferPool::FlushAggregates() {
   agg_hits_->Increment(hits_.value() & (kAggBatch - 1));
 }
 
-Result<int32_t> BufferPool::GetVictimFrame() {
+Result<int32_t> BufferPool::GetVictimFrame(Shard& shard) {
   int32_t victim = -1;
   uint64_t best_tick = ~0ULL;
-  for (size_t i = 0; i < frames_.size(); ++i) {
+  for (int32_t i = shard.begin; i < shard.end; ++i) {
     const Frame& f = frames_[i];
-    if (f.page_id == kInvalidPageId) return static_cast<int32_t>(i);
-    if (f.pin_count == 0 && f.lru_tick < best_tick) {
+    if (f.page_id == kInvalidPageId) return i;
+    // Acquire pairs with the release decrement in Unpin: observing zero
+    // means the last pinner's writes (page bytes, dirty flag) are visible.
+    if (f.pin_count.load(std::memory_order_acquire) == 0 &&
+        f.lru_tick < best_tick) {
       best_tick = f.lru_tick;
-      victim = static_cast<int32_t>(i);
+      victim = i;
     }
   }
   if (victim < 0) {
-    return Status::ResourceExhausted("all buffer pool frames are pinned");
+    return Status::ResourceExhausted("all frames of the page's shard are pinned");
   }
   Frame& f = frames_[victim];
-  if (f.dirty) {
+  if (f.dirty.load(std::memory_order_acquire)) {
     LODVIZ_RETURN_NOT_OK(file_->WritePage(f.page_id, f.data.get()));
-    f.dirty = false;
+    f.dirty.store(false, std::memory_order_relaxed);
   }
-  page_table_.erase(f.page_id);
+  shard.page_table.erase(f.page_id);
   f.page_id = kInvalidPageId;
   evictions_.Increment();
   agg_evictions_->Increment();
   return victim;
 }
 
+void BufferPool::InstallFrame(Shard& shard, int32_t frame, PageId id,
+                              bool dirty) {
+  Frame& f = frames_[frame];
+  f.page_id = id;
+  f.pin_count.store(1, std::memory_order_relaxed);
+  f.dirty.store(dirty, std::memory_order_relaxed);
+  f.lru_tick = ++shard.tick;
+  shard.page_table[id] = frame;
+}
+
 Result<PageRef> BufferPool::Fetch(PageId id) {
-  auto it = page_table_.find(id);
-  if (it != page_table_.end()) {
+  Shard& shard = ShardOf(id);
+  MutexLock lock(&shard.mu);
+  auto it = shard.page_table.find(id);
+  if (it != shard.page_table.end()) {
     if ((hits_.IncrementAndGet() & (kAggBatch - 1)) == 0) {
       agg_hits_->Increment(kAggBatch);
     }
     Frame& f = frames_[it->second];
-    ++f.pin_count;
-    f.lru_tick = ++tick_;
+    f.pin_count.fetch_add(1, std::memory_order_relaxed);
+    f.lru_tick = ++shard.tick;
     return PageRef(this, it->second);
   }
   misses_.Increment();
   agg_misses_->Increment();
-  LODVIZ_ASSIGN_OR_RETURN(int32_t frame, GetVictimFrame());
-  Frame& f = frames_[frame];
-  LODVIZ_RETURN_NOT_OK(file_->ReadPage(id, f.data.get()));
-  f.page_id = id;
-  f.pin_count = 1;
-  f.dirty = false;
-  f.lru_tick = ++tick_;
-  page_table_[id] = frame;
+  LODVIZ_ASSIGN_OR_RETURN(int32_t frame, GetVictimFrame(shard));
+  LODVIZ_RETURN_NOT_OK(file_->ReadPage(id, frames_[frame].data.get()));
+  InstallFrame(shard, frame, id, /*dirty=*/false);
   return PageRef(this, frame);
 }
 
 Result<PageRef> BufferPool::NewPage() {
-  LODVIZ_ASSIGN_OR_RETURN(PageId id, file_->AllocatePage());
-  LODVIZ_ASSIGN_OR_RETURN(int32_t frame, GetVictimFrame());
-  Frame& f = frames_[frame];
-  std::memset(f.data.get(), 0, kPageSize);
-  f.page_id = id;
-  f.pin_count = 1;
-  f.dirty = true;
-  f.lru_tick = ++tick_;
-  page_table_[id] = frame;
+  PageId id;
+  {
+    // File growth is a read-modify-write of the page count; everything
+    // else stays shard-local.
+    MutexLock alloc_lock(&alloc_mu_);
+    LODVIZ_ASSIGN_OR_RETURN(id, file_->AllocatePage());
+  }
+  Shard& shard = ShardOf(id);
+  MutexLock lock(&shard.mu);
+  LODVIZ_ASSIGN_OR_RETURN(int32_t frame, GetVictimFrame(shard));
+  std::memset(frames_[frame].data.get(), 0, kPageSize);
+  InstallFrame(shard, frame, id, /*dirty=*/true);
   return PageRef(this, frame);
 }
 
 Status BufferPool::FlushAll() {
-  for (Frame& f : frames_) {
-    if (f.page_id != kInvalidPageId && f.dirty) {
-      LODVIZ_RETURN_NOT_OK(file_->WritePage(f.page_id, f.data.get()));
-      f.dirty = false;
+  for (size_t s = 0; s < num_shards_; ++s) {
+    Shard& shard = shards_[s];
+    MutexLock lock(&shard.mu);
+    for (int32_t i = shard.begin; i < shard.end; ++i) {
+      Frame& f = frames_[i];
+      if (f.page_id != kInvalidPageId &&
+          f.dirty.load(std::memory_order_acquire)) {
+        LODVIZ_RETURN_NOT_OK(file_->WritePage(f.page_id, f.data.get()));
+        f.dirty.store(false, std::memory_order_relaxed);
+      }
     }
   }
   // Flushed pages are only in the kernel page cache until synced; a crash
@@ -138,8 +181,8 @@ Status BufferPool::FlushAll() {
 
 void BufferPool::Unpin(int32_t frame) {
   Frame& f = frames_[frame];
-  LODVIZ_CHECK(f.pin_count > 0) << "unpin of unpinned frame";
-  --f.pin_count;
+  uint32_t prev = f.pin_count.fetch_sub(1, std::memory_order_release);
+  LODVIZ_CHECK(prev > 0) << "unpin of unpinned frame";
 }
 
 }  // namespace lodviz::storage

@@ -1,12 +1,14 @@
 #ifndef LODVIZ_STORAGE_BUFFER_POOL_H_
 #define LODVIZ_STORAGE_BUFFER_POOL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
-#include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 #include "storage/page_file.h"
 
@@ -47,6 +49,15 @@ class PageRef {
 /// frames. This is what lets lodviz explore datasets larger than memory —
 /// the survey's "systems should be integrated with disk structures,
 /// retrieving data dynamically during runtime" (Section 4).
+///
+/// The frame table is split into lock-striped shards (a power of two,
+/// sized so every shard keeps at least 8 frames): each page hashes to a
+/// home shard whose mutex covers that shard's page table, LRU clock and
+/// frame metadata. Fetches of pages in different shards proceed fully in
+/// parallel; pin counts are atomic so Unpin (the PageRef destructor) never
+/// takes a lock at all. Eviction is shard-local — a pathological workload
+/// pinning every frame of one shard can exhaust it while other shards
+/// have free frames, which is the usual striping trade-off.
 class BufferPool {
  public:
   BufferPool(PageFile* file, size_t capacity_pages);
@@ -55,7 +66,8 @@ class BufferPool {
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
 
-  /// Pins page `id`, reading it from disk on a miss.
+  /// Pins page `id`, reading it from disk on a miss. Safe to call
+  /// concurrently; fetches that land in different shards do not contend.
   Result<PageRef> Fetch(PageId id);
 
   /// Allocates a new page on disk and pins it (already zeroed).
@@ -64,7 +76,8 @@ class BufferPool {
   /// Writes back all dirty frames.
   Status FlushAll();
 
-  size_t capacity() const { return frames_.size(); }
+  size_t capacity() const { return capacity_; }
+  size_t num_shards() const { return num_shards_; }
   uint64_t hits() const { return hits_.value(); }
   uint64_t misses() const { return misses_.value(); }
   uint64_t evictions() const { return evictions_.value(); }
@@ -84,21 +97,49 @@ class BufferPool {
   }
 
   /// Bytes held by page frames.
-  size_t MemoryUsage() const { return frames_.size() * kPageSize; }
+  size_t MemoryUsage() const { return capacity_ * kPageSize; }
 
  private:
   friend class PageRef;
 
   struct Frame {
+    /// Identity and recency are only touched under the home shard's mutex.
     PageId page_id = kInvalidPageId;
-    uint32_t pin_count = 0;
-    bool dirty = false;
     uint64_t lru_tick = 0;
+    /// Pins drop without a lock (PageRef destruction, release order); the
+    /// evictor reads with acquire under the shard mutex, so a zero implies
+    /// it observes everything the last pinner wrote.
+    std::atomic<uint32_t> pin_count{0};
+    std::atomic<bool> dirty{false};
     std::unique_ptr<uint8_t[]> data;
   };
 
-  /// Finds a free or evictable frame; error if all frames are pinned.
-  Result<int32_t> GetVictimFrame();
+  struct Shard {
+    mutable Mutex mu;
+    std::unordered_map<PageId, int32_t> page_table LODVIZ_GUARDED_BY(mu);
+    uint64_t tick LODVIZ_GUARDED_BY(mu) = 0;
+    /// Frame range [begin, end) owned by this shard.
+    int32_t begin = 0;
+    int32_t end = 0;
+  };
+
+  /// Number of shards for `capacity` frames: the largest power of two
+  /// <= 8 that still leaves every shard at least 8 frames (tiny pools —
+  /// the 8-page test fixtures — degrade to a single shard).
+  static size_t PickShards(size_t capacity);
+
+  Shard& ShardOf(PageId id) {
+    return shards_[(static_cast<uint64_t>(id) * 2654435761ULL >> 16) &
+                   (num_shards_ - 1)];
+  }
+
+  /// Finds a free or evictable frame in `shard` (writing back a dirty
+  /// victim); error if all of the shard's frames are pinned.
+  Result<int32_t> GetVictimFrame(Shard& shard) LODVIZ_REQUIRES(shard.mu);
+
+  /// Installs page `id` into `frame` after a miss/alloc, pinned once.
+  void InstallFrame(Shard& shard, int32_t frame, PageId id, bool dirty)
+      LODVIZ_REQUIRES(shard.mu);
 
   void Unpin(int32_t frame);
 
@@ -112,9 +153,13 @@ class BufferPool {
   static constexpr uint64_t kAggBatch = 64;
 
   PageFile* file_;
-  std::vector<Frame> frames_;
-  std::unordered_map<PageId, int32_t> page_table_;
-  uint64_t tick_ = 0;
+  size_t capacity_;
+  size_t num_shards_;
+  std::unique_ptr<Frame[]> frames_;
+  std::unique_ptr<Shard[]> shards_;
+  /// Serializes file growth (PageFile::AllocatePage is read-modify-write
+  /// on the page count).
+  Mutex alloc_mu_;
   // Per-instance atomic counters (lock-free, so the pin path stays clean
   // under TSan) feeding the per-pool accessors above; the aggregates
   // below fold every pool into the process-wide metric registry.

@@ -34,7 +34,6 @@ DiskSourceAdapter::DiskSourceAdapter(const DiskTripleStore* store,
 
 void DiskSourceAdapter::Scan(const rdf::TriplePattern& pattern,
                              const ScanFn& fn) const {
-  MutexLock lock(&scan_mu_);
   Status s = store_->Scan(pattern, fn);
   if (!s.ok()) {
     ScanErrors().Increment();
@@ -43,7 +42,6 @@ void DiskSourceAdapter::Scan(const rdf::TriplePattern& pattern,
 }
 
 uint64_t DiskSourceAdapter::Count(const rdf::TriplePattern& pattern) const {
-  MutexLock lock(&scan_mu_);
   return store_->Count(pattern);
 }
 

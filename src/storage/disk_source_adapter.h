@@ -4,8 +4,6 @@
 #include <cstdint>
 #include <unordered_map>
 
-#include "common/mutex.h"
-#include "common/thread_annotations.h"
 #include "rdf/dictionary.h"
 #include "rdf/triple_source.h"
 #include "storage/disk_triple_store.h"
@@ -19,11 +17,12 @@ namespace lodviz::storage {
 /// encoded the store's triples — typically the in-memory store's dict when
 /// the disk store mirrors it.
 ///
-/// Thread-safety: DiskTripleStore reads go through a BufferPool whose frame
-/// table is not concurrent, so the adapter serializes all Scan/Count calls
-/// on an internal mutex, satisfying the TripleSource requirement that
-/// concurrent Scans be safe. Parallel BGP execution over this source is
-/// therefore correct but effectively serialized at the storage layer.
+/// Thread-safety: DiskTripleStore reads go through the lock-striped
+/// BufferPool, which supports fully concurrent Fetches, so the adapter
+/// forwards Scan/Count calls directly with no serialization of its own.
+/// Parallel BGP execution over this source runs genuinely in parallel at
+/// the storage layer (scans touching different pool shards do not
+/// contend).
 ///
 /// Predicate statistics (for the planner's shared EstimateSelectivity) are
 /// computed once at construction with a full scan; the adapter assumes the
@@ -37,11 +36,11 @@ class DiskSourceAdapter : public rdf::TripleSource {
   /// cannot surface through the void interface: they are logged, counted on
   /// `storage.adapter.scan_errors`, and the scan ends early (matches seen
   /// before the error were already delivered).
-  void Scan(const rdf::TriplePattern& pattern, const ScanFn& fn) const override
-      LODVIZ_EXCLUDES(scan_mu_);
+  void Scan(const rdf::TriplePattern& pattern,
+            const ScanFn& fn) const override;
 
   [[nodiscard]] uint64_t Count(const rdf::TriplePattern& pattern) const
-      override LODVIZ_EXCLUDES(scan_mu_);
+      override;
 
   const rdf::Dictionary& dict() const override { return *dict_; }
 
@@ -55,9 +54,6 @@ class DiskSourceAdapter : public rdf::TripleSource {
  private:
   const DiskTripleStore* store_;
   const rdf::Dictionary* dict_;
-
-  /// Serializes buffer-pool access across concurrent scans.
-  mutable Mutex scan_mu_;
 
   std::unordered_map<rdf::TermId, uint64_t> pred_counts_;
 };

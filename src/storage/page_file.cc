@@ -22,7 +22,9 @@ Status PageFile::Open(const std::string& path, bool truncate) {
   path_ = path;
   off_t size = ::lseek(fd_, 0, SEEK_END);
   if (size < 0) return Status::IoError("lseek failed");
-  num_pages_ = static_cast<uint32_t>(static_cast<uint64_t>(size) / kPageSize);
+  num_pages_.store(
+      static_cast<uint32_t>(static_cast<uint64_t>(size) / kPageSize),
+      std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -36,7 +38,7 @@ Status PageFile::Close() {
 
 Result<PageId> PageFile::AllocatePage() {
   if (fd_ < 0) return Status::InvalidArgument("PageFile not open");
-  PageId id = num_pages_;
+  PageId id = num_pages_.load(std::memory_order_relaxed);
   char zeros[kPageSize] = {};
   LODVIZ_RETURN_NOT_OK(WritePage(id, zeros));  // bumps num_pages_ to id + 1
   return id;
@@ -72,7 +74,7 @@ Status PageFile::ReadPage(PageId id, void* buf) {
     }
     done += static_cast<size_t>(n);
   }
-  ++reads_;
+  reads_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -94,8 +96,13 @@ Status PageFile::WritePage(PageId id, const void* buf) {
     }
     done += static_cast<size_t>(n);
   }
-  ++writes_;
-  if (id >= num_pages_) num_pages_ = id + 1;
+  writes_.fetch_add(1, std::memory_order_relaxed);
+  // Grow the page count monotonically (CAS loop: concurrent writers may
+  // both extend the file; keep the max).
+  uint32_t n = num_pages_.load(std::memory_order_relaxed);
+  while (id >= n && !num_pages_.compare_exchange_weak(
+                        n, id + 1, std::memory_order_relaxed)) {
+  }
   return Status::OK();
 }
 

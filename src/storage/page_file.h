@@ -1,6 +1,7 @@
 #ifndef LODVIZ_STORAGE_PAGE_FILE_H_
 #define LODVIZ_STORAGE_PAGE_FILE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -17,6 +18,11 @@ inline constexpr PageId kInvalidPageId = ~PageId(0);
 /// A file laid out as an array of kPageSize pages, accessed with
 /// pread/pwrite. Counts physical I/Os so the disk-vs-memory experiments
 /// can report them.
+///
+/// ReadPage/WritePage/Sync are safe to call concurrently (positional I/O,
+/// atomic counters) — the striped BufferPool issues them from several
+/// shards at once. AllocatePage is a read-modify-write of the page count
+/// and must be externally serialized (the pool's allocation mutex).
 class PageFile {
  public:
   PageFile() = default;
@@ -47,10 +53,15 @@ class PageFile {
   /// Flushes file data to stable storage (fdatasync).
   virtual Status Sync();
 
-  uint32_t num_pages() const { return num_pages_; }
-  uint64_t reads() const { return reads_; }
-  uint64_t writes() const { return writes_; }
-  void ResetCounters() { reads_ = writes_ = 0; }
+  uint32_t num_pages() const {
+    return num_pages_.load(std::memory_order_relaxed);
+  }
+  uint64_t reads() const { return reads_.load(std::memory_order_relaxed); }
+  uint64_t writes() const { return writes_.load(std::memory_order_relaxed); }
+  void ResetCounters() {
+    reads_.store(0, std::memory_order_relaxed);
+    writes_.store(0, std::memory_order_relaxed);
+  }
 
  protected:
   /// Raw positional I/O seams; tests override these to inject short
@@ -61,9 +72,9 @@ class PageFile {
  private:
   int fd_ = -1;
   std::string path_;
-  uint32_t num_pages_ = 0;
-  uint64_t reads_ = 0;
-  uint64_t writes_ = 0;
+  std::atomic<uint32_t> num_pages_{0};
+  std::atomic<uint64_t> reads_{0};
+  std::atomic<uint64_t> writes_{0};
 };
 
 }  // namespace lodviz::storage
