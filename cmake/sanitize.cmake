@@ -8,3 +8,6 @@
 set(CMAKE_BUILD_TYPE RelWithDebInfo CACHE STRING "")
 set(LODVIZ_SANITIZE "address;undefined" CACHE STRING "")
 set(LODVIZ_WERROR ON CACHE BOOL "")
+# Under clang, also hard-fail on thread-safety annotation violations
+# (LODVIZ_GUARDED_BY discipline); a warning+no-op elsewhere.
+set(LODVIZ_THREAD_SAFETY ON CACHE BOOL "")

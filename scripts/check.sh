@@ -1,36 +1,61 @@
 #!/usr/bin/env bash
-# Full correctness gate: static lint + ASan/UBSan build of the tier-1 suite
-# + TSan run of the obs and exec concurrency tests.
+# Full correctness gate, fail-fast and ordered cheapest-first:
 #
-#   scripts/check.sh            # lint, sanitized build + ctest, TSan obs+exec
-#   scripts/check.sh --lint     # lint only (fast pre-commit check)
+#   1. static analysis  — lodviz_lint self-test + repo-wide run (seconds;
+#      catches concurrency.guarded_by / lock_order / layering violations
+#      before any expensive build starts)
+#   2. thread-safety    — clang -Werror=thread-safety build of the library
+#      (skipped with a notice when clang++ is not installed; the annotation
+#      macros are no-ops elsewhere, so only clang can check them)
+#   3. ASan+UBSan       — full tier-1 suite under address+undefined
+#   4. TSan             — obs/exec/sparql concurrency tests
+#
+#   scripts/check.sh            # all four gates
+#   scripts/check.sh --lint     # gate 1 only (fast pre-commit check)
 #
 # Run from the repository root. See README "Correctness tooling".
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 LINT_BUILD=build-lint
+TSAFETY_BUILD=build-tsafety
 ASAN_BUILD=build-asan
 TSAN_BUILD=build-tsan
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)"
 
-echo "== [1/3] lodviz_lint =="
+echo "== [1/4] static analysis (lodviz_lint) =="
 cmake -B "$LINT_BUILD" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$LINT_BUILD" --target lodviz_lint -j "$JOBS" >/dev/null
+"$LINT_BUILD"/tools/lint/lodviz_lint --self-test
 "$LINT_BUILD"/tools/lint/lodviz_lint --root . src bench tests tools
+"$LINT_BUILD"/tools/lint/lodviz_lint --expect --root tests/lint_fixtures/bad
+"$LINT_BUILD"/tools/lint/lodviz_lint --expect --root tests/lint_fixtures/clean
 bash scripts/check_no_build_artifacts.sh .
 
 if [ "${1:-}" = "--lint" ]; then
-  echo "check.sh: lint OK (skipping sanitizer build)"
+  echo "check.sh: lint OK (skipping thread-safety + sanitizer builds)"
   exit 0
 fi
 
-echo "== [2/3] ASan+UBSan tier-1 suite =="
+echo "== [2/4] clang -Werror=thread-safety =="
+if command -v clang++ >/dev/null 2>&1; then
+  # Library targets only: the annotations live in src/, and this keeps the
+  # leg fast enough to run before the sanitizer builds.
+  cmake -B "$TSAFETY_BUILD" -S . -DCMAKE_BUILD_TYPE=Release \
+    -DCMAKE_CXX_COMPILER=clang++ -DLODVIZ_THREAD_SAFETY=ON >/dev/null
+  cmake --build "$TSAFETY_BUILD" --target lodviz_common lodviz_obs \
+    lodviz_exec lodviz_rdf lodviz_storage lodviz_sparql -j "$JOBS"
+else
+  echo "clang++ not found: skipping (GCC compiles the annotations away;" \
+       "the lint gate above still enforces GUARDED_BY/lock-order statically)"
+fi
+
+echo "== [3/4] ASan+UBSan tier-1 suite =="
 cmake -B "$ASAN_BUILD" -S . -C cmake/sanitize.cmake >/dev/null
 cmake --build "$ASAN_BUILD" -j "$JOBS"
 ctest --test-dir "$ASAN_BUILD" --output-on-failure -j "$JOBS"
 
-echo "== [3/3] TSan obs + exec + sparql concurrency tests =="
+echo "== [4/4] TSan obs + exec + sparql concurrency tests =="
 # ThreadSanitizer is exclusive with ASan, so the concurrency tests get their
 # own build tree. The Exec suites cover the thread pool plus every
 # parallelized hot path (hetree, progressive, clustering, bundling, layout,

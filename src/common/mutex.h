@@ -1,6 +1,7 @@
 #ifndef LODVIZ_COMMON_MUTEX_H_
 #define LODVIZ_COMMON_MUTEX_H_
 
+#include <condition_variable>
 #include <mutex>
 
 #include "common/thread_annotations.h"
@@ -20,6 +21,7 @@ class LODVIZ_CAPABILITY("mutex") Mutex {
   void Unlock() LODVIZ_RELEASE() { mu_.unlock(); }
 
  private:
+  friend class CondVar;
   std::mutex mu_;
 };
 
@@ -34,6 +36,40 @@ class LODVIZ_SCOPED_CAPABILITY MutexLock {
 
  private:
   Mutex* mu_;
+};
+
+/// Condition variable usable with the annotated Mutex (leveldb-style).
+/// Wait() atomically releases the mutex the caller holds and reacquires it
+/// before returning; the adopt_lock/release dance hands ownership to a
+/// std::unique_lock only for the duration of the wait, without the Mutex
+/// ever appearing unlocked to the thread-safety analysis.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Caller must hold *mu; it is held again when Wait returns.
+  void Wait(Mutex* mu) LODVIZ_REQUIRES(mu) LODVIZ_NO_THREAD_SAFETY_ANALYSIS {
+    std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+
+  /// Waits until `pred()` holds; the predicate is evaluated under *mu.
+  template <typename Pred>
+  void Wait(Mutex* mu, Pred pred) LODVIZ_REQUIRES(mu)
+      LODVIZ_NO_THREAD_SAFETY_ANALYSIS {
+    std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+    cv_.wait(lock, std::move(pred));
+    lock.release();
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
 };
 
 }  // namespace lodviz

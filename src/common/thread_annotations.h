@@ -43,4 +43,21 @@
 #define LODVIZ_NO_THREAD_SAFETY_ANALYSIS \
   LODVIZ_THREAD_ANNOTATION(no_thread_safety_analysis)
 
+/// Declares a static lock-acquisition order between mutexes:
+/// `Mutex a_ LODVIZ_ACQUIRED_BEFORE(other::Class::b_);` means a_ may be
+/// held while b_ is acquired, never the reverse. ACQUIRED_AFTER is the
+/// same edge written from the other end.
+///
+/// These expand to NOTHING for every compiler: clang's acquired_before
+/// attribute cannot name private members of other classes, and lodviz's
+/// real lock-order edges are all cross-class (e.g. exec::ThreadPool::mu_
+/// before obs::MetricRegistry::mu_). They are machine-checked metadata for
+/// `lodviz_lint`'s `concurrency.lock_order` rule instead, which parses the
+/// annotations, builds the global acquisition graph, and fails the build
+/// on any cycle. Targets are written as `Namespace::Class::member` (the
+/// `lodviz::` prefix is implied); an unqualified name refers to a member
+/// of the same class.
+#define LODVIZ_ACQUIRED_BEFORE(...)
+#define LODVIZ_ACQUIRED_AFTER(...)
+
 #endif  // LODVIZ_COMMON_THREAD_ANNOTATIONS_H_

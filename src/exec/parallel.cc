@@ -1,12 +1,12 @@
 #include "exec/parallel.h"
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdlib>
 #include <memory>
-#include <mutex>
 #include <thread>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "obs/trace.h"
 
 namespace lodviz::exec {
@@ -27,9 +27,13 @@ size_t DefaultThreads() {
 /// pool is constructed after (and destroyed before) the obs registry its
 /// workers report into.
 struct GlobalExec {
-  std::mutex mu;
-  size_t threads = 0;  // 0 = not yet initialized from the environment
-  std::unique_ptr<ThreadPool> pool;
+  /// SetThreads()/GlobalPool() construct and destroy the pool (whose ctor
+  /// registers gauges and whose dtor takes ThreadPool::mu_) while holding
+  /// mu, so it orders before both downstream mutexes.
+  Mutex mu LODVIZ_ACQUIRED_BEFORE(exec::ThreadPool::mu_)
+      LODVIZ_ACQUIRED_BEFORE(obs::MetricRegistry::mu_);
+  size_t threads LODVIZ_GUARDED_BY(mu) = 0;  // 0 = uninitialized
+  std::unique_ptr<ThreadPool> pool LODVIZ_GUARDED_BY(mu);
 
   static GlobalExec& Get() {
     static GlobalExec state;
@@ -41,14 +45,14 @@ struct GlobalExec {
 
 size_t ThreadCount() {
   GlobalExec& g = GlobalExec::Get();
-  std::lock_guard<std::mutex> lock(g.mu);
+  MutexLock lock(&g.mu);
   if (g.threads == 0) g.threads = DefaultThreads();
   return g.threads;
 }
 
 void SetThreads(size_t n) {
   GlobalExec& g = GlobalExec::Get();
-  std::lock_guard<std::mutex> lock(g.mu);
+  MutexLock lock(&g.mu);
   g.pool.reset();  // joins workers; safe because no Parallel* is in flight
   g.threads = n ? n : DefaultThreads();
 }
@@ -59,7 +63,7 @@ bool SerialMode() { return InWorkerThread() || ThreadCount() == 1; }
 
 ThreadPool& GlobalPool() {
   GlobalExec& g = GlobalExec::Get();
-  std::lock_guard<std::mutex> lock(g.mu);
+  MutexLock lock(&g.mu);
   if (g.threads == 0) g.threads = DefaultThreads();
   if (!g.pool) g.pool = std::make_unique<ThreadPool>(g.threads);
   return *g.pool;
@@ -83,8 +87,8 @@ void ParallelFor(size_t begin, size_t end, size_t grain,
   // last task retires. Chunk boundaries are a pure function of grain, so
   // which worker runs which chunk never affects results.
   std::atomic<size_t> next_chunk{0};
-  std::mutex done_mu;
-  std::condition_variable done_cv;
+  Mutex done_mu;
+  CondVar done_cv;
   size_t tasks_done = 0;
   for (size_t t = 0; t < num_tasks; ++t) {
     pool.Submit([&] {
@@ -98,13 +102,13 @@ void ParallelFor(size_t begin, size_t end, size_t grain,
       }
       // Notify under the lock: the caller may destroy done_cv the moment
       // the predicate is satisfied.
-      std::lock_guard<std::mutex> lock(done_mu);
+      MutexLock lock(&done_mu);
       ++tasks_done;
-      done_cv.notify_one();
+      done_cv.NotifyOne();
     });
   }
-  std::unique_lock<std::mutex> lock(done_mu);
-  done_cv.wait(lock, [&] { return tasks_done == num_tasks; });
+  MutexLock lock(&done_mu);
+  done_cv.Wait(&done_mu, [&] { return tasks_done == num_tasks; });
 }
 
 }  // namespace lodviz::exec

@@ -33,23 +33,23 @@ ThreadPool::~ThreadPool() { Shutdown(); }
 void ThreadPool::Submit(std::function<void()> task) {
   LODVIZ_CHECK(task != nullptr) << "null task submitted to ThreadPool";
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     LODVIZ_CHECK(!shutting_down_) << "Submit after ThreadPool::Shutdown";
     queue_.push_back(std::move(task));
     obs::MetricRegistry::Global()
         .GetGauge("exec.pool.queue_depth")
         .Set(static_cast<int64_t>(queue_.size()));
   }
-  work_ready_.notify_one();
+  work_ready_.NotifyOne();
 }
 
 void ThreadPool::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (shutting_down_ && workers_.empty()) return;
     shutting_down_ = true;
   }
-  work_ready_.notify_all();
+  work_ready_.NotifyAll();
   for (std::thread& w : workers_) {
     if (w.joinable()) w.join();
   }
@@ -57,15 +57,20 @@ void ThreadPool::Shutdown() {
   obs::MetricRegistry::Global().GetGauge("exec.pool.threads").Set(0);
 }
 
+size_t ThreadPool::num_threads() const {
+  MutexLock lock(&mu_);
+  return worker_task_counts_.size();
+}
+
 uint64_t ThreadPool::tasks_executed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   uint64_t total = 0;
   for (uint64_t c : worker_task_counts_) total += c;
   return total;
 }
 
 uint64_t ThreadPool::worker_tasks(size_t i) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   LODVIZ_CHECK(i < worker_task_counts_.size()) << "worker index" << i;
   return worker_task_counts_[i];
 }
@@ -86,9 +91,8 @@ void ThreadPool::WorkerLoop(size_t worker_index) {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_ready_.wait(lock,
-                       [this] { return shutting_down_ || !queue_.empty(); });
+      MutexLock lock(&mu_);
+      while (!shutting_down_ && queue_.empty()) work_ready_.Wait(&mu_);
       // Graceful: drain the queue even when shutting down.
       if (queue_.empty()) break;
       task = std::move(queue_.front());

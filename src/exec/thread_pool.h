@@ -1,13 +1,14 @@
 #ifndef LODVIZ_EXEC_THREAD_POOL_H_
 #define LODVIZ_EXEC_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace lodviz::exec {
 
@@ -38,21 +39,21 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues `task`. Must not be called after Shutdown() has started.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) LODVIZ_EXCLUDES(mu_);
 
   /// Stops accepting work, runs all queued tasks to completion, and joins
   /// the workers. Idempotent; called by the destructor.
-  void Shutdown();
+  void Shutdown() LODVIZ_EXCLUDES(mu_);
 
   /// Pool size; stable across Shutdown() so post-mortem counter queries
   /// (worker_tasks) can still iterate the workers.
-  size_t num_threads() const { return worker_task_counts_.size(); }
+  size_t num_threads() const LODVIZ_EXCLUDES(mu_);
 
   /// Total tasks executed across all workers.
-  uint64_t tasks_executed() const;
+  uint64_t tasks_executed() const LODVIZ_EXCLUDES(mu_);
 
   /// Tasks executed by worker `i` (also exported as exec.worker.<i>.tasks).
-  uint64_t worker_tasks(size_t i) const;
+  uint64_t worker_tasks(size_t i) const LODVIZ_EXCLUDES(mu_);
 
   /// True iff the calling thread is one of this pool's workers.
   bool InThisPool() const;
@@ -62,15 +63,21 @@ class ThreadPool {
   static bool InAnyPool();
 
  private:
-  void WorkerLoop(size_t worker_index);
+  void WorkerLoop(size_t worker_index) LODVIZ_EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  std::condition_variable work_ready_;
-  std::deque<std::function<void()>> queue_;
-  bool shutting_down_ = false;
+  /// Submit() resolves obs gauges while holding mu_, so the pool mutex
+  /// orders strictly before the metric registry's.
+  mutable Mutex mu_ LODVIZ_ACQUIRED_BEFORE(obs::MetricRegistry::mu_);
+  CondVar work_ready_;
+  std::deque<std::function<void()>> queue_ LODVIZ_GUARDED_BY(mu_);
+  bool shutting_down_ LODVIZ_GUARDED_BY(mu_) = false;
+  /// Written only by the constructor and Shutdown(); Shutdown() must join
+  /// outside the lock (workers take mu_ to pop work), and the join itself
+  /// is the happens-before edge that makes the final clear() safe.
+  // LINT-ALLOW(concurrency.guarded_by): ctor/Shutdown-only; join is the sync
   std::vector<std::thread> workers_;
   /// Task counts, one slot per worker; mirrored into the obs registry.
-  std::vector<uint64_t> worker_task_counts_;
+  std::vector<uint64_t> worker_task_counts_ LODVIZ_GUARDED_BY(mu_);
 };
 
 }  // namespace lodviz::exec

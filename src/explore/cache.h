@@ -11,6 +11,15 @@ namespace lodviz::explore {
 /// prefetching techniques may be exploited" [128, 16, 39]). Keys are
 /// typically tile ids or query fingerprints; values the rendered/fetched
 /// payloads.
+///
+/// Thread-compatibility contract: NOT thread-safe. Every method mutates
+/// shared state (Get reorders the recency list), so an instance must be
+/// confined to one thread or externally synchronized. This is deliberate —
+/// the cache sits on the interactive session's event loop (one session,
+/// one thread), and an internal mutex would serialize unrelated sessions
+/// for nothing. Audited with the `concurrency.guarded_by` lint rule: the
+/// class owns no mutex, so the rule (correctly) demands none of its
+/// members be annotated.
 template <typename K, typename V>
 class LruCache {
  public:

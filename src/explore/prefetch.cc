@@ -54,6 +54,8 @@ std::vector<uint64_t> TilePrefetcher::Request(const geo::TileKey& key) {
   const std::vector<uint64_t>* cached = cache_.Get(key.Pack());
   if (cached != nullptr) {
     ++user_hits_;
+    // Copy before prefetching: PrefetchAround inserts into the cache and
+    // may evict this entry, which would dangle the pointer.
     result = *cached;
   } else {
     result = FetchInto(key);

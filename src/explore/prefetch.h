@@ -13,6 +13,13 @@ namespace lodviz::explore {
 /// (ForeCache/ATLAS-style [16, 33]): after each request, the tiles ahead
 /// in the user's current panning direction (plus the parent for zoom-out)
 /// are fetched speculatively, hiding backend latency from interaction.
+///
+/// Thread-compatibility contract: NOT thread-safe, like the LruCache it
+/// wraps. Request() mutates the cache, the momentum state (last_key_,
+/// has_last_) and the hit counters; one instance belongs to one
+/// interactive session on one thread. A future concurrent serving layer
+/// must give each session its own prefetcher (they share nothing) rather
+/// than lock a global one.
 class TilePrefetcher {
  public:
   /// `fetch` produces a tile payload (counted as a backend access).

@@ -143,6 +143,12 @@ class MetricRegistry {
   MetricsSnapshot Snapshot() const LODVIZ_EXCLUDES(mu_);
 
  private:
+  /// Leaf mutex in the process lock order: registry methods never acquire
+  /// another lock while holding it, so any subsystem (exec, storage, ...)
+  /// may call Get* while holding its own mutex. Declared ACQUIRED_AFTER
+  /// at the call sites above it (exec::ThreadPool, exec's global pool
+  /// state); obs sits below them in the layering DAG and cannot name them
+  /// here.
   mutable Mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_
       LODVIZ_GUARDED_BY(mu_);

@@ -78,6 +78,9 @@ class Tracer {
   std::atomic<bool> enabled_{false};
   std::atomic<uint64_t> next_id_{1};
   std::atomic<uint64_t> dropped_{0};
+  /// Leaf mutex: Append/TakeFinished never acquire another lock while
+  /// holding it, so spans can finish from any context without ordering
+  /// constraints.
   mutable Mutex mu_;
   std::vector<SpanRecord> finished_ LODVIZ_GUARDED_BY(mu_);
 };

@@ -105,7 +105,14 @@ class TripleStore : public TripleSource {
                   const std::function<bool(const Triple&)>& fn) const
       LODVIZ_REQUIRES(mu_);
 
+  /// The dictionary and predicate statistics are written only by
+  /// Add/AddEncoded, which the class contract (see the header comment)
+  /// requires to be externally serialized against each other and against
+  /// readers — so they deliberately sit outside mu_, keeping concurrent
+  /// Scan/Count fully lock-free on them.
+  // LINT-ALLOW(concurrency.guarded_by): written by externally-serialized Add
   Dictionary dict_;
+  // LINT-ALLOW(concurrency.guarded_by): set once in the constructor
   size_t compaction_threshold_;
 
   /// Guards the sorted permutation indexes and the pending buffer
@@ -116,6 +123,7 @@ class TripleStore : public TripleSource {
   mutable std::vector<Triple> osp_ LODVIZ_GUARDED_BY(mu_);
   mutable std::vector<Triple> pending_ LODVIZ_GUARDED_BY(mu_);
 
+  // LINT-ALLOW(concurrency.guarded_by): written by externally-serialized Add
   std::unordered_map<TermId, uint64_t> pred_counts_;
 };
 

@@ -52,16 +52,26 @@ size_t BufferPool::PickShards(size_t capacity) {
   return shards;
 }
 
+size_t BufferPool::ValidatedCapacity(size_t capacity_pages) {
+  LODVIZ_CHECK(capacity_pages >= 4) << "buffer pool too small";
+  return capacity_pages;
+}
+
 BufferPool::BufferPool(PageFile* file, size_t capacity_pages)
     : file_(file),
-      capacity_(capacity_pages),
-      num_shards_(PickShards(capacity_pages)) {
-  LODVIZ_CHECK(capacity_pages >= 4) << "buffer pool too small";
-  frames_ = std::make_unique<Frame[]>(capacity_);
+      capacity_(ValidatedCapacity(capacity_pages)),
+      num_shards_(PickShards(capacity_pages)),
+      frames_(std::make_unique<Frame[]>(capacity_)),
+      shards_(std::make_unique<Shard[]>(num_shards_)),
+      agg_hits_(&obs::MetricRegistry::Global().GetCounter(
+          "storage.buffer_pool.hits")),
+      agg_misses_(&obs::MetricRegistry::Global().GetCounter(
+          "storage.buffer_pool.misses")),
+      agg_evictions_(&obs::MetricRegistry::Global().GetCounter(
+          "storage.buffer_pool.evictions")) {
   for (size_t i = 0; i < capacity_; ++i) {
     frames_[i].data = std::make_unique<uint8_t[]>(kPageSize);
   }
-  shards_ = std::make_unique<Shard[]>(num_shards_);
   // Split the frame array into contiguous per-shard ranges; the last
   // shard absorbs the remainder.
   const size_t per_shard = capacity_ / num_shards_;
@@ -71,9 +81,6 @@ BufferPool::BufferPool(PageFile* file, size_t capacity_pages)
         s + 1 == num_shards_ ? capacity_ : (s + 1) * per_shard);
   }
   obs::MetricRegistry& registry = obs::MetricRegistry::Global();
-  agg_hits_ = &registry.GetCounter("storage.buffer_pool.hits");
-  agg_misses_ = &registry.GetCounter("storage.buffer_pool.misses");
-  agg_evictions_ = &registry.GetCounter("storage.buffer_pool.evictions");
   registry.GetCounter("storage.buffer_pool.pools_created").Increment();
   registry.GetGauge("storage.buffer_pool.capacity_pages")
       .Set(static_cast<int64_t>(capacity_pages));
@@ -146,13 +153,9 @@ Result<PageRef> BufferPool::Fetch(PageId id) {
 }
 
 Result<PageRef> BufferPool::NewPage() {
-  PageId id;
-  {
-    // File growth is a read-modify-write of the page count; everything
-    // else stays shard-local.
-    MutexLock alloc_lock(&alloc_mu_);
-    LODVIZ_ASSIGN_OR_RETURN(id, file_->AllocatePage());
-  }
+  // File growth is serialized inside PageFile::AllocatePage (its grow
+  // mutex); everything else stays shard-local.
+  LODVIZ_ASSIGN_OR_RETURN(PageId id, file_->AllocatePage());
   Shard& shard = ShardOf(id);
   MutexLock lock(&shard.mu);
   LODVIZ_ASSIGN_OR_RETURN(int32_t frame, GetVictimFrame(shard));

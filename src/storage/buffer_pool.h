@@ -118,8 +118,12 @@ class BufferPool {
     mutable Mutex mu;
     std::unordered_map<PageId, int32_t> page_table LODVIZ_GUARDED_BY(mu);
     uint64_t tick LODVIZ_GUARDED_BY(mu) = 0;
-    /// Frame range [begin, end) owned by this shard.
+    /// Frame range [begin, end) owned by this shard. Written once by the
+    /// pool constructor before any concurrent access; immutable afterwards
+    /// (can't be const: shards live in a default-constructed array).
+    // LINT-ALLOW(concurrency.guarded_by): set once in BufferPool ctor
     int32_t begin = 0;
+    // LINT-ALLOW(concurrency.guarded_by): set once in BufferPool ctor
     int32_t end = 0;
   };
 
@@ -152,23 +156,27 @@ class BufferPool {
   /// `storage.buffer_pool.hits` counter lags a live pool by < kAggBatch.
   static constexpr uint64_t kAggBatch = 64;
 
-  PageFile* file_;
-  size_t capacity_;
-  size_t num_shards_;
-  std::unique_ptr<Frame[]> frames_;
-  std::unique_ptr<Shard[]> shards_;
-  /// Serializes file growth (PageFile::AllocatePage is read-modify-write
-  /// on the page count).
-  Mutex alloc_mu_;
+  /// Validates the pool size so the const members below can be built in
+  /// the initializer list.
+  static size_t ValidatedCapacity(size_t capacity_pages);
+
+  // Everything below the shard array is immutable after construction (the
+  // pointers are const; the pointees carry their own synchronization), so
+  // the shard mutexes guard exactly the mutable state annotated above.
+  PageFile* const file_;
+  const size_t capacity_;
+  const size_t num_shards_;
+  const std::unique_ptr<Frame[]> frames_;
+  const std::unique_ptr<Shard[]> shards_;
   // Per-instance atomic counters (lock-free, so the pin path stays clean
   // under TSan) feeding the per-pool accessors above; the aggregates
   // below fold every pool into the process-wide metric registry.
   obs::Counter hits_;
   obs::Counter misses_;
   obs::Counter evictions_;
-  obs::Counter* agg_hits_;
-  obs::Counter* agg_misses_;
-  obs::Counter* agg_evictions_;
+  obs::Counter* const agg_hits_;
+  obs::Counter* const agg_misses_;
+  obs::Counter* const agg_evictions_;
 };
 
 }  // namespace lodviz::storage

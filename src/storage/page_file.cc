@@ -38,6 +38,9 @@ Status PageFile::Close() {
 
 Result<PageId> PageFile::AllocatePage() {
   if (fd_ < 0) return Status::InvalidArgument("PageFile not open");
+  // Hold grow_mu_ across the read-modify-write so two concurrent
+  // allocators cannot claim the same page id.
+  MutexLock lock(&grow_mu_);
   PageId id = num_pages_.load(std::memory_order_relaxed);
   char zeros[kPageSize] = {};
   LODVIZ_RETURN_NOT_OK(WritePage(id, zeros));  // bumps num_pages_ to id + 1

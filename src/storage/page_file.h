@@ -5,7 +5,9 @@
 #include <cstdint>
 #include <string>
 
+#include "common/mutex.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 
 namespace lodviz::storage {
 
@@ -22,7 +24,9 @@ inline constexpr PageId kInvalidPageId = ~PageId(0);
 /// ReadPage/WritePage/Sync are safe to call concurrently (positional I/O,
 /// atomic counters) — the striped BufferPool issues them from several
 /// shards at once. AllocatePage is a read-modify-write of the page count
-/// and must be externally serialized (the pool's allocation mutex).
+/// and serializes itself on grow_mu_, so concurrent allocators from
+/// different pool shards are safe too. Open/Close are single-threaded
+/// setup/teardown: no I/O may be in flight when they run.
 class PageFile {
  public:
   PageFile() = default;
@@ -37,9 +41,11 @@ class PageFile {
 
   bool is_open() const { return fd_ >= 0; }
 
-  /// Appends a zeroed page; returns its id. Virtual so tests can inject
-  /// I/O failures (see storage_test.cc).
-  virtual Result<PageId> AllocatePage();
+  /// Appends a zeroed page; returns its id. Safe to call concurrently
+  /// (growth is a read-modify-write of the page count, serialized on
+  /// grow_mu_). Virtual so tests can inject I/O failures (see
+  /// storage_test.cc).
+  virtual Result<PageId> AllocatePage() LODVIZ_EXCLUDES(grow_mu_);
 
   /// Reads page `id` into `buf` (kPageSize bytes). Loops until the full
   /// page is transferred: POSIX allows pread to return fewer bytes than
@@ -70,7 +76,14 @@ class PageFile {
   virtual ssize_t PwriteSome(const void* buf, size_t count, off_t offset);
 
  private:
+  /// Serializes file growth in AllocatePage. Leaf mutex: no other lock is
+  /// ever acquired while it is held (WritePage is lock-free).
+  Mutex grow_mu_;
+  /// Written only by Open/Close under their single-threaded contract; all
+  /// concurrent entry points (Read/Write/Sync/Allocate) only read it.
+  // LINT-ALLOW(concurrency.guarded_by): Open/Close are single-threaded
   int fd_ = -1;
+  // LINT-ALLOW(concurrency.guarded_by): Open/Close are single-threaded
   std::string path_;
   std::atomic<uint32_t> num_pages_{0};
   std::atomic<uint64_t> reads_{0};

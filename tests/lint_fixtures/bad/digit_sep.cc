@@ -1,0 +1,17 @@
+// Fixture: C++14 digit separators. The odd number of apostrophes in the
+// literal below made the old lexer open a bogus char literal and swallow
+// the rest of the file, hiding the naked delete and the printf from every
+// rule (false negatives). The token lexer must still see and report both.
+// LINT-EXPECT: naked-new, io-print
+#include <cstdint>
+#include <cstdio>
+
+namespace lodviz::fixture {
+
+void LeakTimer(int* p) {
+  constexpr uint64_t kNanosPerSecond = 1'000'000'000;
+  delete p;
+  std::printf("%llu\n", static_cast<unsigned long long>(kNanosPerSecond));
+}
+
+}  // namespace lodviz::fixture

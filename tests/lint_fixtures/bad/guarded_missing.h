@@ -1,0 +1,28 @@
+// Fixture: a class that owns a mutex but leaves members unannotated.
+// LINT-EXPECT: concurrency.guarded_by
+#ifndef LODVIZ_GUARDED_MISSING_H_
+#define LODVIZ_GUARDED_MISSING_H_
+
+#include <map>
+#include <string>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace lodviz::fixture {
+
+class SessionTable {
+ public:
+  void Insert(const std::string& key, int value);
+  int Lookup(const std::string& key) const;
+
+ private:
+  mutable Mutex mu_;
+  // Neither member says which lock protects it: both must fire.
+  std::map<std::string, int> sessions_;
+  int generation_ = 0;
+};
+
+}  // namespace lodviz::fixture
+
+#endif  // LODVIZ_GUARDED_MISSING_H_

@@ -1,0 +1,41 @@
+// Fixture: a seeded lock-order inversion. Scheduler::mu_ declares it is
+// acquired before Journal::mu_, while Journal::mu_ declares it is acquired
+// before Scheduler::mu_ (via ACQUIRED_AFTER on the Scheduler side too) —
+// a cycle in the static acquisition graph, i.e. a latent deadlock.
+// LINT-EXPECT: concurrency.lock_order
+#ifndef LODVIZ_LOCK_CYCLE_H_
+#define LODVIZ_LOCK_CYCLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace lodviz::fixture {
+
+class Scheduler {
+ public:
+  void Tick();
+
+ private:
+  // Edge 1: Scheduler::mu_ -> Journal::mu_ (Tick logs under its lock)...
+  // ...and edge 2 via ACQUIRED_AFTER: Journal::mu_ -> Scheduler::mu_,
+  // closing the cycle from this side alone.
+  Mutex mu_ LODVIZ_ACQUIRED_BEFORE(fixture::Journal::mu_)
+      LODVIZ_ACQUIRED_AFTER(fixture::Journal::mu_);
+  std::vector<uint64_t> run_queue_ LODVIZ_GUARDED_BY(mu_);
+};
+
+class Journal {
+ public:
+  void Append(uint64_t entry);
+
+ private:
+  Mutex mu_;
+  std::vector<uint64_t> entries_ LODVIZ_GUARDED_BY(mu_);
+};
+
+}  // namespace lodviz::fixture
+
+#endif  // LODVIZ_LOCK_CYCLE_H_

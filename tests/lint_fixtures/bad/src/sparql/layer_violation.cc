@@ -1,0 +1,10 @@
+// Fixture: the query layer reaching up into core. `sparql` (layer 5) may
+// only include modules strictly below it; `core` is the top of the DAG.
+// LINT-EXPECT: arch.layering
+#include "core/engine.h"
+
+namespace lodviz::sparql {
+
+int UseEngineFromQueryLayer() { return 1; }
+
+}  // namespace lodviz::sparql

@@ -1,0 +1,25 @@
+// Fixture: lexer false-positive regressions. Nothing here may fire.
+//
+// (1) A line comment whose last character is a backslash splices the next
+// physical line into the comment, so the "delete p;" below is commentary,
+// not code — the old per-line scanner reported it as a naked delete. \
+delete p; std::printf("never code");
+
+// (2) Rule keywords inside string and raw-string literals are data, not
+// code; the old scanner matched them.
+#include <string>
+
+namespace lodviz::fixture {
+
+const char* SuspiciousStrings() {
+  static const std::string usage =
+      "usage: do not call delete or printf directly";
+  static const char* raw = R"lint(new delete cout printf steady_clock)lint";
+  (void)usage;
+  return raw;
+}
+
+/* (3) Block comments spanning lines with std::thread worker(...)
+   construction text must also stay invisible. */
+
+}  // namespace lodviz::fixture

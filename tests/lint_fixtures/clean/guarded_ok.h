@@ -1,0 +1,51 @@
+// Fixture: a fully annotated mutex-owning class. Every member is either
+// GUARDED_BY/PT_GUARDED_BY, internally thread-safe (atomic, obs counter),
+// const/static, or carries an explicit LINT-ALLOW rationale — so
+// concurrency.guarded_by must stay silent. The two ACQUIRED_BEFORE edges
+// here are acyclic, so concurrency.lock_order must stay silent too.
+#ifndef LODVIZ_GUARDED_OK_H_
+#define LODVIZ_GUARDED_OK_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "obs/metrics.h"
+
+namespace lodviz::fixture {
+
+class FrontLog {
+ public:
+  void Append(const std::string& line);
+
+ private:
+  Mutex mu_;
+  std::map<uint64_t, std::string> lines_ LODVIZ_GUARDED_BY(mu_);
+};
+
+class AnnotatedServer {
+ public:
+  void Serve();
+
+ private:
+  // Acyclic order: AnnotatedServer::mu_ -> FrontLog::mu_ (both spellings).
+  mutable Mutex mu_ LODVIZ_ACQUIRED_BEFORE(fixture::FrontLog::mu_);
+  Mutex log_mu_ LODVIZ_ACQUIRED_AFTER(mu_);
+  std::map<std::string, int> routes_ LODVIZ_GUARDED_BY(mu_);
+  std::unique_ptr<int> owned_slot_ LODVIZ_PT_GUARDED_BY(mu_);
+  uint64_t epoch_ LODVIZ_GUARDED_BY(log_mu_) = 0;
+  std::atomic<uint64_t> requests_{0};
+  obs::Counter served_;
+  const int port_ = 8080;
+  static constexpr int kMaxRoutes = 1024;
+  // LINT-ALLOW(concurrency.guarded_by): written once before Serve() starts
+  std::string name_;
+};
+
+}  // namespace lodviz::fixture
+
+#endif  // LODVIZ_GUARDED_OK_H_

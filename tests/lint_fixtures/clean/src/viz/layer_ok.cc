@@ -1,0 +1,11 @@
+// Fixture: layering-conformant includes. `viz` (layer 8) may include
+// `graph` (7), `sparql` (5) and `common` (0) — all strictly below it.
+#include "common/mutex.h"
+#include "graph/graph.h"
+#include "sparql/ast.h"
+
+namespace lodviz::viz {
+
+int RenderFromLowerLayers() { return 0; }
+
+}  // namespace lodviz::viz
