@@ -14,6 +14,7 @@
 #include "common/stopwatch.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/query_log.h"
 #include "obs/trace.h"
 
 namespace lodviz::bench {
@@ -64,10 +65,12 @@ inline std::string Pct(double fraction) {
 /// When the LODVIZ_BENCH_JSON environment variable names a directory, the
 /// destructor enables span tracing for the bench's lifetime and writes
 /// `<dir>/BENCH_<id>.json` containing the named phase timings, a full
-/// metrics snapshot (counters + gauges + histograms with p50/p95/p99), and
-/// the Chrome trace-event array collected while the bench ran. With the
-/// variable unset this is a no-op, so interactive bench runs are
-/// unaffected.
+/// metrics snapshot (counters + gauges + histograms with p50/p95/p99),
+/// the slow-query journal (obs::QueryLog::ToJson — empty unless the bench
+/// armed it with SetSlowQueryThreshold or the journal was armed
+/// elsewhere), and the Chrome trace-event array collected while the bench
+/// ran. With the variable unset this is a no-op, so interactive bench
+/// runs are unaffected.
 class Telemetry {
  public:
   explicit Telemetry(std::string bench_id) : id_(std::move(bench_id)) {
@@ -99,10 +102,18 @@ class Telemetry {
           << "\":" << phases_[i].second;
     }
     out << "},\"metrics\":" << obs::JsonSnapshot()
+        << ",\"query_log\":" << obs::QueryLog::Global().ToJson()
         << ",\"dropped_spans\":" << tracer.dropped()
         << ",\"traceEvents\":" << obs::ChromeTraceJson(tracer.Finished())
         << "}\n";
     std::cout << "\n[telemetry] wrote " << path << "\n";
+  }
+
+  /// Arms the process-wide slow-query journal so SPARQL-heavy benches
+  /// capture their slow queries into the telemetry JSON (0 journals every
+  /// query).
+  static void SetSlowQueryThreshold(int64_t us) {
+    obs::QueryLog::Global().SetThresholdMicros(us);
   }
 
   /// Records a named wall-time measurement (milliseconds) for the JSON

@@ -7,6 +7,7 @@
 #include "common/random.h"
 #include "geo/rtree.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 #include "rdf/triple_store.h"
 #include "sparql/engine.h"
@@ -233,6 +234,32 @@ void BM_ObsSpanDisabled(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ObsSpanDisabled);
+
+// Per-operator profiling cost (obs::OperatorTimer, the EXPLAIN ANALYZE
+// substrate). The executor constructs one timer per operator invocation;
+// with profiling off the node pointer is null and construct+Finish must
+// compile down to two predictable branches — the disabled path is what
+// every query pays (see the EXPERIMENTS.md micro-benchmarks section).
+void BM_ProfileOperatorOff(benchmark::State& state) {
+  for (auto _ : state) {
+    obs::OperatorTimer timer(nullptr, 1);
+    timer.Finish(1);
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProfileOperatorOff);
+
+void BM_ProfileOperatorOn(benchmark::State& state) {
+  obs::OperatorProfile node;
+  for (auto _ : state) {
+    obs::OperatorTimer timer(&node, 1);
+    timer.Finish(1);
+    benchmark::DoNotOptimize(&node);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProfileOperatorOn);
 
 // --- Adaptive-join substrate -------------------------------------------
 //

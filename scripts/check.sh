@@ -9,8 +9,12 @@
 #      macros are no-ops elsewhere, so only clang can check them)
 #   3. ASan+UBSan       — full tier-1 suite under address+undefined
 #   4. TSan             — obs/exec/sparql concurrency tests
+#   5. profiler parity  — SparqlParity suite re-run with LODVIZ_PROFILE=1
+#      (profiling force-enabled for every query; results must stay
+#      bit-identical, pinning the EXPLAIN ANALYZE observe-don't-perturb
+#      contract)
 #
-#   scripts/check.sh            # all four gates
+#   scripts/check.sh            # all five gates
 #   scripts/check.sh --lint     # gate 1 only (fast pre-commit check)
 #
 # Run from the repository root. See README "Correctness tooling".
@@ -23,7 +27,7 @@ ASAN_BUILD=build-asan
 TSAN_BUILD=build-tsan
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)"
 
-echo "== [1/4] static analysis (lodviz_lint) =="
+echo "== [1/5] static analysis (lodviz_lint) =="
 cmake -B "$LINT_BUILD" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$LINT_BUILD" --target lodviz_lint -j "$JOBS" >/dev/null
 "$LINT_BUILD"/tools/lint/lodviz_lint --self-test
@@ -37,7 +41,7 @@ if [ "${1:-}" = "--lint" ]; then
   exit 0
 fi
 
-echo "== [2/4] clang -Werror=thread-safety =="
+echo "== [2/5] clang -Werror=thread-safety =="
 if command -v clang++ >/dev/null 2>&1; then
   # Library targets only: the annotations live in src/, and this keeps the
   # leg fast enough to run before the sanitizer builds.
@@ -50,12 +54,12 @@ else
        "the lint gate above still enforces GUARDED_BY/lock-order statically)"
 fi
 
-echo "== [3/4] ASan+UBSan tier-1 suite =="
+echo "== [3/5] ASan+UBSan tier-1 suite =="
 cmake -B "$ASAN_BUILD" -S . -C cmake/sanitize.cmake >/dev/null
 cmake --build "$ASAN_BUILD" -j "$JOBS"
 ctest --test-dir "$ASAN_BUILD" --output-on-failure -j "$JOBS"
 
-echo "== [4/4] TSan obs + exec + sparql concurrency tests =="
+echo "== [4/5] TSan obs + exec + sparql concurrency tests =="
 # ThreadSanitizer is exclusive with ASan, so the concurrency tests get their
 # own build tree. The Exec suites cover the thread pool plus every
 # parallelized hot path (hetree, progressive, clustering, bundling, layout,
@@ -70,6 +74,16 @@ cmake -B "$TSAN_BUILD" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
 cmake --build "$TSAN_BUILD" --target obs_test exec_test sparql_parity_test \
   -j "$JOBS"
 ctest --test-dir "$TSAN_BUILD" -R '^(Obs|Exec|SparqlParity)' \
+  --output-on-failure -j "$JOBS"
+
+echo "== [5/5] SparqlParity with profiling force-enabled =="
+# LODVIZ_PROFILE=1 turns per-operator profiling on for every query in the
+# process (sparql/engine.cc reads it once). The parity suite asserts
+# memory/disk/forced-strategy executions stay bit-identical, so running it
+# under forced profiling pins that the profiler only observes — any row it
+# adds, drops, or reorders fails this gate. Reuses the ASan build: the
+# instrumented paths also get leak/UB coverage that way.
+LODVIZ_PROFILE=1 ctest --test-dir "$ASAN_BUILD" -R '^SparqlParity' \
   --output-on-failure -j "$JOBS"
 
 echo "check.sh: all gates passed"

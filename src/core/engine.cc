@@ -6,6 +6,7 @@
 #include "common/stopwatch.h"
 #include "geo/projection.h"
 #include "obs/metrics.h"
+#include "obs/query_log.h"
 #include "obs/trace.h"
 #include "rdf/ntriples.h"
 #include "rdf/turtle.h"
@@ -29,7 +30,13 @@ void CountCapability(const char* capability) {
 
 }  // namespace
 
-Engine::Engine(Options options) : options_(std::move(options)) {}
+Engine::Engine(Options options) : options_(std::move(options)) {
+  // The journal is process-wide; the facade only arms it (see the Options
+  // comment about the last engine winning).
+  if (options_.slow_query_us >= 0) {
+    obs::QueryLog::Global().SetThresholdMicros(options_.slow_query_us);
+  }
+}
 
 void Engine::InvalidateDerived() {
   profile_.reset();
@@ -154,6 +161,23 @@ Result<std::string> Engine::ExplainQuery(std::string_view sparql_text) {
                   "explain: " + std::string(sparql_text.substr(0, 52)),
                   sw.ElapsedMillis(), plan.ok() ? 1 : 0);
   return plan;
+}
+
+Result<std::string> Engine::ExplainAnalyzeQuery(std::string_view sparql_text) {
+  LODVIZ_TRACE_SPAN("core.engine.explain_analyze_query");
+  CountCapability("explain_analyze_query");
+  Stopwatch sw;
+  LODVIZ_ASSIGN_OR_RETURN(const rdf::TripleSource* source, ActiveSource());
+  sparql::QueryEngine query_engine(source);
+  Result<std::string> report = query_engine.ExplainAnalyzeString(sparql_text);
+  session_.Record(explore::OpKind::kQuery,
+                  "explain analyze: " + std::string(sparql_text.substr(0, 44)),
+                  sw.ElapsedMillis(), report.ok() ? 1 : 0);
+  return report;
+}
+
+std::string Engine::SlowQueryLogJson() const {
+  return obs::QueryLog::Global().ToJson();
 }
 
 Result<stats::DatasetProfile> Engine::Profile() {

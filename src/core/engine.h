@@ -66,6 +66,12 @@ class Engine {
     std::string disk_path;
     /// Buffer-pool size (pages) for the disk backend.
     size_t pool_pages = 256;
+    /// Slow-query journal threshold: queries at least this slow are
+    /// captured in the process-wide obs::QueryLog (fingerprint, latency,
+    /// row counts, profile summary). Negative leaves the journal disabled.
+    /// Note the journal is a process-wide singleton: the last-constructed
+    /// Engine's setting wins.
+    int64_t slow_query_us = -1;
   };
 
   Engine() : Engine(Options()) {}
@@ -88,6 +94,14 @@ class Engine {
   /// cardinality estimates) for the active backend without executing;
   /// the explain entry point for explore sessions and the CLI.
   Result<std::string> ExplainQuery(std::string_view sparql_text);
+  /// Executes with profiling on and renders per-operator estimated vs
+  /// actual rows, invocations and wall time (EXPLAIN ANALYZE); works for
+  /// all query forms on either backend.
+  Result<std::string> ExplainAnalyzeQuery(std::string_view sparql_text);
+  /// JSON dump of the process-wide slow-query journal (see
+  /// obs::QueryLog::ToJson); entries accumulate once Options::slow_query_us
+  /// is non-negative.
+  std::string SlowQueryLogJson() const;
   /// Loads a Turtle document.
   Status LoadTurtle(std::string_view document);
   /// Dataset profile (computed once, invalidated on load).

@@ -29,10 +29,39 @@ std::string PromName(const std::string& name) {
 
 }  // namespace
 
+namespace {
+
+/// Length of the well-formed UTF-8 sequence starting at s[i], or 0 when
+/// s[i] does not start one (stray continuation byte, truncated sequence,
+/// or a lead byte UTF-8 forbids: overlong 0xC0/0xC1, > U+10FFFF).
+size_t Utf8SequenceLength(const std::string& s, size_t i) {
+  const auto b0 = static_cast<unsigned char>(s[i]);
+  size_t len;
+  if (b0 < 0x80) {
+    return 1;
+  } else if ((b0 & 0xE0) == 0xC0 && b0 >= 0xC2) {
+    len = 2;
+  } else if ((b0 & 0xF0) == 0xE0) {
+    len = 3;
+  } else if ((b0 & 0xF8) == 0xF0 && b0 <= 0xF4) {
+    len = 4;
+  } else {
+    return 0;
+  }
+  if (i + len > s.size()) return 0;
+  for (size_t k = 1; k < len; ++k) {
+    if ((static_cast<unsigned char>(s[i + k]) & 0xC0) != 0x80) return 0;
+  }
+  return len;
+}
+
+}  // namespace
+
 std::string JsonEscape(const std::string& s) {
   std::string out;
   out.reserve(s.size());
-  for (char c : s) {
+  for (size_t i = 0; i < s.size();) {
+    const char c = s[i];
     switch (c) {
       case '"':
         out += "\\\"";
@@ -49,16 +78,36 @@ std::string JsonEscape(const std::string& s) {
       case '\t':
         out += "\\t";
         break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
+      default: {
+        const auto byte = static_cast<unsigned char>(c);
+        if (byte < 0x20) {
           char buf[8];
           std::snprintf(buf, sizeof(buf), "\\u%04x",
-                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+                        static_cast<unsigned>(byte));
           out += buf;
-        } else {
+        } else if (byte < 0x80) {
           out.push_back(c);
+        } else {
+          // Metric/span names come from arbitrary callers, so they can
+          // contain bytes that are not UTF-8 (e.g. latin-1 data or
+          // truncated multibyte sequences). Emitting those raw would make
+          // the whole document unparseable; pass well-formed UTF-8
+          // through untouched and escape every invalid byte as \u00XX
+          // (its latin-1 reading) so the output is always valid JSON.
+          const size_t len = Utf8SequenceLength(s, i);
+          if (len > 0) {
+            out.append(s, i, len);
+            i += len;
+            continue;
+          }
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(byte));
+          out += buf;
         }
+      }
     }
+    ++i;
   }
   return out;
 }

@@ -1,0 +1,104 @@
+#include "obs/profile.h"
+
+#include <cstdio>
+
+#include "obs/export.h"
+
+namespace lodviz::obs {
+
+namespace {
+
+/// Compact row-count rendering: estimates keep at most one decimal so
+/// `est=2.5` stays readable without printf noise.
+std::string RowCount(double v) {
+  char buf[32];
+  if (v == static_cast<double>(static_cast<int64_t>(v))) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f", v);
+  }
+  return buf;
+}
+
+/// Adaptive wall-time rendering (ns under 10us, us under 10ms, else ms).
+std::string WallTime(int64_t ns) {
+  char buf[32];
+  if (ns < 10'000) {
+    std::snprintf(buf, sizeof(buf), "%lldns", static_cast<long long>(ns));
+  } else if (ns < 10'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.1fus", static_cast<double>(ns) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1fms", static_cast<double>(ns) / 1e6);
+  }
+  return buf;
+}
+
+void AppendNode(const OperatorProfile& n, int depth, std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  *out += n.op;
+  if (!n.label.empty()) *out += " " + n.label;
+  if (n.est_rows >= 0.0) *out += "  est=" + RowCount(n.est_rows);
+  *out += "  act=" + std::to_string(n.actual_rows);
+  *out += "  inv=" + std::to_string(n.invocations);
+  *out += "  time=" + WallTime(n.wall_ns);
+  if (IsMisestimate(n.est_rows, n.actual_rows)) {
+    const double ratio =
+        (static_cast<double>(n.actual_rows) + 1.0) / (n.est_rows + 1.0);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1f",
+                  ratio >= 1.0 ? ratio : 1.0 / ratio);
+    *out += std::string("  [misestimate x") + buf + "]";
+  }
+  *out += "\n";
+  for (const OperatorProfile& c : n.children) AppendNode(c, depth + 1, out);
+}
+
+}  // namespace
+
+bool IsMisestimate(double est_rows, uint64_t actual_rows) {
+  if (est_rows < 0.0) return false;
+  const double est = est_rows + 1.0;
+  const double act = static_cast<double>(actual_rows) + 1.0;
+  return act >= est * kMisestimateFactor || est >= act * kMisestimateFactor;
+}
+
+std::string ProfileTreeString(const OperatorProfile& root) {
+  std::string out;
+  AppendNode(root, 0, &out);
+  return out;
+}
+
+std::string ProfileNodeJson(const OperatorProfile& node) {
+  std::string out = "{\"op\":\"" + JsonEscape(node.op) + "\",\"label\":\"" +
+                    JsonEscape(node.label) + "\"";
+  if (node.est_rows >= 0.0) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", node.est_rows);
+    out += std::string(",\"est_rows\":") + buf;
+  }
+  out += ",\"actual_rows\":" + std::to_string(node.actual_rows);
+  out += ",\"invocations\":" + std::to_string(node.invocations);
+  out += ",\"wall_ns\":" + std::to_string(node.wall_ns);
+  out += ",\"children\":[";
+  for (size_t i = 0; i < node.children.size(); ++i) {
+    if (i > 0) out += ",";
+    out += ProfileNodeJson(node.children[i]);
+  }
+  out += "]}";
+  return out;
+}
+
+std::string ProfileJson(const QueryProfile& profile) {
+  char fp[32];
+  std::snprintf(fp, sizeof(fp), "0x%016llx",
+                static_cast<unsigned long long>(profile.fingerprint));
+  std::string out = std::string("{\"fingerprint\":\"") + fp + "\"";
+  out += ",\"total_ns\":" + std::to_string(profile.total_ns);
+  out += ",\"rows_out\":" + std::to_string(profile.rows_out);
+  out += ",\"intermediate_rows\":" + std::to_string(profile.intermediate_rows);
+  out += std::string(",\"profiled\":") + (profile.profiled ? "true" : "false");
+  out += ",\"root\":" + ProfileNodeJson(profile.root) + "}";
+  return out;
+}
+
+}  // namespace lodviz::obs

@@ -1,12 +1,16 @@
 #include "sparql/engine.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <set>
 
 #include "common/stopwatch.h"
+#include "obs/query_log.h"
 #include "obs/trace.h"
 #include "sparql/executor.h"
+#include "sparql/fingerprint.h"
 #include "sparql/parser.h"
 #include "sparql/planner.h"
 
@@ -57,6 +61,59 @@ PlannerOptions ToPlannerOptions(const QueryEngine::Options& o) {
   return p;
 }
 
+/// LODVIZ_PROFILE (non-empty, not "0") force-enables profiling for every
+/// engine in the process regardless of Options::profile — the parity gate
+/// in scripts/check.sh runs the suite under it to pin that profiling never
+/// perturbs results. Read once; afterwards the check is one static load.
+bool ProfilingForced() {
+  static const bool forced = [] {
+    const char* v = std::getenv("LODVIZ_PROFILE");
+    return v != nullptr && *v != '\0' && std::string_view(v) != "0";
+  }();
+  return forced;
+}
+
+/// Shared tail of both execution paths, run from the ExecFold destructor
+/// on every exit: publishes the profile into `stats` and journals the
+/// query when it crosses the slow-query threshold. With profiling off and
+/// the journal disabled (or the query fast) this returns after two cheap
+/// tests — in particular the fingerprint's AST walk is never paid.
+void FinalizeObservability(const Query& query, std::string_view text,
+                           double latency_us, uint64_t rows_out,
+                           uint64_t intermediate_rows,
+                           obs::OperatorProfile* skeleton,
+                           QueryStats* stats) {
+  obs::QueryLog& journal = obs::QueryLog::Global();
+  const bool journaled = journal.ShouldRecord(latency_us);
+  if (skeleton == nullptr && !journaled) return;
+
+  obs::QueryProfile profile;
+  profile.fingerprint = QueryFingerprint(query);
+  profile.total_ns = static_cast<int64_t>(latency_us * 1e3);
+  profile.rows_out = rows_out;
+  profile.intermediate_rows = intermediate_rows;
+  profile.profiled = skeleton != nullptr;
+  if (skeleton != nullptr) profile.root = std::move(*skeleton);
+  if (stats != nullptr) {
+    stats->fingerprint = profile.fingerprint;
+    if (journaled) {
+      stats->profile = profile;
+    } else {
+      stats->profile = std::move(profile);
+    }
+  }
+  if (journaled) {
+    obs::QueryLogEntry entry;
+    entry.fingerprint = profile.fingerprint;
+    entry.query = std::string(text);
+    entry.latency_us = latency_us;
+    entry.rows_out = rows_out;
+    entry.intermediate_rows = intermediate_rows;
+    entry.profile = std::move(profile);
+    journal.Record(std::move(entry));
+  }
+}
+
 }  // namespace
 
 QueryEngine::QueryEngine(const rdf::TripleSource* source, Options options)
@@ -65,13 +122,23 @@ QueryEngine::QueryEngine(const rdf::TripleSource* source, Options options)
 Result<ResultTable> QueryEngine::ExecuteString(std::string_view text,
                                                QueryStats* stats) const {
   LODVIZ_ASSIGN_OR_RETURN(Query q, ParseTraced(text));
-  return Execute(q, stats);
+  return ExecuteImpl(q, stats, text);
 }
 
 Result<std::vector<rdf::ParsedTriple>> QueryEngine::ExecuteGraphString(
     std::string_view text, QueryStats* stats) const {
   LODVIZ_ASSIGN_OR_RETURN(Query q, ParseTraced(text));
-  return ExecuteGraph(q, stats);
+  return ExecuteGraphImpl(q, stats, text);
+}
+
+Result<ResultTable> QueryEngine::Execute(const Query& query,
+                                         QueryStats* stats) const {
+  return ExecuteImpl(query, stats, {});
+}
+
+Result<std::vector<rdf::ParsedTriple>> QueryEngine::ExecuteGraph(
+    const Query& query, QueryStats* stats) const {
+  return ExecuteGraphImpl(query, stats, {});
 }
 
 std::string QueryEngine::Explain(const Query& query) const {
@@ -84,42 +151,67 @@ Result<std::string> QueryEngine::ExplainString(std::string_view text) const {
   return Explain(q);
 }
 
-Result<std::vector<rdf::ParsedTriple>> QueryEngine::ExecuteGraph(
-    const Query& query, QueryStats* stats) const {
+Result<std::vector<rdf::ParsedTriple>> QueryEngine::ExecuteGraphImpl(
+    const Query& query, QueryStats* stats, std::string_view text) const {
   LODVIZ_TRACE_SPAN("sparql.execute");
   SparqlMetrics& metrics = SparqlMetrics::Get();
   metrics.queries.Increment();
   Stopwatch sw;
   const rdf::Dictionary& dict = source_->dict();
   std::vector<rdf::ParsedTriple> out;
-  // Record latency and output rows on every exit path.
+
+  const bool profiling = options_.profile || ProfilingForced();
+  QueryPlan plan = PlanQuery(query, *source_, ToPlannerOptions(options_));
+  obs::OperatorProfile skeleton;
+  if (profiling) skeleton = BuildProfileSkeleton(plan.root);
+  obs::OperatorProfile* prof = profiling ? &skeleton : nullptr;
+  uint64_t intermediate = 0;
+  // Counted separately from `out`: `return out;` moves the vector into the
+  // Result before the fold below destructs, so out.size() would read the
+  // moved-from (empty) vector there.
+  uint64_t emitted = 0;
+
+  // Record latency, output rows, profile and journal on every exit path.
   struct ExecFold {
     SparqlMetrics& metrics;
     const Stopwatch& sw;
-    const std::vector<rdf::ParsedTriple>& out;
+    const uint64_t& emitted;
     QueryStats* stats;
+    const Query& query;
+    std::string_view text;
+    const uint64_t& intermediate;
+    obs::OperatorProfile* prof;
     ~ExecFold() {
-      metrics.rows_out.Increment(out.size());
-      metrics.execute_us.RecordDouble(sw.ElapsedMicros());
-      if (stats != nullptr) stats->rows_out = out.size();
+      const double us = sw.ElapsedMicros();
+      metrics.rows_out.Increment(emitted);
+      metrics.execute_us.RecordDouble(us);
+      if (stats != nullptr) {
+        stats->rows_out = emitted;
+        stats->latency_us = us;
+      }
+      FinalizeObservability(query, text, us, emitted, intermediate, prof,
+                            stats);
     }
-  } fold{metrics, sw, out, stats};
+  } fold{metrics, sw, emitted, stats, query, text, intermediate, prof};
   std::set<std::string> seen;
   auto emit = [&](Term s, Term p, Term o) {
     std::string key =
         s.ToNTriples() + "\x01" + p.ToNTriples() + "\x01" + o.ToNTriples();
     if (seen.insert(std::move(key)).second) {
       out.push_back({std::move(s), std::move(p), std::move(o)});
+      ++emitted;
     }
   };
 
-  QueryPlan plan = PlanQuery(query, *source_, ToPlannerOptions(options_));
   auto eval_where = [&]() {
-    Executor executor(source_, RowWidth(plan));
+    Executor executor(source_, RowWidth(plan), prof);
     BindingTable seeds(RowWidth(plan));
     seeds.AppendEmptyRow();
+    obs::OperatorTimer timer(prof);
     BindingTable solutions = executor.EvalGroup(plan.root, seeds);
+    timer.Finish(solutions.num_rows());
     metrics.intermediate_rows.Increment(executor.intermediate_rows());
+    intermediate = executor.intermediate_rows();
     if (stats != nullptr) {
       stats->intermediate_rows = executor.intermediate_rows();
     }
@@ -222,8 +314,9 @@ Result<std::vector<rdf::ParsedTriple>> QueryEngine::ExecuteGraph(
       "ExecuteGraph expects a CONSTRUCT or DESCRIBE query");
 }
 
-Result<ResultTable> QueryEngine::Execute(const Query& query,
-                                         QueryStats* stats) const {
+Result<ResultTable> QueryEngine::ExecuteImpl(const Query& query,
+                                             QueryStats* stats,
+                                             std::string_view text) const {
   if (query.form == QueryForm::kConstruct ||
       query.form == QueryForm::kDescribe) {
     return Status::InvalidArgument(
@@ -234,29 +327,47 @@ Result<ResultTable> QueryEngine::Execute(const Query& query,
   metrics.queries.Increment();
   Stopwatch sw;
 
+  const bool profiling = options_.profile || ProfilingForced();
   QueryPlan plan = PlanQuery(query, *source_, ToPlannerOptions(options_));
-  Executor executor(source_, RowWidth(plan));
+  obs::OperatorProfile skeleton;
+  if (profiling) skeleton = BuildProfileSkeleton(plan.root);
+  obs::OperatorProfile* prof = profiling ? &skeleton : nullptr;
+
+  Executor executor(source_, RowWidth(plan), prof);
   BindingTable seeds(RowWidth(plan));
   seeds.AppendEmptyRow();
+  obs::OperatorTimer root_timer(prof);
   BindingTable solutions = executor.EvalGroup(plan.root, seeds);
+  root_timer.Finish(solutions.num_rows());
   metrics.intermediate_rows.Increment(executor.intermediate_rows());
+  const uint64_t intermediate = executor.intermediate_rows();
   if (stats != nullptr) {
-    stats->intermediate_rows = executor.intermediate_rows();
+    stats->intermediate_rows = intermediate;
   }
 
-  // Record latency and output rows on every exit path.
+  // Record latency, output rows, profile and journal on every exit path.
   uint64_t rows_out = 0;
   struct ExecFold {
     SparqlMetrics& metrics;
     const Stopwatch& sw;
     const uint64_t& rows_out;
     QueryStats* stats;
+    const Query& query;
+    std::string_view text;
+    uint64_t intermediate;
+    obs::OperatorProfile* prof;
     ~ExecFold() {
+      const double us = sw.ElapsedMicros();
       metrics.rows_out.Increment(rows_out);
-      metrics.execute_us.RecordDouble(sw.ElapsedMicros());
-      if (stats != nullptr) stats->rows_out = rows_out;
+      metrics.execute_us.RecordDouble(us);
+      if (stats != nullptr) {
+        stats->rows_out = rows_out;
+        stats->latency_us = us;
+      }
+      FinalizeObservability(query, text, us, rows_out, intermediate, prof,
+                            stats);
     }
-  } fold{metrics, sw, rows_out, stats};
+  } fold{metrics, sw, rows_out, stats, query, text, intermediate, prof};
 
   const rdf::Dictionary& dict = source_->dict();
 
@@ -454,6 +565,46 @@ Result<ResultTable> QueryEngine::Execute(const Query& query,
 
   rows_out = table.num_rows();
   return table;
+}
+
+Result<std::string> QueryEngine::ExplainAnalyzeImpl(
+    const Query& query, std::string_view text) const {
+  Options opts = options_;
+  opts.profile = true;
+  QueryEngine profiled(source_, opts);
+  QueryStats stats;
+  // Threads `text` through so a journal-admitted run keeps the query text.
+  if (query.form == QueryForm::kConstruct ||
+      query.form == QueryForm::kDescribe) {
+    LODVIZ_ASSIGN_OR_RETURN(std::vector<rdf::ParsedTriple> discarded,
+                            profiled.ExecuteGraphImpl(query, &stats, text));
+    (void)discarded;
+  } else {
+    LODVIZ_ASSIGN_OR_RETURN(ResultTable discarded,
+                            profiled.ExecuteImpl(query, &stats, text));
+    (void)discarded;
+  }
+
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "explain analyze  fingerprint=0x%016llx\n",
+                static_cast<unsigned long long>(stats.fingerprint));
+  std::string out = line;
+  out += obs::ProfileTreeString(stats.profile.root);
+  std::snprintf(
+      line, sizeof(line),
+      "total: rows_out=%llu  intermediate_rows=%llu  time=%.1fus\n",
+      static_cast<unsigned long long>(stats.rows_out),
+      static_cast<unsigned long long>(stats.intermediate_rows),
+      stats.latency_us);
+  out += line;
+  return out;
+}
+
+Result<std::string> QueryEngine::ExplainAnalyzeString(
+    std::string_view text) const {
+  LODVIZ_ASSIGN_OR_RETURN(Query q, ParseTraced(text));
+  return ExplainAnalyzeImpl(q, text);
 }
 
 }  // namespace lodviz::sparql

@@ -5,6 +5,7 @@
 #include <string_view>
 
 #include "common/result.h"
+#include "obs/profile.h"
 #include "rdf/ntriples.h"
 #include "rdf/triple_source.h"
 #include "sparql/ast.h"
@@ -22,6 +23,17 @@ struct QueryStats {
   uint64_t intermediate_rows = 0;
   /// Rows (SELECT/ASK) or triples (CONSTRUCT/DESCRIBE) in the result.
   uint64_t rows_out = 0;
+  /// Wall time of planning + execution (parsing excluded), microseconds.
+  double latency_us = 0.0;
+  /// Normalized-query fingerprint (sparql/fingerprint.h), the plan-cache
+  /// key. Computed — along with `profile` — only when profiling is active
+  /// or the slow-query journal admits the query; 0 otherwise, so the
+  /// disabled path never pays the AST walk.
+  uint64_t fingerprint = 0;
+  /// Per-operator actuals mirroring the plan; `profile.profiled` is true
+  /// only when profiling was active for this execution (Options::profile,
+  /// the LODVIZ_PROFILE environment override, or ExplainAnalyze).
+  obs::QueryProfile profile;
 };
 
 /// Executes parsed queries against any rdf::TripleSource — the in-memory
@@ -45,6 +57,15 @@ class QueryEngine {
     /// Overrides the planner's adaptive hash-vs-NLJ join choice (parity
     /// tests and join micro-benchmarks); production leaves it on kAuto.
     JoinForce force_join = JoinForce::kAuto;
+
+    /// Record a per-operator obs::QueryProfile into QueryStats::profile on
+    /// every execution (what ExplainAnalyze uses internally). Off by
+    /// default: the disabled path costs one pointer test per operator.
+    /// Setting the LODVIZ_PROFILE environment variable (non-empty, not
+    /// "0") force-enables profiling process-wide regardless of this flag —
+    /// the parity gate in scripts/check.sh uses it to pin that profiling
+    /// never perturbs results.
+    bool profile = false;
   };
 
   explicit QueryEngine(const rdf::TripleSource* source)
@@ -73,7 +94,24 @@ class QueryEngine {
   Result<std::string> ExplainString(std::string_view text) const;
   [[nodiscard]] std::string Explain(const Query& query) const;
 
+  /// Executes the query with profiling on (regardless of Options::profile)
+  /// and renders the operator tree with estimated vs actual cardinality,
+  /// invocation counts and wall time per operator; misestimates of
+  /// obs::kMisestimateFactor or worse are flagged inline. Works for every
+  /// query form; the result itself is discarded.
+  Result<std::string> ExplainAnalyzeString(std::string_view text) const;
+  Result<std::string> ExplainAnalyze(const Query& query) const {
+    return ExplainAnalyzeImpl(query, {});
+  }
+
  private:
+  Result<std::string> ExplainAnalyzeImpl(const Query& query,
+                                         std::string_view text) const;
+  Result<ResultTable> ExecuteImpl(const Query& query, QueryStats* stats,
+                                  std::string_view text) const;
+  Result<std::vector<rdf::ParsedTriple>> ExecuteGraphImpl(
+      const Query& query, QueryStats* stats, std::string_view text) const;
+
   const rdf::TripleSource* source_;
   Options options_;
 };

@@ -469,14 +469,53 @@ struct JoinKeyHash {
 
 }  // namespace
 
+obs::OperatorProfile BuildProfileSkeleton(const GroupPlan& plan) {
+  obs::OperatorProfile node;
+  node.op = "group";
+  node.children.reserve(plan.steps.size() + plan.union_branches.size() +
+                        plan.optionals.size() +
+                        (plan.filters.empty() ? 0 : 1));
+  for (const PatternStep& st : plan.steps) {
+    obs::OperatorProfile& step = node.children.emplace_back();
+    step.op = st.strategy == JoinStrategy::kHash ? "hash-join" : "scan";
+    step.label = st.label;
+    step.est_rows = st.est_rows;
+  }
+  for (const GroupPlan& u : plan.union_branches) {
+    obs::OperatorProfile& branch =
+        node.children.emplace_back(BuildProfileSkeleton(u));
+    branch.op = "union";
+  }
+  for (const GroupPlan& o : plan.optionals) {
+    obs::OperatorProfile& opt =
+        node.children.emplace_back(BuildProfileSkeleton(o));
+    opt.op = "optional";
+  }
+  if (!plan.filters.empty()) {
+    obs::OperatorProfile& filter = node.children.emplace_back();
+    filter.op = "filter";
+    filter.label = "x" + std::to_string(plan.filters.size());
+  }
+  return node;
+}
+
 BindingTable Executor::EvalBgp(const std::vector<PatternStep>& steps,
-                               const BindingTable& seeds) {
+                               const BindingTable& seeds,
+                               obs::OperatorProfile* prof) {
   if (steps.empty()) return seeds;
   LODVIZ_TRACE_SPAN("sparql.bgp");
 
   const BindingTable* input = &seeds;
   BindingTable current;
+  size_t step_index = 0;
   for (const PatternStep& st : steps) {
+    // Per-operator instrumentation: with profiling off this whole block is
+    // the construction branch below plus one null test at Finish — no
+    // clock reads, nothing per row.
+    obs::OperatorTimer timer(
+        prof == nullptr ? nullptr : &prof->children[step_index],
+        input->num_rows());
+    ++step_index;
     BindingTable next(width_);
     if (!st.dead && input->num_rows() > 0) {
       // Extends `sol` with one matching triple: bind pattern variables,
@@ -611,6 +650,7 @@ BindingTable Executor::EvalBgp(const std::vector<PatternStep>& steps,
     }
     intermediate_rows_ += next.num_rows();
     SparqlMetrics::Get().op_join_rows.Increment(next.num_rows());
+    timer.Finish(next.num_rows());
     current = std::move(next);
     input = &current;
     if (current.num_rows() == 0) break;
@@ -619,13 +659,24 @@ BindingTable Executor::EvalBgp(const std::vector<PatternStep>& steps,
 }
 
 BindingTable Executor::EvalGroup(const GroupPlan& plan,
-                                 const BindingTable& seeds) {
-  BindingTable solutions = EvalBgp(plan.steps, seeds);
+                                 const BindingTable& seeds,
+                                 obs::OperatorProfile* prof) {
+  BindingTable solutions = EvalBgp(plan.steps, seeds, prof);
+
+  // Child-node layout mirrors BuildProfileSkeleton:
+  // [steps...][unions...][optionals...][filter?].
+  size_t child_index = plan.steps.size();
 
   if (!plan.union_branches.empty()) {
     BindingTable unioned(width_);
     for (const GroupPlan& branch : plan.union_branches) {
-      unioned.Append(EvalGroup(branch, solutions));
+      obs::OperatorProfile* branch_prof =
+          prof == nullptr ? nullptr : &prof->children[child_index];
+      ++child_index;
+      obs::OperatorTimer timer(branch_prof);
+      BindingTable rows = EvalGroup(branch, solutions, branch_prof);
+      timer.Finish(rows.num_rows());
+      unioned.Append(std::move(rows));
     }
     solutions = std::move(unioned);
     SparqlMetrics::Get().op_union_rows.Increment(solutions.num_rows());
@@ -636,24 +687,35 @@ BindingTable Executor::EvalGroup(const GroupPlan& plan,
     // it and appends the current row instead of allocating a fresh table.
     BindingTable seed(width_);
     for (const GroupPlan& opt : plan.optionals) {
+      obs::OperatorProfile* opt_prof =
+          prof == nullptr ? nullptr : &prof->children[child_index];
+      ++child_index;
+      obs::OperatorTimer timer(opt_prof, solutions.num_rows());
       BindingTable next(width_);
       next.Reserve(solutions.num_rows());
       for (size_t i = 0; i < solutions.num_rows(); ++i) {
         seed.Clear();
         seed.AppendRow(solutions.row(i));
-        BindingTable extended = EvalGroup(opt, seed);
+        // Inner operators of the optional accumulate across the per-row
+        // re-evaluations (their `invocations` counts the re-runs); the
+        // optional node itself carries the whole loop's wall time.
+        BindingTable extended = EvalGroup(opt, seed, opt_prof);
         if (extended.num_rows() == 0) {
           next.AppendRow(solutions.row(i));
         } else {
           next.Append(std::move(extended));
         }
       }
+      timer.Finish(next.num_rows());
       solutions = std::move(next);
       SparqlMetrics::Get().op_optional_rows.Increment(solutions.num_rows());
     }
   }
 
   if (!plan.filters.empty() && solutions.num_rows() > 0) {
+    obs::OperatorProfile* filter_prof =
+        prof == nullptr ? nullptr : &prof->children.back();
+    obs::OperatorTimer timer(filter_prof, solutions.num_rows());
     const size_t before = solutions.num_rows();
     const rdf::Dictionary& dict = source_->dict();
     // Filters are pure per solution (dictionary reads are const), so
@@ -681,6 +743,7 @@ BindingTable Executor::EvalGroup(const GroupPlan& plan,
     solutions = std::move(kept);
     SparqlMetrics::Get().op_filter_dropped.Increment(before -
                                                      solutions.num_rows());
+    timer.Finish(solutions.num_rows());
   }
   return solutions;
 }

@@ -6,6 +6,7 @@
 
 #include "common/result.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "rdf/dictionary.h"
 #include "rdf/triple_source.h"
 #include "sparql/planner.h"
@@ -98,20 +99,39 @@ Result<rdf::Term> EvalExpr(const CompiledExpr& e, const rdf::Dictionary& dict,
 bool PassesFilter(const CompiledExpr& e, const rdf::Dictionary& dict,
                   const rdf::TermId* row);
 
+/// Builds the obs::OperatorProfile tree mirroring `plan`: one node per
+/// pattern step (op "scan"/"hash-join", the planner's label and estimate),
+/// one "union"/"optional" group node per branch (recursively mirrored),
+/// and one trailing "filter" node when the group has filters. The executor
+/// walks plan and skeleton in lockstep, so the layout here is load-bearing:
+/// children are [steps...][unions...][optionals...][filter?].
+[[nodiscard]] obs::OperatorProfile BuildProfileSkeleton(const GroupPlan& plan);
+
 /// Executes a compiled GroupPlan against a TripleSource: per-step index
 /// nested-loop or build-once hash joins over slot rows (the planner picks
 /// per PatternStep), then unions, optionals and filters. One Executor per
 /// query execution (it accumulates the intermediate-row statistic); the
 /// underlying source is only read.
+///
+/// Profiling: pass a skeleton built by BuildProfileSkeleton(plan) to
+/// record per-operator actual rows, invocations, and wall time into it.
+/// Instrumentation is per operator, never per row, and with a null
+/// profile each operator pays exactly one pointer test — execution
+/// (plans, row order, results) is bit-identical either way, which the
+/// parity suite pins under LODVIZ_PROFILE=1 (see scripts/check.sh). The
+/// profile tree is written only from the thread driving EvalGroup.
 class Executor {
  public:
-  Executor(const rdf::TripleSource* source, size_t width)
-      : source_(source), width_(width) {}
+  Executor(const rdf::TripleSource* source, size_t width,
+           obs::OperatorProfile* profile = nullptr)
+      : source_(source), width_(width), profile_(profile) {}
 
   /// Evaluates `plan` with `seeds` as the initial solutions (pass a single
   /// all-unbound row for a top-level group). `seeds` is only read; the
   /// caller keeps ownership.
-  BindingTable EvalGroup(const GroupPlan& plan, const BindingTable& seeds);
+  BindingTable EvalGroup(const GroupPlan& plan, const BindingTable& seeds) {
+    return EvalGroup(plan, seeds, profile_);
+  }
 
   /// Rows produced across all BGP steps, including intermediate join
   /// results (cost introspection for E10).
@@ -120,11 +140,14 @@ class Executor {
   }
 
  private:
+  BindingTable EvalGroup(const GroupPlan& plan, const BindingTable& seeds,
+                         obs::OperatorProfile* prof);
   BindingTable EvalBgp(const std::vector<PatternStep>& steps,
-                       const BindingTable& seeds);
+                       const BindingTable& seeds, obs::OperatorProfile* prof);
 
   const rdf::TripleSource* source_;
   size_t width_;
+  obs::OperatorProfile* profile_;
   uint64_t intermediate_rows_ = 0;
 };
 

@@ -1,0 +1,37 @@
+#ifndef LODVIZ_SPARQL_FINGERPRINT_H_
+#define LODVIZ_SPARQL_FINGERPRINT_H_
+
+#include <cstdint>
+
+#include "sparql/ast.h"
+
+namespace lodviz::sparql {
+
+/// Stable 64-bit fingerprint of a parsed query, computed over a canonical
+/// serialization of the AST. Two parses of the "same" query agree on the
+/// fingerprint regardless of
+///
+///  - whitespace, comments, and PREFIX spelling (erased by the parser);
+///  - variable names: variables are renumbered in first-appearance order
+///    of a fixed AST traversal, so `?s ?p` and `?x ?y` used identically
+///    fingerprint identically;
+///  - literal spelling: decodable literals (numeric, temporal, boolean)
+///    hash their decoded value, so `30`, `"30"^^xsd:integer` and
+///    `"+30"^^xsd:integer` agree (FILTER comparison semantics are
+///    value-based, so these denote the same query).
+///
+/// Structural differences — a different constant, operator, pattern list,
+/// modifier, or query form — change the fingerprint (up to 64-bit hash
+/// collisions, so an exact-match consumer such as the planned plan cache
+/// must still verify on hit). Triple-pattern order is part of the
+/// fingerprint: the planner reorders deterministically from the same
+/// textual order, so the fingerprint keys plans, not solution sets.
+///
+/// The hash is a fixed FNV-1a/64 over the serialization: it depends only
+/// on the AST contents, never on pointers, process state, or platform
+/// (doubles hash their IEEE-754 bits).
+[[nodiscard]] uint64_t QueryFingerprint(const Query& query);
+
+}  // namespace lodviz::sparql
+
+#endif  // LODVIZ_SPARQL_FINGERPRINT_H_

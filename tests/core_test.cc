@@ -8,6 +8,7 @@
 #include "core/archetype.h"
 #include "core/capabilities.h"
 #include "core/engine.h"
+#include "obs/query_log.h"
 #include "core/ldvm.h"
 #include "core/registry.h"
 #include "rdf/vocab.h"
@@ -95,6 +96,34 @@ TEST_F(EngineFixture, LoadAndQuery) {
       "SELECT (COUNT(*) AS ?n) WHERE { ?s <http://lod.example/ontology/age> ?a . }");
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   EXPECT_EQ(result->rows()[0][0].term.lexical, "400");
+}
+
+TEST_F(EngineFixture, ExplainAnalyzeAndSlowQueryJournal) {
+  auto report = engine_.ExplainAnalyzeQuery(
+      "SELECT ?s ?a WHERE { ?s <http://lod.example/ontology/age> ?a . }");
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_NE(report->find("explain analyze"), std::string::npos) << *report;
+  EXPECT_NE(report->find("act="), std::string::npos) << *report;
+
+  // An engine constructed with a slow-query threshold arms the process
+  // journal; every query (threshold 0) is captured and dumped as JSON.
+  obs::QueryLog::Global().Clear();
+  Engine::Options opts;
+  opts.slow_query_us = 0;
+  Engine journaling(opts);
+  workload::SyntheticLodOptions load;
+  load.num_entities = 50;
+  load.seed = 7;
+  journaling.LoadSynthetic(load);
+  ASSERT_TRUE(journaling
+                  .Query("SELECT ?s WHERE { ?s "
+                         "<http://lod.example/ontology/age> ?a . }")
+                  .ok());
+  obs::QueryLog::Global().SetThresholdMicros(-1);
+  std::string json = journaling.SlowQueryLogJson();
+  EXPECT_NE(json.find("\"entries\":[{"), std::string::npos) << json;
+  EXPECT_NE(json.find("lod.example/ontology/age"), std::string::npos) << json;
+  obs::QueryLog::Global().Clear();
 }
 
 TEST_F(EngineFixture, ProfileIsCachedAndInvalidated) {

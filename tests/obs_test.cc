@@ -16,6 +16,8 @@
 #include "common/random.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/query_log.h"
 #include "obs/trace.h"
 
 namespace lodviz::obs {
@@ -417,6 +419,65 @@ TEST(ObsExportTest, JsonEscapeHandlesSpecials) {
   EXPECT_EQ(ctl, "\\u0001");
 }
 
+TEST(ObsExportTest, JsonEscapeUtf8AndInvalidBytes) {
+  // Well-formed UTF-8 passes through untouched (2-, 3- and 4-byte forms).
+  EXPECT_EQ(JsonEscape("caf\xC3\xA9"), "caf\xC3\xA9");
+  EXPECT_EQ(JsonEscape("\xE2\x82\xAC"), "\xE2\x82\xAC");        // €
+  EXPECT_EQ(JsonEscape("\xF0\x9F\x94\xA5"), "\xF0\x9F\x94\xA5");  // 🔥
+  // Invalid bytes are escaped so the document always parses: a stray
+  // continuation byte, a lone lead byte at end of string, an overlong
+  // lead (0xC0/0xC1), and a lead byte past U+10FFFF (0xF5..0xFF).
+  EXPECT_EQ(JsonEscape(std::string(1, '\xA9')), "\\u00a9");
+  EXPECT_EQ(JsonEscape(std::string(1, '\xC3')), "\\u00c3");
+  EXPECT_EQ(JsonEscape("\xC0\xAF"), "\\u00c0\\u00af");
+  EXPECT_EQ(JsonEscape(std::string(1, '\xFF')), "\\u00ff");
+  // A truncated 3-byte sequence: the lead is escaped, and the tail bytes
+  // (now stray continuations) are escaped too.
+  EXPECT_EQ(JsonEscape("\xE2\x82"), "\\u00e2\\u0082");
+  // Valid multibyte directly after an invalid byte still passes through.
+  EXPECT_EQ(JsonEscape("\xFF\xC3\xA9"), "\\u00ff\xC3\xA9");
+}
+
+TEST(ObsExportTest, HostileMetricNamesStayParseable) {
+  MetricRegistry reg;
+  reg.GetCounter("evil\"name\\with\nnewline").Increment(2);
+  reg.GetCounter(std::string("latin1_caf\xE9_suffix")).Increment(5);
+  reg.GetGauge("caf\xC3\xA9.gauge").Set(-1);
+  reg.GetHistogram("h\"ist\\o").Record(7);
+  std::string json = JsonSnapshot(reg.Snapshot());
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("evil\\\"name\\\\with\\nnewline"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("latin1_caf\\u00e9_suffix"), std::string::npos) << json;
+  EXPECT_NE(json.find("caf\xC3\xA9.gauge"), std::string::npos) << json;
+
+  // Prometheus names must stay in [a-zA-Z0-9_] whatever the input.
+  std::string prom = PrometheusText(reg.Snapshot());
+  for (size_t pos = prom.find("lodviz_"); pos != std::string::npos;
+       pos = prom.find("lodviz_", pos + 1)) {
+    size_t end = pos;
+    while (end < prom.size() && !std::isspace(static_cast<unsigned char>(
+                                    prom[end])) && prom[end] != '{') {
+      char c = prom[end];
+      bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                (c >= '0' && c <= '9') || c == '_';
+      EXPECT_TRUE(ok) << "byte " << static_cast<int>(c) << " in " << prom;
+      ++end;
+    }
+  }
+}
+
+TEST(ObsExportTest, HostileSpanNamesStayParseable) {
+  std::vector<SpanRecord> spans(1);
+  spans[0].name = "sp\"an\\one\x01\xFF";
+  spans[0].start_ns = 10;
+  spans[0].end_ns = 20;
+  std::string array = ChromeTraceJson(spans);
+  EXPECT_TRUE(JsonChecker(array).Valid()) << array;
+  EXPECT_NE(array.find("sp\\\"an\\\\one\\u0001\\u00ff"), std::string::npos)
+      << array;
+}
+
 TEST(ObsExportTest, JsonSnapshotIsWellFormedAndComplete) {
   MetricRegistry reg;
   reg.GetCounter("sub.hits").Increment(3);
@@ -487,6 +548,243 @@ TEST(ObsExportTest, GlobalConvenienceOverloadsRender) {
   EXPECT_NE(json.find("obs_test.global_probe"), std::string::npos);
   std::string prom = PrometheusText();
   EXPECT_NE(prom.find("lodviz_obs_test_global_probe"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram merge
+// ---------------------------------------------------------------------------
+
+TEST(ObsHistogramTest, MergeMatchesSingleHistogramExactly) {
+  // Bucketing is deterministic, so recording a value stream into shards
+  // and merging must reproduce the single-histogram state bit for bit:
+  // identical counts, sum, min/max, and every quantile.
+  Histogram all;
+  Histogram shard_a;
+  Histogram shard_b;
+  Rng rng(7);
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t v = 1 + rng.Uniform(100) * rng.Uniform(100) * rng.Uniform(50);
+    all.Record(v);
+    (i % 2 == 0 ? shard_a : shard_b).Record(v);
+  }
+  Histogram merged;
+  merged.Merge(shard_a);
+  merged.Merge(shard_b);
+  EXPECT_EQ(merged.count(), all.count());
+  HistogramSummary ms = merged.Summarize();
+  HistogramSummary as = all.Summarize();
+  EXPECT_EQ(ms.min, as.min);
+  EXPECT_EQ(ms.max, as.max);
+  EXPECT_DOUBLE_EQ(ms.sum, as.sum);
+  for (double q = 0.0; q <= 1.0; q += 0.01) {
+    EXPECT_EQ(merged.Quantile(q), all.Quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(ObsHistogramTest, MergeEmptyAndSelfConsistency) {
+  Histogram h;
+  h.Record(5);
+  h.Record(500);
+  Histogram empty;
+  h.Merge(empty);  // merging an empty histogram is a no-op
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.Summarize().min, 5u);
+  EXPECT_EQ(h.Summarize().max, 500u);
+
+  Histogram target;
+  target.Merge(h);
+  target.Merge(h);  // doubling the population keeps the quantiles
+  EXPECT_EQ(target.count(), 4u);
+  EXPECT_EQ(target.Quantile(0.5), h.Quantile(0.5));
+  EXPECT_EQ(target.Summarize().min, 5u);
+  EXPECT_EQ(target.Summarize().max, 500u);
+}
+
+// ---------------------------------------------------------------------------
+// Operator profiles
+// ---------------------------------------------------------------------------
+
+TEST(ObsProfileTest, TimerAccumulatesAndNullIsInert) {
+  OperatorProfile node;
+  {
+    OperatorTimer t(&node, 3);
+    t.Finish(42);
+    t.Finish(99);  // second Finish is a no-op
+  }
+  EXPECT_EQ(node.invocations, 3u);
+  EXPECT_EQ(node.actual_rows, 42u);
+  EXPECT_GE(node.wall_ns, 0);
+  {
+    OperatorTimer t(nullptr, 5);
+    t.Finish(7);
+  }
+  EXPECT_EQ(node.invocations, 3u);  // untouched
+
+  OperatorTimer again(&node);
+  again.Finish(8);
+  EXPECT_EQ(node.invocations, 4u);
+  EXPECT_EQ(node.actual_rows, 50u);
+}
+
+TEST(ObsProfileTest, MisestimateFlagging) {
+  EXPECT_FALSE(IsMisestimate(-1.0, 1000));  // no estimate, never flags
+  EXPECT_FALSE(IsMisestimate(100.0, 100));
+  EXPECT_FALSE(IsMisestimate(100.0, 350));
+  EXPECT_TRUE(IsMisestimate(100.0, 500));
+  EXPECT_TRUE(IsMisestimate(500.0, 100));
+  EXPECT_FALSE(IsMisestimate(0.0, 2));  // +1 smoothing: 3/1 < 4
+  EXPECT_TRUE(IsMisestimate(0.0, 5));
+}
+
+TEST(ObsProfileTest, TreeRenderingAndJson) {
+  QueryProfile qp;
+  qp.fingerprint = 0xDEADBEEFCAFEF00DULL;
+  qp.total_ns = 1'500'000;
+  qp.rows_out = 3;
+  qp.intermediate_rows = 12;
+  qp.profiled = true;
+  qp.root.op = "group";
+  qp.root.invocations = 1;
+  qp.root.actual_rows = 3;
+  OperatorProfile scan;
+  scan.op = "scan";
+  scan.label = "?s <p> ?o";
+  scan.est_rows = 2.0;
+  scan.actual_rows = 100;
+  scan.invocations = 1;
+  scan.wall_ns = 12'345;
+  qp.root.children.push_back(scan);
+
+  std::string tree = ProfileTreeString(qp.root);
+  EXPECT_NE(tree.find("group"), std::string::npos) << tree;
+  EXPECT_NE(tree.find("?s <p> ?o"), std::string::npos) << tree;
+  EXPECT_NE(tree.find("est=2"), std::string::npos) << tree;
+  EXPECT_NE(tree.find("act=100"), std::string::npos) << tree;
+  EXPECT_NE(tree.find("misestimate"), std::string::npos) << tree;
+
+  std::string json = ProfileJson(qp);
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("\"fingerprint\":\"0xdeadbeefcafef00d\""),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"profiled\":true"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"children\":["), std::string::npos) << json;
+}
+
+// ---------------------------------------------------------------------------
+// Slow-query journal
+// ---------------------------------------------------------------------------
+
+QueryLogEntry MakeEntry(uint64_t fp, double latency_us) {
+  QueryLogEntry e;
+  e.fingerprint = fp;
+  e.query = "SELECT ?s WHERE { ?s ?p ?o }";
+  e.latency_us = latency_us;
+  e.rows_out = 1;
+  e.intermediate_rows = 2;
+  return e;
+}
+
+TEST(ObsQueryLogTest, DisabledByDefaultAndThresholdGates) {
+  QueryLog log(4);
+  EXPECT_FALSE(log.enabled());
+  EXPECT_FALSE(log.ShouldRecord(1e9));
+  EXPECT_FALSE(log.Record(MakeEntry(1, 1e9)));
+  EXPECT_EQ(log.size(), 0u);
+
+  log.SetThresholdMicros(1000);
+  EXPECT_TRUE(log.enabled());
+  EXPECT_FALSE(log.ShouldRecord(999.0));
+  EXPECT_TRUE(log.ShouldRecord(1000.0));
+  EXPECT_FALSE(log.Record(MakeEntry(2, 10.0)));  // below threshold
+  EXPECT_TRUE(log.Record(MakeEntry(3, 2000.0)));
+  EXPECT_EQ(log.size(), 1u);
+  EXPECT_EQ(log.total_admitted(), 1u);
+
+  log.SetThresholdMicros(0);  // 0 journals everything
+  EXPECT_TRUE(log.ShouldRecord(0.0));
+  log.SetThresholdMicros(-1);  // negative disables again
+  EXPECT_FALSE(log.ShouldRecord(1e9));
+}
+
+TEST(ObsQueryLogTest, RingOverwritesOldestAndKeepsSequence) {
+  QueryLog log(3);
+  log.SetThresholdMicros(0);
+  for (uint64_t i = 1; i <= 5; ++i) {
+    EXPECT_TRUE(log.Record(MakeEntry(i, static_cast<double>(i))));
+  }
+  EXPECT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.capacity(), 3u);
+  EXPECT_EQ(log.total_admitted(), 5u);
+  std::vector<QueryLogEntry> entries = log.Entries();
+  ASSERT_EQ(entries.size(), 3u);
+  // Oldest first; entries 1 and 2 were overwritten.
+  EXPECT_EQ(entries[0].fingerprint, 3u);
+  EXPECT_EQ(entries[1].fingerprint, 4u);
+  EXPECT_EQ(entries[2].fingerprint, 5u);
+  EXPECT_EQ(entries[0].sequence, 3u);
+  EXPECT_EQ(entries[2].sequence, 5u);
+
+  log.Clear();
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_EQ(log.total_admitted(), 0u);
+}
+
+TEST(ObsQueryLogTest, TruncatesOversizedQueryText) {
+  QueryLog log(2);
+  log.SetThresholdMicros(0);
+  QueryLogEntry e = MakeEntry(9, 5.0);
+  e.query.assign(QueryLog::kMaxQueryBytes + 100, 'x');
+  EXPECT_TRUE(log.Record(std::move(e)));
+  EXPECT_EQ(log.Entries()[0].query.size(), QueryLog::kMaxQueryBytes);
+}
+
+TEST(ObsQueryLogTest, JsonRoundTripsEntries) {
+  QueryLog log(4);
+  log.SetThresholdMicros(100);
+  QueryLogEntry e = MakeEntry(0xABCDULL, 250.0);
+  e.query = "SELECT ?s WHERE { ?s \"weird\\string\" ?o }";
+  e.profile.fingerprint = 0xABCDULL;
+  e.profile.profiled = true;
+  e.profile.root.op = "group";
+  ASSERT_TRUE(log.Record(std::move(e)));
+  std::string json = log.ToJson();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("\"threshold_us\":100"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"admitted\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"fingerprint\":\"0x000000000000abcd\""),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("weird\\\\string"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"profile\":{"), std::string::npos) << json;
+}
+
+TEST(ObsConcurrencyTest, QueryLogConcurrentRecordAndRead) {
+  QueryLog log(8);
+  log.SetThresholdMicros(0);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads + 1);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&log, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        log.Record(MakeEntry(static_cast<uint64_t>(t * kPerThread + i), 1.0));
+      }
+    });
+  }
+  threads.emplace_back([&log] {
+    for (int i = 0; i < 200; ++i) {
+      std::vector<QueryLogEntry> snapshot = log.Entries();
+      EXPECT_LE(snapshot.size(), log.capacity());
+      std::string json = log.ToJson();
+      EXPECT_FALSE(json.empty());
+    }
+  });
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(log.total_admitted(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(log.size(), 8u);
 }
 
 }  // namespace

@@ -269,6 +269,91 @@ TEST_F(SparqlParityFixture, ForcedStrategyPlansIdenticalAcrossBackends) {
   EXPECT_TRUE(saw_scan_under_nlj);
 }
 
+TEST_F(SparqlParityFixture, ProfilingDoesNotPerturbResults) {
+  // EXPLAIN ANALYZE's contract: per-operator instrumentation observes the
+  // execution, it never participates in it. For every parity query, a
+  // profiling engine must return bit-identical rows/triples on both
+  // backends. (scripts/check.sh additionally re-runs this whole suite with
+  // LODVIZ_PROFILE=1 so the force-enable path is pinned too.)
+  QueryEngine::Options prof_opts;
+  prof_opts.profile = true;
+  QueryEngine mem_prof(&store_, prof_opts);
+  QueryEngine disk_prof(adapter_.get(), prof_opts);
+  for (const char* q : kSelectQueries) {
+    auto plain = mem_engine_->ExecuteString(q);
+    ASSERT_TRUE(plain.ok()) << q << "\n" << plain.status().ToString();
+    const std::string want = TableKey(plain.ValueOrDie());
+    QueryStats mem_stats;
+    QueryStats disk_stats;
+    auto mem = mem_prof.ExecuteString(q, &mem_stats);
+    auto disk = disk_prof.ExecuteString(q, &disk_stats);
+    ASSERT_TRUE(mem.ok() && disk.ok()) << q;
+    EXPECT_EQ(want, TableKey(mem.ValueOrDie())) << q;
+    EXPECT_EQ(want, TableKey(disk.ValueOrDie())) << q;
+    // The profiles themselves agree on everything deterministic: same
+    // plan, same per-operator actual rows on both backends.
+    EXPECT_TRUE(mem_stats.profile.profiled) << q;
+    EXPECT_TRUE(disk_stats.profile.profiled) << q;
+    EXPECT_EQ(mem_stats.fingerprint, disk_stats.fingerprint) << q;
+    ASSERT_EQ(mem_stats.profile.root.children.size(),
+              disk_stats.profile.root.children.size())
+        << q;
+    for (size_t i = 0; i < mem_stats.profile.root.children.size(); ++i) {
+      const obs::OperatorProfile& m = mem_stats.profile.root.children[i];
+      const obs::OperatorProfile& d = disk_stats.profile.root.children[i];
+      EXPECT_EQ(m.op, d.op) << q;
+      EXPECT_EQ(m.label, d.label) << q;
+      EXPECT_EQ(m.actual_rows, d.actual_rows) << q << " op " << m.op;
+      EXPECT_EQ(m.invocations, d.invocations) << q << " op " << m.op;
+    }
+  }
+  for (const char* q : kGraphQueries) {
+    auto plain = mem_engine_->ExecuteGraphString(q);
+    ASSERT_TRUE(plain.ok()) << q;
+    auto mem = mem_prof.ExecuteGraphString(q);
+    auto disk = disk_prof.ExecuteGraphString(q);
+    ASSERT_TRUE(mem.ok() && disk.ok()) << q;
+    EXPECT_EQ(GraphKey(plain.ValueOrDie()), GraphKey(mem.ValueOrDie())) << q;
+    EXPECT_EQ(GraphKey(plain.ValueOrDie()), GraphKey(disk.ValueOrDie())) << q;
+  }
+}
+
+TEST_F(SparqlParityFixture, ExplainAnalyzeWorksOnBothBackends) {
+  const char* q =
+      "SELECT ?a ?c WHERE { ?a <http://x/knows> ?b . "
+      "?b <http://x/knows> ?c . ?a a <http://x/Person> . }";
+  auto mem = mem_engine_->ExplainAnalyzeString(q);
+  auto disk = disk_engine_->ExplainAnalyzeString(q);
+  ASSERT_TRUE(mem.ok()) << mem.status().ToString();
+  ASSERT_TRUE(disk.ok()) << disk.status().ToString();
+  for (const std::string& report : {mem.ValueOrDie(), disk.ValueOrDie()}) {
+    EXPECT_NE(report.find("explain analyze"), std::string::npos) << report;
+    EXPECT_NE(report.find("est="), std::string::npos) << report;
+    EXPECT_NE(report.find("act="), std::string::npos) << report;
+    EXPECT_NE(report.find("inv="), std::string::npos) << report;
+  }
+  // Wall times differ between backends, but everything else in the
+  // reports (plan shape, labels, estimates, actual rows) matches. Strip
+  // time fields and compare the rest wholesale.
+  auto strip_times = [](const std::string& s) {
+    std::string out;
+    size_t pos = 0;
+    while (pos < s.size()) {
+      size_t t = s.find("time=", pos);
+      if (t == std::string::npos) {
+        out += s.substr(pos);
+        break;
+      }
+      out += s.substr(pos, t - pos);
+      size_t end = t;
+      while (end < s.size() && s[end] != '\n' && s[end] != ' ') ++end;
+      pos = end;
+    }
+    return out;
+  };
+  EXPECT_EQ(strip_times(mem.ValueOrDie()), strip_times(disk.ValueOrDie()));
+}
+
 TEST_F(SparqlParityFixture, FilterEvalErrorsAreCounted) {
   // FILTER expression errors make the row fail the filter (SPARQL
   // semantics) but must not vanish silently: each one increments

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/query_log.h"
 #include "rdf/ntriples.h"
 #include "rdf/triple_store.h"
 #include "sparql/engine.h"
@@ -448,6 +449,157 @@ TEST_F(EngineFixture, ResultTableToString) {
   std::string rendered = t.ToString();
   EXPECT_NE(rendered.find("?s"), std::string::npos);
   EXPECT_NE(rendered.find("alice"), std::string::npos);
+}
+
+// ---- query profiling & slow-query journal ----
+
+TEST_F(EngineFixture, ProfileOffLeavesStatsCheap) {
+  QueryStats stats;
+  ResultTable t = [&] {
+    auto r = engine_->ExecuteString(
+        "SELECT ?a WHERE { ?a <http://x/knows> ?b . }", &stats);
+    EXPECT_TRUE(r.ok());
+    return std::move(r).ValueOrDie();
+  }();
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(stats.rows_out, 2u);
+  EXPECT_GT(stats.latency_us, 0.0);
+  // Profiling off and journal disarmed: no fingerprint, no profile tree.
+  EXPECT_FALSE(stats.profile.profiled);
+  EXPECT_EQ(stats.fingerprint, 0u);
+  EXPECT_TRUE(stats.profile.root.children.empty());
+}
+
+TEST_F(EngineFixture, ProfileOnRecordsOperatorTree) {
+  QueryEngine::Options opts;
+  opts.profile = true;
+  QueryEngine profiled(&store_, opts);
+  QueryStats stats;
+  auto r = profiled.ExecuteString(
+      "SELECT ?a ?c WHERE { ?a <http://x/knows> ?b . ?b <http://x/knows> ?c . }",
+      &stats);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(stats.profile.profiled);
+  EXPECT_NE(stats.fingerprint, 0u);
+  EXPECT_EQ(stats.profile.fingerprint, stats.fingerprint);
+  EXPECT_EQ(stats.profile.rows_out, 1u);
+  EXPECT_GT(stats.profile.total_ns, 0);
+  // Root mirrors the top-level group: one invocation, two pattern steps.
+  const obs::OperatorProfile& root = stats.profile.root;
+  EXPECT_EQ(root.invocations, 1u);
+  EXPECT_EQ(root.actual_rows, 1u);
+  ASSERT_EQ(root.children.size(), 2u);
+  for (const obs::OperatorProfile& step : root.children) {
+    EXPECT_TRUE(step.op == "scan" || step.op == "hash-join") << step.op;
+    EXPECT_FALSE(step.label.empty());
+    EXPECT_GE(step.wall_ns, 0);
+  }
+  // Step invocations count input solutions probed: one empty seed row for
+  // the first step, then both of its solutions for the second.
+  EXPECT_EQ(root.children[0].invocations, 1u);
+  EXPECT_EQ(root.children[0].actual_rows, 2u);
+  EXPECT_EQ(root.children[1].invocations, 2u);
+  // The join keeps only alice->bob joined with bob->carol.
+  EXPECT_EQ(root.children[1].actual_rows, 1u);
+}
+
+TEST_F(EngineFixture, ProfileCoversUnionOptionalAndFilter) {
+  QueryEngine::Options opts;
+  opts.profile = true;
+  QueryEngine profiled(&store_, opts);
+  QueryStats stats;
+  auto r = profiled.ExecuteString(
+      "SELECT * WHERE { ?s <http://x/age> ?a . "
+      "OPTIONAL { ?s <http://x/city> ?c . } "
+      "{ ?s <http://x/knows> ?k . } UNION { ?s <http://x/worksAt> ?k . } "
+      "FILTER(?a > 20) }",
+      &stats);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const obs::OperatorProfile& root = stats.profile.root;
+  // Layout: [step][union][union][optional][filter].
+  ASSERT_EQ(root.children.size(), 5u);
+  EXPECT_EQ(root.children[1].op, "union");
+  EXPECT_EQ(root.children[2].op, "union");
+  EXPECT_EQ(root.children[3].op, "optional");
+  EXPECT_EQ(root.children[4].op, "filter");
+  // Union branches and the optional mirror their sub-plans.
+  EXPECT_EQ(root.children[1].children.size(), 1u);
+  EXPECT_EQ(root.children[3].children.size(), 1u);
+  // The filter saw the post-union solutions and kept all adults.
+  EXPECT_GT(root.children[4].invocations, 0u);
+}
+
+TEST_F(EngineFixture, ProfileWorksForGraphForms) {
+  QueryEngine::Options opts;
+  opts.profile = true;
+  QueryEngine profiled(&store_, opts);
+  QueryStats stats;
+  auto r = profiled.ExecuteGraphString(
+      "CONSTRUCT { ?a <http://x/friend> ?b . } WHERE { ?a <http://x/knows> ?b . }",
+      &stats);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->size(), 2u);
+  EXPECT_TRUE(stats.profile.profiled);
+  EXPECT_NE(stats.fingerprint, 0u);
+  EXPECT_EQ(stats.profile.rows_out, 2u);
+  ASSERT_EQ(stats.profile.root.children.size(), 1u);
+  EXPECT_EQ(stats.profile.root.children[0].actual_rows, 2u);
+}
+
+TEST_F(EngineFixture, ExplainAnalyzeRendersActuals) {
+  auto r = engine_->ExplainAnalyzeString(
+      "SELECT ?a ?c WHERE { ?a <http://x/knows> ?b . ?b <http://x/knows> ?c . }");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const std::string& report = r.ValueOrDie();
+  EXPECT_NE(report.find("explain analyze"), std::string::npos) << report;
+  EXPECT_NE(report.find("fingerprint=0x"), std::string::npos) << report;
+  EXPECT_NE(report.find("est="), std::string::npos) << report;
+  EXPECT_NE(report.find("act="), std::string::npos) << report;
+  EXPECT_NE(report.find("total: rows_out=1"), std::string::npos) << report;
+  // Parse errors surface as Status, not a report.
+  EXPECT_FALSE(engine_->ExplainAnalyzeString("SELECT garbage").ok());
+}
+
+TEST_F(EngineFixture, SlowQueryJournalCapturesInjectedSlowQuery) {
+  obs::QueryLog& journal = obs::QueryLog::Global();
+  journal.Clear();
+  journal.SetThresholdMicros(0);  // journal everything for the test
+  const std::string query_text =
+      "SELECT ?s WHERE { ?s <http://x/age> ?a . FILTER(?a > 32) }";
+  QueryStats stats;
+  auto r = engine_->ExecuteString(query_text, &stats);
+  ASSERT_TRUE(r.ok());
+  journal.SetThresholdMicros(-1);  // disarm before inspecting
+
+  std::vector<obs::QueryLogEntry> entries = journal.Entries();
+  ASSERT_EQ(entries.size(), 1u);
+  const obs::QueryLogEntry& e = entries[0];
+  EXPECT_EQ(e.query, query_text);
+  EXPECT_NE(e.fingerprint, 0u);
+  EXPECT_EQ(e.fingerprint, stats.fingerprint);
+  EXPECT_EQ(e.rows_out, 2u);
+  EXPECT_EQ(e.intermediate_rows, stats.intermediate_rows);
+  EXPECT_GT(e.latency_us, 0.0);
+  // Journal admission without Options::profile still captures totals, just
+  // no per-operator actuals.
+  EXPECT_FALSE(e.profile.profiled);
+  EXPECT_EQ(e.profile.fingerprint, e.fingerprint);
+
+  // The JSON dump round-trips the entry.
+  std::string json = journal.ToJson();
+  EXPECT_NE(json.find("\"admitted\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("FILTER(?a > 32)"), std::string::npos) << json;
+  journal.Clear();
+}
+
+TEST_F(EngineFixture, FastQueriesStayOutOfTheJournal) {
+  obs::QueryLog& journal = obs::QueryLog::Global();
+  journal.Clear();
+  journal.SetThresholdMicros(60'000'000);  // one minute: nothing qualifies
+  auto r = engine_->ExecuteString("SELECT ?s WHERE { ?s ?p ?o . }");
+  ASSERT_TRUE(r.ok());
+  journal.SetThresholdMicros(-1);
+  EXPECT_EQ(journal.size(), 0u);
 }
 
 }  // namespace
