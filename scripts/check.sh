@@ -8,13 +8,17 @@
 #      (skipped with a notice when clang++ is not installed; the annotation
 #      macros are no-ops elsewhere, so only clang can check them)
 #   3. ASan+UBSan       — full tier-1 suite under address+undefined
-#   4. TSan             — obs/exec/sparql concurrency tests
+#   4. TSan             — obs/exec/sparql/serve concurrency tests
 #   5. profiler parity  — SparqlParity suite re-run with LODVIZ_PROFILE=1
 #      (profiling force-enabled for every query; results must stay
 #      bit-identical, pinning the EXPLAIN ANALYZE observe-don't-perturb
 #      contract)
+#   6. serving parity   — serve_check drives a live HTTP server with
+#      concurrent clients and asserts every answer (cold plan cache, warm
+#      plan cache, and under contention) is bit-identical to a direct
+#      QueryEngine execution of the same query
 #
-#   scripts/check.sh            # all five gates
+#   scripts/check.sh            # all six gates
 #   scripts/check.sh --lint     # gate 1 only (fast pre-commit check)
 #
 # Run from the repository root. See README "Correctness tooling".
@@ -27,7 +31,7 @@ ASAN_BUILD=build-asan
 TSAN_BUILD=build-tsan
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)"
 
-echo "== [1/5] static analysis (lodviz_lint) =="
+echo "== [1/6] static analysis (lodviz_lint) =="
 cmake -B "$LINT_BUILD" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$LINT_BUILD" --target lodviz_lint -j "$JOBS" >/dev/null
 "$LINT_BUILD"/tools/lint/lodviz_lint --self-test
@@ -41,7 +45,7 @@ if [ "${1:-}" = "--lint" ]; then
   exit 0
 fi
 
-echo "== [2/5] clang -Werror=thread-safety =="
+echo "== [2/6] clang -Werror=thread-safety =="
 if command -v clang++ >/dev/null 2>&1; then
   # Library targets only: the annotations live in src/, and this keeps the
   # leg fast enough to run before the sanitizer builds.
@@ -54,12 +58,12 @@ else
        "the lint gate above still enforces GUARDED_BY/lock-order statically)"
 fi
 
-echo "== [3/5] ASan+UBSan tier-1 suite =="
+echo "== [3/6] ASan+UBSan tier-1 suite =="
 cmake -B "$ASAN_BUILD" -S . -C cmake/sanitize.cmake >/dev/null
 cmake --build "$ASAN_BUILD" -j "$JOBS"
 ctest --test-dir "$ASAN_BUILD" --output-on-failure -j "$JOBS"
 
-echo "== [4/5] TSan obs + exec + sparql concurrency tests =="
+echo "== [4/6] TSan obs + exec + sparql + serve concurrency tests =="
 # ThreadSanitizer is exclusive with ASan, so the concurrency tests get their
 # own build tree. The Exec suites cover the thread pool plus every
 # parallelized hot path (hetree, progressive, clustering, bundling, layout,
@@ -69,14 +73,17 @@ echo "== [4/5] TSan obs + exec + sparql concurrency tests =="
 # Fetch/eviction and dirty write-back on the lock-striped BufferPool
 # (which replaced the serialized disk adapter), so this is the race gate
 # for query execution and the storage layer under it.
+# The Serve suites run the full HTTP server (acceptor + worker tasks on
+# the shared pool, bounded fd queue, plan cache) under TSan — the race
+# gate for the serving layer's front door.
 cmake -B "$TSAN_BUILD" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DLODVIZ_SANITIZE=thread >/dev/null
 cmake --build "$TSAN_BUILD" --target obs_test exec_test sparql_parity_test \
-  -j "$JOBS"
-ctest --test-dir "$TSAN_BUILD" -R '^(Obs|Exec|SparqlParity)' \
+  serve_test -j "$JOBS"
+ctest --test-dir "$TSAN_BUILD" -R '^(Obs|Exec|SparqlParity|Serve)' \
   --output-on-failure -j "$JOBS"
 
-echo "== [5/5] SparqlParity with profiling force-enabled =="
+echo "== [5/6] SparqlParity with profiling force-enabled =="
 # LODVIZ_PROFILE=1 turns per-operator profiling on for every query in the
 # process (sparql/engine.cc reads it once). The parity suite asserts
 # memory/disk/forced-strategy executions stay bit-identical, so running it
@@ -85,5 +92,15 @@ echo "== [5/5] SparqlParity with profiling force-enabled =="
 # instrumented paths also get leak/UB coverage that way.
 LODVIZ_PROFILE=1 ctest --test-dir "$ASAN_BUILD" -R '^SparqlParity' \
   --output-on-failure -j "$JOBS"
+
+echo "== [6/6] serving layer end-to-end parity (serve_check) =="
+# serve_check starts a real server on an ephemeral port and asserts that
+# HTTP answers — cold cache, warm cache, and under 8 concurrent clients —
+# are bit-identical to direct in-process execution, and that the plan
+# cache actually served hits. Runs from the ASan build so the whole
+# serving stack (sockets, HTTP parsing, cache, admission gate) gets
+# address/UB coverage while being exercised end to end.
+cmake --build "$ASAN_BUILD" --target serve_check -j "$JOBS"
+"$ASAN_BUILD"/tools/serve_check
 
 echo "check.sh: all gates passed"

@@ -150,6 +150,14 @@ Result<sparql::ResultTable> Engine::Query(std::string_view sparql_text) {
   return result;
 }
 
+Result<std::unique_ptr<serve::Frontend>> Engine::MakeFrontend(
+    const serve::FrontendOptions& frontend_options) {
+  LODVIZ_TRACE_SPAN("core.engine.make_frontend");
+  CountCapability("make_frontend");
+  LODVIZ_ASSIGN_OR_RETURN(const rdf::TripleSource* source, ActiveSource());
+  return std::make_unique<serve::Frontend>(source, frontend_options);
+}
+
 Result<std::string> Engine::ExplainQuery(std::string_view sparql_text) {
   LODVIZ_TRACE_SPAN("core.engine.explain_query");
   CountCapability("explain_query");

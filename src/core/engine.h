@@ -15,6 +15,7 @@
 #include "rdf/streaming.h"
 #include "rdf/triple_source.h"
 #include "rdf/triple_store.h"
+#include "serve/frontend.h"
 #include "sparql/engine.h"
 #include "storage/disk_source_adapter.h"
 #include "storage/disk_triple_store.h"
@@ -98,6 +99,15 @@ class Engine {
   /// actual rows, invocations and wall time (EXPLAIN ANALYZE); works for
   /// all query forms on either backend.
   Result<std::string> ExplainAnalyzeQuery(std::string_view sparql_text);
+  /// Builds a serving Frontend (plan cache + admission control +
+  /// serialization) over the active backend — the object tools/ and
+  /// tests hand to serve::Server. The Frontend borrows the Engine's
+  /// TripleSource, so the Engine must outlive it, and loads performed
+  /// after construction are not visible through it (the serving layer
+  /// assumes an immutable snapshot, like sparql::QueryEngine itself).
+  Result<std::unique_ptr<serve::Frontend>> MakeFrontend(
+      const serve::FrontendOptions& frontend_options =
+          serve::FrontendOptions());
   /// JSON dump of the process-wide slow-query journal (see
   /// obs::QueryLog::ToJson); entries accumulate once Options::slow_query_us
   /// is non-negative.

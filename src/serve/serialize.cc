@@ -1,0 +1,137 @@
+#include "serve/serialize.h"
+
+#include "obs/export.h"
+#include "rdf/term.h"
+
+namespace lodviz::serve {
+
+namespace {
+
+/// One term as a SPARQL-results JSON object: {"type":...,"value":...}
+/// plus "xml:lang" or "datatype" when the literal carries one.
+void AppendTermJson(const rdf::Term& t, std::string* out) {
+  out->append("{\"type\":\"");
+  switch (t.kind) {
+    case rdf::TermKind::kIri:
+      out->append("uri");
+      break;
+    case rdf::TermKind::kLiteral:
+      out->append("literal");
+      break;
+    case rdf::TermKind::kBlank:
+      out->append("bnode");
+      break;
+  }
+  out->append("\",\"value\":\"");
+  out->append(obs::JsonEscape(t.lexical));
+  out->push_back('"');
+  if (t.is_literal()) {
+    if (!t.language.empty()) {
+      out->append(",\"xml:lang\":\"");
+      out->append(obs::JsonEscape(t.language));
+      out->push_back('"');
+    } else if (!t.datatype.empty()) {
+      out->append(",\"datatype\":\"");
+      out->append(obs::JsonEscape(t.datatype));
+      out->push_back('"');
+    }
+  }
+  out->push_back('}');
+}
+
+}  // namespace
+
+std::string ResultTableJson(const sparql::ResultTable& table, bool is_ask) {
+  std::string out;
+  if (is_ask) {
+    out = "{\"head\":{},\"boolean\":";
+    out += table.ask_result ? "true" : "false";
+    out += "}";
+    return out;
+  }
+  out.append("{\"head\":{\"vars\":[");
+  bool first = true;
+  for (const std::string& v : table.columns()) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.push_back('"');
+    out.append(obs::JsonEscape(v));
+    out.push_back('"');
+  }
+  out.append("]},\"results\":{\"bindings\":[");
+  first = true;
+  for (const auto& row : table.rows()) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.push_back('{');
+    bool first_cell = true;
+    for (size_t i = 0; i < row.size() && i < table.columns().size(); ++i) {
+      if (!row[i].bound) continue;  // unbound cells are simply absent
+      if (!first_cell) out.push_back(',');
+      first_cell = false;
+      out.push_back('"');
+      out.append(obs::JsonEscape(table.columns()[i]));
+      out.append("\":");
+      AppendTermJson(row[i].term, &out);
+    }
+    out.push_back('}');
+  }
+  out.append("]}}");
+  return out;
+}
+
+std::string ResultTableTsv(const sparql::ResultTable& table, bool is_ask) {
+  std::string out;
+  if (is_ask) {
+    return table.ask_result ? "true\n" : "false\n";
+  }
+  bool first = true;
+  for (const std::string& v : table.columns()) {
+    if (!first) out.push_back('\t');
+    first = false;
+    out.push_back('?');
+    out.append(v);
+  }
+  out.push_back('\n');
+  for (const auto& row : table.rows()) {
+    for (size_t i = 0; i < row.size() && i < table.columns().size(); ++i) {
+      if (i > 0) out.push_back('\t');
+      if (row[i].bound) out.append(row[i].term.ToNTriples());
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::string TriplesJson(const std::vector<rdf::ParsedTriple>& triples) {
+  std::string out = "{\"triples\":[";
+  bool first = true;
+  for (const rdf::ParsedTriple& t : triples) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.append("{\"s\":");
+    AppendTermJson(t.subject, &out);
+    out.append(",\"p\":");
+    AppendTermJson(t.predicate, &out);
+    out.append(",\"o\":");
+    AppendTermJson(t.object, &out);
+    out.push_back('}');
+  }
+  out.append("]}");
+  return out;
+}
+
+std::string TriplesTsv(const std::vector<rdf::ParsedTriple>& triples) {
+  std::string out;
+  for (const rdf::ParsedTriple& t : triples) {
+    out.append(t.subject.ToNTriples());
+    out.push_back('\t');
+    out.append(t.predicate.ToNTriples());
+    out.push_back('\t');
+    out.append(t.object.ToNTriples());
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace lodviz::serve

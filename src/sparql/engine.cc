@@ -1,10 +1,13 @@
 #include "sparql/engine.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <set>
+
+#include "rdf/dictionary.h"
 
 #include "common/stopwatch.h"
 #include "obs/query_log.h"
@@ -52,6 +55,62 @@ std::string RowKey(const std::vector<ResultCell>& row) {
     key += '\x01';
   }
   return key;
+}
+
+/// Three-way ORDER BY comparison over two bound terms. Total and
+/// deterministic: terms compare by value class first (numeric < temporal
+/// < boolean < everything else), then by decoded value within the class,
+/// and terms in the last class — plain/lang/undecodable literals, IRIs,
+/// blanks, and NaN numerics — compare by their N-Triples spelling, so
+/// "error" terms sort after all comparable values instead of mapping a
+/// comparison failure to "equal". The previous comparator did the latter
+/// (`cv = c.ok() ? value : 0`), which is asymmetric when only one pairing
+/// errors and breaks the strict weak ordering std::stable_sort requires
+/// (undefined behavior); it also compared mixed numeric/lexical pairs
+/// lexically, making `5 ~ "abc" ~ 3` intransitive. Value-equal terms with
+/// different spellings (`30` vs `"+30"^^xsd:integer`) stay equivalent so
+/// secondary sort keys still apply.
+int CompareCellsForOrder(const Term& a, const Term& b) {
+  // 0 = numeric, 1 = temporal, 2 = boolean, 3 = lexical/error.
+  auto cls = [](const rdf::DecodedValue& v) {
+    switch (v.kind) {
+      case rdf::DecodedValue::Kind::kNum:
+        // NaN compares false both ways; keep it out of the numeric class
+        // or it would be "equivalent" to every number at once.
+        return std::isnan(v.num) ? 3 : 0;
+      case rdf::DecodedValue::Kind::kTime:
+        return 1;
+      case rdf::DecodedValue::Kind::kBool:
+        return 2;
+      case rdf::DecodedValue::Kind::kNone:
+        return 3;
+    }
+    return 3;
+  };
+  const rdf::DecodedValue da = rdf::DecodeTerm(a);
+  const rdf::DecodedValue db = rdf::DecodeTerm(b);
+  const int ca = cls(da);
+  const int cb = cls(db);
+  if (ca != cb) return ca < cb ? -1 : 1;
+  switch (ca) {
+    case 0:
+      if (da.num < db.num) return -1;
+      if (da.num > db.num) return 1;
+      return 0;
+    case 1:
+      if (da.epoch < db.epoch) return -1;
+      if (da.epoch > db.epoch) return 1;
+      return 0;
+    case 2:
+      if (da.b != db.b) return da.b ? 1 : -1;
+      return 0;
+    default: {
+      const std::string sa = a.ToNTriples();
+      const std::string sb = b.ToNTriples();
+      if (sa != sb) return sa < sb ? -1 : 1;
+      return 0;
+    }
+  }
 }
 
 PlannerOptions ToPlannerOptions(const QueryEngine::Options& o) {
@@ -141,9 +200,24 @@ Result<std::vector<rdf::ParsedTriple>> QueryEngine::ExecuteGraph(
   return ExecuteGraphImpl(query, stats, {});
 }
 
+QueryPlan QueryEngine::Plan(const Query& query) const {
+  return PlanQuery(query, *source_, ToPlannerOptions(options_));
+}
+
+Result<ResultTable> QueryEngine::ExecutePlanned(const Query& query,
+                                                const QueryPlan& plan,
+                                                QueryStats* stats,
+                                                std::string_view text) const {
+  if (query.form == QueryForm::kConstruct ||
+      query.form == QueryForm::kDescribe) {
+    return Status::InvalidArgument(
+        "use ExecuteGraph for CONSTRUCT/DESCRIBE queries");
+  }
+  return ExecutePlannedImpl(query, plan, stats, text);
+}
+
 std::string QueryEngine::Explain(const Query& query) const {
-  QueryPlan plan = PlanQuery(query, *source_, ToPlannerOptions(options_));
-  return plan.ToString();
+  return Plan(query).ToString();
 }
 
 Result<std::string> QueryEngine::ExplainString(std::string_view text) const {
@@ -203,8 +277,9 @@ Result<std::vector<rdf::ParsedTriple>> QueryEngine::ExecuteGraphImpl(
     }
   };
 
+  bool budget_blown = false;
   auto eval_where = [&]() {
-    Executor executor(source_, RowWidth(plan), prof);
+    Executor executor(source_, RowWidth(plan), prof, options_.budget);
     BindingTable seeds(RowWidth(plan));
     seeds.AppendEmptyRow();
     obs::OperatorTimer timer(prof);
@@ -215,11 +290,15 @@ Result<std::vector<rdf::ParsedTriple>> QueryEngine::ExecuteGraphImpl(
     if (stats != nullptr) {
       stats->intermediate_rows = executor.intermediate_rows();
     }
+    budget_blown = executor.budget_exhausted();
     return solutions;
   };
 
   if (query.form == QueryForm::kConstruct) {
     BindingTable solutions = eval_where();
+    if (budget_blown) {
+      return Status::ResourceExhausted("query exceeded its execution budget");
+    }
     // Resolve template positions to slots once, not per solution.
     struct TemplateStep {
       SlotId s_slot, p_slot, o_slot;
@@ -281,6 +360,10 @@ Result<std::vector<rdf::ParsedTriple>> QueryEngine::ExecuteGraphImpl(
     }
     if (has_var_target) {
       BindingTable solutions = eval_where();
+      if (budget_blown) {
+        return Status::ResourceExhausted(
+            "query exceeded its execution budget");
+      }
       for (size_t i = 0; i < solutions.num_rows(); ++i) {
         const TermId* row = solutions.row(i);
         for (SlotId slot : target_slots) {
@@ -322,18 +405,23 @@ Result<ResultTable> QueryEngine::ExecuteImpl(const Query& query,
     return Status::InvalidArgument(
         "use ExecuteGraph for CONSTRUCT/DESCRIBE queries");
   }
+  return ExecutePlannedImpl(query, Plan(query), stats, text);
+}
+
+Result<ResultTable> QueryEngine::ExecutePlannedImpl(
+    const Query& query, const QueryPlan& plan, QueryStats* stats,
+    std::string_view text) const {
   LODVIZ_TRACE_SPAN("sparql.execute");
   SparqlMetrics& metrics = SparqlMetrics::Get();
   metrics.queries.Increment();
   Stopwatch sw;
 
   const bool profiling = options_.profile || ProfilingForced();
-  QueryPlan plan = PlanQuery(query, *source_, ToPlannerOptions(options_));
   obs::OperatorProfile skeleton;
   if (profiling) skeleton = BuildProfileSkeleton(plan.root);
   obs::OperatorProfile* prof = profiling ? &skeleton : nullptr;
 
-  Executor executor(source_, RowWidth(plan), prof);
+  Executor executor(source_, RowWidth(plan), prof, options_.budget);
   BindingTable seeds(RowWidth(plan));
   seeds.AppendEmptyRow();
   obs::OperatorTimer root_timer(prof);
@@ -368,6 +456,12 @@ Result<ResultTable> QueryEngine::ExecuteImpl(const Query& query,
                             stats);
     }
   } fold{metrics, sw, rows_out, stats, query, text, intermediate, prof};
+
+  // A blown budget leaves a deliberately truncated solution table; discard
+  // it (the fold above still records latency and journals the query).
+  if (executor.budget_exhausted()) {
+    return Status::ResourceExhausted("query exceeded its execution budget");
+  }
 
   const rdf::Dictionary& dict = source_->dict();
 
@@ -523,8 +617,7 @@ Result<ResultTable> QueryEngine::ExecuteImpl(const Query& query,
                          if (!ca.bound && !cb.bound) continue;
                          if (!ca.bound) return query.order_by[i].ascending;
                          if (!cb.bound) return !query.order_by[i].ascending;
-                         Result<int> c = CompareTerms(ca.term, cb.term);
-                         int cv = c.ok() ? c.ValueOrDie() : 0;
+                         int cv = CompareCellsForOrder(ca.term, cb.term);
                          if (cv != 0) {
                            return query.order_by[i].ascending ? cv < 0
                                                               : cv > 0;

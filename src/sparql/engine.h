@@ -9,6 +9,7 @@
 #include "rdf/ntriples.h"
 #include "rdf/triple_source.h"
 #include "sparql/ast.h"
+#include "sparql/executor.h"
 #include "sparql/planner.h"
 #include "sparql/result_table.h"
 
@@ -58,6 +59,12 @@ class QueryEngine {
     /// tests and join micro-benchmarks); production leaves it on kAuto.
     JoinForce force_join = JoinForce::kAuto;
 
+    /// Per-query resource budget (executor.h). Unlimited by default; the
+    /// serving layer sets it so one hostile or runaway query cannot hold
+    /// an engine thread indefinitely. A blown budget surfaces as
+    /// StatusCode::kResourceExhausted from Execute*/ExecutePlanned.
+    ExecBudget budget;
+
     /// Record a per-operator obs::QueryProfile into QueryStats::profile on
     /// every execution (what ExplainAnalyze uses internally). Off by
     /// default: the disabled path costs one pointer test per operator.
@@ -79,6 +86,24 @@ class QueryEngine {
   /// Executes an already-parsed SELECT/ASK query.
   Result<ResultTable> Execute(const Query& query,
                               QueryStats* stats = nullptr) const;
+
+  /// Plans `query` with this engine's source statistics and options, the
+  /// same way Execute does internally. QueryPlan is a self-contained value
+  /// (copyable), so callers may keep it — the serving layer's plan cache
+  /// (serve/plan_cache.h) stores these keyed by the query fingerprint.
+  [[nodiscard]] QueryPlan Plan(const Query& query) const;
+
+  /// Executes a SELECT/ASK query with a plan previously produced by Plan()
+  /// for an identical query against this engine's source — the cache-hit
+  /// path of the serving layer. Results are bit-identical to Execute():
+  /// both run the same plan through the same executor; Execute merely
+  /// plans first. Passing a plan built from a *different* query is
+  /// undefined (slots would not line up). `text`, when provided, is the
+  /// query's source text, kept for the slow-query journal.
+  Result<ResultTable> ExecutePlanned(const Query& query,
+                                     const QueryPlan& plan,
+                                     QueryStats* stats = nullptr,
+                                     std::string_view text = {}) const;
 
   /// Parses and executes a CONSTRUCT/DESCRIBE query, yielding triples.
   Result<std::vector<rdf::ParsedTriple>> ExecuteGraphString(
@@ -109,6 +134,10 @@ class QueryEngine {
                                          std::string_view text) const;
   Result<ResultTable> ExecuteImpl(const Query& query, QueryStats* stats,
                                   std::string_view text) const;
+  Result<ResultTable> ExecutePlannedImpl(const Query& query,
+                                         const QueryPlan& plan,
+                                         QueryStats* stats,
+                                         std::string_view text) const;
   Result<std::vector<rdf::ParsedTriple>> ExecuteGraphImpl(
       const Query& query, QueryStats* stats, std::string_view text) const;
 

@@ -499,11 +499,34 @@ obs::OperatorProfile BuildProfileSkeleton(const GroupPlan& plan) {
   return node;
 }
 
+bool Executor::CheckBudget() {
+  if (exhausted_.load(std::memory_order_relaxed)) return true;
+  if (budget_.max_intermediate_rows != 0 &&
+      intermediate_rows_ > budget_.max_intermediate_rows) {
+    exhausted_.store(true, std::memory_order_relaxed);
+    return true;
+  }
+  return TimeExpired();
+}
+
+bool Executor::TimeExpired() {
+  if (budget_.time_budget_us < 0) return false;
+  if (exhausted_.load(std::memory_order_relaxed)) return true;
+  if (budget_sw_.ElapsedMicros() >
+      static_cast<double>(budget_.time_budget_us)) {
+    exhausted_.store(true, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
 BindingTable Executor::EvalBgp(const std::vector<PatternStep>& steps,
                                const BindingTable& seeds,
                                obs::OperatorProfile* prof) {
   if (steps.empty()) return seeds;
   LODVIZ_TRACE_SPAN("sparql.bgp");
+  // One clock read per step when a time budget is set; zero otherwise.
+  const bool timed = budget_.time_budget_us >= 0;
 
   const BindingTable* input = &seeds;
   BindingTable current;
@@ -604,6 +627,7 @@ BindingTable Executor::EvalBgp(const std::vector<PatternStep>& steps,
             0, input->num_rows(), 8,
             [&](size_t cb, size_t ce) {
               BindingTable out(width_);
+              if (timed && TimeExpired()) return out;
               std::vector<rdf::Triple> matches;
               std::vector<TermId> extended(width_);
               for (size_t si = cb; si < ce; ++si) {
@@ -638,6 +662,7 @@ BindingTable Executor::EvalBgp(const std::vector<PatternStep>& steps,
             0, input->num_rows(), 8,
             [&](size_t cb, size_t ce) {
               BindingTable out(width_);
+              if (timed && TimeExpired()) return out;
               std::vector<rdf::Triple> matches;
               std::vector<TermId> extended(width_);
               for (size_t si = cb; si < ce; ++si) {
@@ -654,6 +679,9 @@ BindingTable Executor::EvalBgp(const std::vector<PatternStep>& steps,
     current = std::move(next);
     input = &current;
     if (current.num_rows() == 0) break;
+    // Budget check per step (driving thread): a tripped budget truncates
+    // the result; the engine discards it and reports kResourceExhausted.
+    if (CheckBudget()) return BindingTable(width_);
   }
   return current;
 }
@@ -670,6 +698,7 @@ BindingTable Executor::EvalGroup(const GroupPlan& plan,
   if (!plan.union_branches.empty()) {
     BindingTable unioned(width_);
     for (const GroupPlan& branch : plan.union_branches) {
+      if (CheckBudget()) return BindingTable(width_);
       obs::OperatorProfile* branch_prof =
           prof == nullptr ? nullptr : &prof->children[child_index];
       ++child_index;
@@ -694,6 +723,7 @@ BindingTable Executor::EvalGroup(const GroupPlan& plan,
       BindingTable next(width_);
       next.Reserve(solutions.num_rows());
       for (size_t i = 0; i < solutions.num_rows(); ++i) {
+        if (CheckBudget()) return BindingTable(width_);
         seed.Clear();
         seed.AppendRow(solutions.row(i));
         // Inner operators of the optional accumulate across the per-row
@@ -720,10 +750,12 @@ BindingTable Executor::EvalGroup(const GroupPlan& plan,
     const rdf::Dictionary& dict = source_->dict();
     // Filters are pure per solution (dictionary reads are const), so
     // chunks evaluate independently and keep order on concatenation.
+    const bool timed = budget_.time_budget_us >= 0;
     BindingTable kept = exec::ParallelReduce<BindingTable>(
         0, before, 64,
         [&](size_t cb, size_t ce) {
           BindingTable out(width_);
+          if (timed && TimeExpired()) return out;
           for (size_t si = cb; si < ce; ++si) {
             const TermId* row = solutions.row(si);
             bool pass = true;

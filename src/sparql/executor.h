@@ -1,10 +1,12 @@
 #ifndef LODVIZ_SPARQL_EXECUTOR_H_
 #define LODVIZ_SPARQL_EXECUTOR_H_
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
 #include "common/result.h"
+#include "common/stopwatch.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
 #include "rdf/dictionary.h"
@@ -79,6 +81,31 @@ class BindingTable {
   std::vector<rdf::TermId> data_;
 };
 
+/// Per-query resource budget, threaded from the serving layer's admission
+/// control (serve/frontend.h) into the executor. A budget bounds how much
+/// a single hostile or runaway query can cost before the engine gives up
+/// with StatusCode::kResourceExhausted; the default is unlimited, so every
+/// pre-existing caller is unaffected.
+///
+/// Enforcement is best-effort at operator granularity: the executor checks
+/// between BGP steps, union branches, optional iterations and filter
+/// passes, and pool workers re-check the wall clock every few hundred rows
+/// inside join chunks — a query can therefore overshoot by roughly one
+/// operator's worth of work, never by an unbounded amount.
+struct ExecBudget {
+  /// Wall-time budget for execution (planning excluded), microseconds.
+  /// Negative = unlimited.
+  int64_t time_budget_us = -1;
+
+  /// Cap on rows materialized across all BGP steps (the same quantity
+  /// QueryStats::intermediate_rows reports). 0 = unlimited.
+  uint64_t max_intermediate_rows = 0;
+
+  [[nodiscard]] bool unlimited() const {
+    return time_budget_us < 0 && max_intermediate_rows == 0;
+  }
+};
+
 /// Three-way comparison following lodviz's pragmatic SPARQL ordering:
 /// numeric if both numeric, temporal if both temporal, else lexical form.
 /// Used by FILTER relations, ORDER BY and MIN/MAX aggregates.
@@ -123,8 +150,9 @@ bool PassesFilter(const CompiledExpr& e, const rdf::Dictionary& dict,
 class Executor {
  public:
   Executor(const rdf::TripleSource* source, size_t width,
-           obs::OperatorProfile* profile = nullptr)
-      : source_(source), width_(width), profile_(profile) {}
+           obs::OperatorProfile* profile = nullptr,
+           ExecBudget budget = ExecBudget())
+      : source_(source), width_(width), profile_(profile), budget_(budget) {}
 
   /// Evaluates `plan` with `seeds` as the initial solutions (pass a single
   /// all-unbound row for a top-level group). `seeds` is only read; the
@@ -139,16 +167,39 @@ class Executor {
     return intermediate_rows_;
   }
 
+  /// True once the execution crossed its ExecBudget. The caller (the
+  /// engine) must discard the — deliberately truncated — tables EvalGroup
+  /// returned and surface StatusCode::kResourceExhausted instead.
+  [[nodiscard]] bool budget_exhausted() const {
+    return exhausted_.load(std::memory_order_relaxed);
+  }
+
  private:
   BindingTable EvalGroup(const GroupPlan& plan, const BindingTable& seeds,
                          obs::OperatorProfile* prof);
   BindingTable EvalBgp(const std::vector<PatternStep>& steps,
                        const BindingTable& seeds, obs::OperatorProfile* prof);
 
+  /// Driving-thread budget check between operators: tests both the wall
+  /// clock and the intermediate-row cap, latches `exhausted_`, and returns
+  /// whether execution should stop.
+  bool CheckBudget();
+
+  /// Worker-side wall-clock recheck, called every few hundred rows from
+  /// inside ParallelReduce chunks. Reads are const and the flag is atomic,
+  /// so concurrent chunk workers race benignly to set it.
+  bool TimeExpired();
+
   const rdf::TripleSource* source_;
   size_t width_;
   obs::OperatorProfile* profile_;
+  ExecBudget budget_;
+  Stopwatch budget_sw_;
   uint64_t intermediate_rows_ = 0;
+  /// Latched by CheckBudget/TimeExpired (driving thread or any pool
+  /// worker), read by all of them; atomic, not mutex-guarded, because
+  /// a stale read merely delays the stop by one check interval.
+  std::atomic<bool> exhausted_{false};
 };
 
 }  // namespace lodviz::sparql

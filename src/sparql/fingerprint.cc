@@ -10,16 +10,16 @@ namespace lodviz::sparql {
 
 namespace {
 
-/// FNV-1a over explicitly fed bytes. Every value is fed through a typed
+/// Canonical byte-stream builder. Every value is fed through a typed
 /// Tag* method so adjacent fields cannot alias (e.g. the var index 1
 /// followed by literal "2" never collides with var 12): each tag byte
 /// separates fields, and integers always contribute exactly 8 bytes.
+/// The emitted bytes ARE the canonical serialization — the fingerprint is
+/// Fnv1a64 over them, and the plan cache keeps them verbatim as the
+/// exact-match verifier behind the 64-bit key.
 class Hasher {
  public:
-  void Byte(uint8_t b) {
-    h_ ^= b;
-    h_ *= 0x100000001B3ULL;  // FNV prime
-  }
+  void Byte(uint8_t b) { out_.push_back(static_cast<char>(b)); }
   void U64(uint64_t v) {
     for (int i = 0; i < 8; ++i) Byte(static_cast<uint8_t>(v >> (i * 8)));
   }
@@ -36,10 +36,10 @@ class Hasher {
     std::memcpy(&bits, &d, sizeof(bits));
     U64(bits);
   }
-  [[nodiscard]] uint64_t value() const { return h_; }
+  [[nodiscard]] std::string&& TakeBytes() { return std::move(out_); }
 
  private:
-  uint64_t h_ = 0xCBF29CE484222325ULL;  // FNV offset basis
+  std::string out_;
 };
 
 class FingerprintVisitor {
@@ -193,10 +193,23 @@ class FingerprintVisitor {
 
 }  // namespace
 
-uint64_t QueryFingerprint(const Query& query) {
+uint64_t Fnv1a64(std::string_view bytes) {
+  uint64_t h = 0xCBF29CE484222325ULL;  // FNV offset basis
+  for (char c : bytes) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001B3ULL;  // FNV prime
+  }
+  return h;
+}
+
+std::string CanonicalQueryKey(const Query& query) {
   Hasher h;
   FingerprintVisitor(&h).VisitQuery(query);
-  return h.value();
+  return h.TakeBytes();
+}
+
+uint64_t QueryFingerprint(const Query& query) {
+  return Fnv1a64(CanonicalQueryKey(query));
 }
 
 }  // namespace lodviz::sparql

@@ -2,6 +2,8 @@
 #define LODVIZ_SPARQL_FINGERPRINT_H_
 
 #include <cstdint>
+#include <string>
+#include <string_view>
 
 #include "sparql/ast.h"
 
@@ -31,6 +33,18 @@ namespace lodviz::sparql {
 /// on the AST contents, never on pointers, process state, or platform
 /// (doubles hash their IEEE-754 bits).
 [[nodiscard]] uint64_t QueryFingerprint(const Query& query);
+
+/// The canonical byte serialization QueryFingerprint hashes — two queries
+/// share a fingerprint with certainty (not just up to hash collisions) iff
+/// their canonical keys are byte-identical. The serving layer's plan cache
+/// stores this alongside each cached plan and compares it on every
+/// fingerprint hit, so a 64-bit collision degrades to a cache miss instead
+/// of executing the wrong plan.
+[[nodiscard]] std::string CanonicalQueryKey(const Query& query);
+
+/// The fixed FNV-1a/64 the fingerprint uses; exposed so consumers hashing
+/// a CanonicalQueryKey they already hold can avoid a second AST walk.
+[[nodiscard]] uint64_t Fnv1a64(std::string_view bytes);
 
 }  // namespace lodviz::sparql
 

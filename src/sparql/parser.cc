@@ -1,5 +1,6 @@
 #include "sparql/parser.h"
 
+#include <charconv>
 #include <utility>
 
 #include "rdf/vocab.h"
@@ -12,6 +13,14 @@ namespace {
 /// Recursive-descent parser over the token stream.
 class Parser {
  public:
+  /// Combined cap on expression, unary-chain, and group nesting. Server
+  /// input is untrusted: without a cap, `((((...))))` or `{{{{...}}}}`
+  /// recurses once per level and overflows the stack (and the planner /
+  /// fingerprint visitors would recurse just as deep downstream). ~7
+  /// frames per expression level keeps the worst case well under 1 MiB of
+  /// stack while leaving room for any human-written query.
+  static constexpr int kMaxNestingDepth = 128;
+
   explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
 
   Result<Query> Parse() {
@@ -103,13 +112,11 @@ class Parser {
         continue;
       }
       if (AcceptKeyword("LIMIT")) {
-        if (Peek().kind != TokenKind::kNumber) return Err("expected number");
-        q.limit = std::stoll(Next().text);
+        LODVIZ_ASSIGN_OR_RETURN(q.limit, ParseBound("LIMIT"));
         continue;
       }
       if (AcceptKeyword("OFFSET")) {
-        if (Peek().kind != TokenKind::kNumber) return Err("expected number");
-        q.offset = std::stoll(Next().text);
+        LODVIZ_ASSIGN_OR_RETURN(q.offset, ParseBound("OFFSET"));
         continue;
       }
       break;
@@ -156,6 +163,51 @@ class Parser {
     return Status::ParseError(msg + " near '" + Peek().text + "' (offset " +
                               std::to_string(Peek().offset) + ")");
   }
+
+  /// Checked LIMIT/OFFSET numeral parse. The lexer's number token admits a
+  /// sign and a decimal point, and untrusted input can carry arbitrarily
+  /// many digits — `std::stoll` would throw std::out_of_range straight
+  /// through the Status-based API and kill the process. from_chars never
+  /// throws; anything unconsumed (a '.'), a negative value, or overflow is
+  /// a ParseError.
+  Result<int64_t> ParseBound(const char* clause) {
+    if (Peek().kind != TokenKind::kNumber) return Err("expected number");
+    const std::string& text = Peek().text;
+    int64_t value = 0;
+    auto [end, ec] =
+        std::from_chars(text.data(), text.data() + text.size(), value);
+    if (ec == std::errc::result_out_of_range) {
+      return Err(std::string(clause) + " value out of range");
+    }
+    if (ec != std::errc() || end != text.data() + text.size()) {
+      return Err(std::string(clause) + " needs an integer");
+    }
+    if (value < 0) {
+      return Err(std::string(clause) + " must be non-negative");
+    }
+    ++pos_;
+    return value;
+  }
+
+  /// RAII nesting guard shared by every recursive production. Construct,
+  /// then check status() before recursing further.
+  class DepthGuard {
+   public:
+    explicit DepthGuard(Parser* p) : p_(p) { ++p_->depth_; }
+    ~DepthGuard() { --p_->depth_; }
+    DepthGuard(const DepthGuard&) = delete;
+    DepthGuard& operator=(const DepthGuard&) = delete;
+    [[nodiscard]] Status status() const {
+      if (p_->depth_ > kMaxNestingDepth) {
+        return Status::ParseError("query nesting too deep (limit " +
+                                  std::to_string(kMaxNestingDepth) + ")");
+      }
+      return Status::OK();
+    }
+
+   private:
+    Parser* p_;
+  };
 
   Status ParsePrefix(Query* q) {
     ++pos_;  // PREFIX
@@ -259,6 +311,8 @@ class Parser {
 
   /// Parses the body of a group after '{'. Consumes the closing '}'.
   Result<GraphPattern> ParseGroup(Query* q) {
+    DepthGuard depth(this);
+    LODVIZ_RETURN_NOT_OK(depth.status());
     GraphPattern group;
     while (true) {
       if (AcceptPunct("}")) break;
@@ -388,7 +442,11 @@ class Parser {
 
   // ---- expressions (precedence climbing) ----
 
-  Result<ExprPtr> ParseExpr(Query* q) { return ParseOr(q); }
+  Result<ExprPtr> ParseExpr(Query* q) {
+    DepthGuard depth(this);
+    LODVIZ_RETURN_NOT_OK(depth.status());
+    return ParseOr(q);
+  }
 
   Result<ExprPtr> ParseOr(Query* q) {
     LODVIZ_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd(q));
@@ -455,6 +513,10 @@ class Parser {
   }
 
   Result<ExprPtr> ParseUnary(Query* q) {
+    // Guarded separately from ParseExpr: `!!!!...x` and `----x` recurse
+    // here without ever re-entering ParseExpr.
+    DepthGuard depth(this);
+    LODVIZ_RETURN_NOT_OK(depth.status());
     if (AcceptPunct("!")) {
       LODVIZ_ASSIGN_OR_RETURN(ExprPtr arg, ParseUnary(q));
       return Expr::Unary(UnOp::kNot, std::move(arg));
@@ -513,6 +575,8 @@ class Parser {
 
   std::vector<Token> tokens_;
   size_t pos_ = 0;
+  /// Current recursion depth across groups and expressions (DepthGuard).
+  int depth_ = 0;
 };
 
 }  // namespace

@@ -1157,15 +1157,15 @@ void CheckLockOrder(const std::vector<LockEdge>& edges,
 
 /// The include DAG, bottom-up. A module may include itself and any module
 /// with a strictly lower rank. Modules sharing a rank are peers and must
-/// not include each other — the future SPARQL serving layer slots in above
-/// `sparql` without ever being able to create a cycle.
+/// not include each other — the SPARQL serving layer (`serve`) slots in
+/// above `sparql` without ever being able to create a cycle.
 const std::map<std::string, int>& LayerRanks() {
   static const std::map<std::string, int> kRanks = {
       {"common", 0},  {"obs", 1},    {"exec", 2},  {"rdf", 3},
-      {"storage", 4}, {"sparql", 5}, {"geo", 6},   {"stats", 6},
-      {"onto", 6},    {"cube", 6},   {"hier", 6},  {"graph", 7},
-      {"explore", 7}, {"viz", 8},    {"rec", 9},   {"workload", 9},
-      {"core", 10},
+      {"storage", 4}, {"sparql", 5}, {"serve", 6}, {"geo", 6},
+      {"stats", 6},   {"onto", 6},   {"cube", 6},  {"hier", 6},
+      {"graph", 7},   {"explore", 7}, {"viz", 8},  {"rec", 9},
+      {"workload", 9}, {"core", 10},
   };
   return kRanks;
 }
