@@ -304,6 +304,64 @@ int Run() {
   std::cout << "\nShape check: both strategies return bit-identical rows; "
                "the adaptive planner picks between them per pattern from "
                "shared statistics.\n";
+
+  std::cout << "\nPart F — row vs batch execution (40k entities, in-memory "
+               "backend, same queries both modes):\n";
+  sparql::QueryEngine::Options row_mode;
+  row_mode.exec_mode = sparql::ExecMode::kRow;
+  sparql::QueryEngine::Options batch_mode;
+  batch_mode.exec_mode = sparql::ExecMode::kBatch;
+  sparql::QueryEngine row_engine(&store, row_mode);
+  sparql::QueryEngine batch_engine(&store, batch_mode);
+  struct ModeQuery {
+    const char* label;
+    const char* text;
+  };
+  const ModeQuery mode_queries[] = {
+      {"bgp_filter", kQueries[0]},
+      {"bgp_2hop", kQueries[1]},
+      {"group_by", kQueries[2]},
+      {"optional", kQueries[3]},
+  };
+  TablePrinter modes({"query", "row ms", "batch ms", "speedup", "identical"});
+  double bgp_row_ms = 0, bgp_batch_ms = 0;
+  for (const ModeQuery& mq : mode_queries) {
+    (void)row_engine.ExecuteString(mq.text);  // warm both engines
+    (void)batch_engine.ExecuteString(mq.text);
+    Stopwatch row_sw;
+    auto row_r = row_engine.ExecuteString(mq.text);
+    const double row_ms = row_sw.ElapsedMillis();
+    Stopwatch batch_sw;
+    auto batch_r = batch_engine.ExecuteString(mq.text);
+    const double batch_ms = batch_sw.ElapsedMillis();
+    if (!row_r.ok() || !batch_r.ok()) return 1;
+    const bool identical = row_r->ToString(row_r->num_rows()) ==
+                           batch_r->ToString(batch_r->num_rows());
+    char speed[32];
+    std::snprintf(speed, sizeof(speed), "%.2fx",
+                  batch_ms > 0 ? row_ms / batch_ms : 0);
+    modes.AddRow({mq.label, bench::Ms(row_ms), bench::Ms(batch_ms), speed,
+                  identical ? "yes" : "NO"});
+    telemetry.RecordPhase(std::string("partF_") + mq.label + "_row_ms",
+                          row_ms);
+    telemetry.RecordPhase(std::string("partF_") + mq.label + "_batch_ms",
+                          batch_ms);
+    if (!identical) {
+      std::cerr << "row/batch divergence on " << mq.label << "\n";
+      return 1;
+    }
+    if (std::string(mq.label) == "bgp_2hop") {
+      bgp_row_ms = row_ms;
+      bgp_batch_ms = batch_ms;
+    }
+  }
+  telemetry.RecordPhase("partF_bgp_batch_speedup",
+                        bgp_batch_ms > 0 ? bgp_row_ms / bgp_batch_ms : 0);
+  modes.Print(std::cout);
+  std::cout << "\nShape check: both modes return bit-identical rows (the "
+               "ExecMode contract); the batch engine's advantage is widest "
+               "on scan/extend-heavy BGPs, where per-row dispatch and "
+               "full-width row copies disappear from the inner loop.\n";
   return 0;
 }
 

@@ -9,10 +9,12 @@
 #      macros are no-ops elsewhere, so only clang can check them)
 #   3. ASan+UBSan       — full tier-1 suite under address+undefined
 #   4. TSan             — obs/exec/sparql/serve concurrency tests
-#   5. profiler parity  — SparqlParity suite re-run with LODVIZ_PROFILE=1
-#      (profiling force-enabled for every query; results must stay
-#      bit-identical, pinning the EXPLAIN ANALYZE observe-don't-perturb
-#      contract)
+#   5. mode parity      — SparqlParity suite re-run three ways on the ASan
+#      build: LODVIZ_PROFILE=1 (profiling force-enabled; pins the EXPLAIN
+#      ANALYZE observe-don't-perturb contract), LODVIZ_EXEC_MODE=row and
+#      LODVIZ_EXEC_MODE=batch (the whole suite forced through each
+#      executor; results must stay bit-identical, pinning the ExecMode
+#      contract from both sides)
 #   6. serving parity   — serve_check drives a live HTTP server with
 #      concurrent clients and asserts every answer (cold plan cache, warm
 #      plan cache, and under contention) is bit-identical to a direct
@@ -83,7 +85,7 @@ cmake --build "$TSAN_BUILD" --target obs_test exec_test sparql_parity_test \
 ctest --test-dir "$TSAN_BUILD" -R '^(Obs|Exec|SparqlParity|Serve)' \
   --output-on-failure -j "$JOBS"
 
-echo "== [5/6] SparqlParity with profiling force-enabled =="
+echo "== [5/6] SparqlParity under forced profiling and forced exec modes =="
 # LODVIZ_PROFILE=1 turns per-operator profiling on for every query in the
 # process (sparql/engine.cc reads it once). The parity suite asserts
 # memory/disk/forced-strategy executions stay bit-identical, so running it
@@ -91,6 +93,17 @@ echo "== [5/6] SparqlParity with profiling force-enabled =="
 # adds, drops, or reorders fails this gate. Reuses the ASan build: the
 # instrumented paths also get leak/UB coverage that way.
 LODVIZ_PROFILE=1 ctest --test-dir "$ASAN_BUILD" -R '^SparqlParity' \
+  --output-on-failure -j "$JOBS"
+# LODVIZ_EXEC_MODE forces every engine in the process through one executor
+# (sparql/engine.cc, read once, overriding per-engine Options). Running the
+# full parity suite once per mode proves the row engine still answers
+# everything correctly (it is the reference the batch engine is checked
+# against) and that the batch engine survives the whole memory/disk/
+# join-strategy/thread-count grid — under ASan, so either executor's
+# memory bugs surface here.
+LODVIZ_EXEC_MODE=row ctest --test-dir "$ASAN_BUILD" -R '^SparqlParity' \
+  --output-on-failure -j "$JOBS"
+LODVIZ_EXEC_MODE=batch ctest --test-dir "$ASAN_BUILD" -R '^SparqlParity' \
   --output-on-failure -j "$JOBS"
 
 echo "== [6/6] serving layer end-to-end parity (serve_check) =="

@@ -41,6 +41,7 @@ void AppendNode(const OperatorProfile& n, int depth, std::string* out) {
   *out += "  act=" + std::to_string(n.actual_rows);
   *out += "  inv=" + std::to_string(n.invocations);
   *out += "  time=" + WallTime(n.wall_ns);
+  if (n.batches > 0) *out += "  batches=" + std::to_string(n.batches);
   if (IsMisestimate(n.est_rows, n.actual_rows)) {
     const double ratio =
         (static_cast<double>(n.actual_rows) + 1.0) / (n.est_rows + 1.0);
@@ -79,6 +80,9 @@ std::string ProfileNodeJson(const OperatorProfile& node) {
   out += ",\"actual_rows\":" + std::to_string(node.actual_rows);
   out += ",\"invocations\":" + std::to_string(node.invocations);
   out += ",\"wall_ns\":" + std::to_string(node.wall_ns);
+  if (node.batches > 0) {
+    out += ",\"batches\":" + std::to_string(node.batches);
+  }
   out += ",\"children\":[";
   for (size_t i = 0; i < node.children.size(); ++i) {
     if (i > 0) out += ",";

@@ -32,6 +32,11 @@ struct OperatorProfile {
   /// Wall time attributed to this operator (Stopwatch clock), summed over
   /// invocations. Parent times include child times.
   int64_t wall_ns = 0;
+  /// ColumnBatches emitted (batch execution mode only; stays 0 — and is
+  /// omitted from renderings — under row-mode execution). Together with
+  /// actual_rows this exposes per-operator selectivity: actual_rows /
+  /// (batches * kBatchRows) approximates average batch fill.
+  uint64_t batches = 0;
   std::vector<OperatorProfile> children;
 };
 

@@ -4,8 +4,9 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
-#include <map>
 #include <set>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "rdf/dictionary.h"
 
@@ -37,25 +38,63 @@ size_t RowWidth(const QueryPlan& plan) {
   return std::max<size_t>(1, plan.num_slots);
 }
 
-ResultCell CellFor(const rdf::Dictionary& dict, const TermId* row,
-                   SlotId slot) {
+/// One solution row of a batch list: (batch index, physical row). The
+/// engine tail works on vectors of these — ORDER BY, DISTINCT and
+/// OFFSET/LIMIT permute/prune references and only the survivors
+/// materialize Terms (late materialization).
+struct RowRef {
+  uint32_t batch;
+  uint32_t phys;
+};
+
+/// Slot value of a referenced solution row; kInvalidTermId for kNoSlot
+/// (projected-but-never-bound columns) and unbound slots alike, which is
+/// exactly the "unbound" notion the result layer uses.
+TermId SlotAt(const std::vector<ColumnBatch>& solutions, RowRef r,
+              SlotId slot) {
+  return slot == kNoSlot ? kInvalidTermId : solutions[r.batch].at(r.phys, slot);
+}
+
+ResultCell CellAt(const rdf::Dictionary& dict,
+                  const std::vector<ColumnBatch>& solutions, RowRef r,
+                  SlotId slot) {
   ResultCell cell;
-  if (slot == kNoSlot || row[slot] == kInvalidTermId) {
+  const TermId id = SlotAt(solutions, r, slot);
+  if (id == kInvalidTermId) {
     cell.bound = false;
   } else {
-    cell.term = dict.term(row[slot]);
+    cell.term = dict.term(id);
   }
   return cell;
 }
 
-std::string RowKey(const std::vector<ResultCell>& row) {
-  std::string key;
-  for (const ResultCell& c : row) {
-    key += c.bound ? c.term.ToNTriples() : "~";
-    key += '\x01';
+/// Flattens the batch list into one RowRef per active row, in logical
+/// order.
+std::vector<RowRef> CollectRefs(const std::vector<ColumnBatch>& solutions) {
+  std::vector<RowRef> refs;
+  refs.reserve(TotalActiveRows(solutions));
+  for (size_t bi = 0; bi < solutions.size(); ++bi) {
+    const ColumnBatch& b = solutions[bi];
+    for (size_t i = 0; i < b.active(); ++i) {
+      refs.push_back({static_cast<uint32_t>(bi), b.ActiveRow(i)});
+    }
   }
-  return key;
+  return refs;
 }
+
+/// FNV-1a over a TermId vector, word at a time — the GROUP BY / DISTINCT
+/// hash key. TermIds are interned, so id-vector equality is term-tuple
+/// equality and no string ever enters the key.
+struct TermVecHash {
+  size_t operator()(const std::vector<TermId>& v) const {
+    uint64_t h = 0xCBF29CE484222325ULL;  // FNV offset basis
+    for (TermId t : v) {
+      h ^= static_cast<uint64_t>(t);
+      h *= 0x100000001B3ULL;  // FNV prime
+    }
+    return static_cast<size_t>(h);
+  }
+};
 
 /// Three-way ORDER BY comparison over two bound terms. Total and
 /// deterministic: terms compare by value class first (numeric < temporal
@@ -130,6 +169,49 @@ bool ProfilingForced() {
     return v != nullptr && *v != '\0' && std::string_view(v) != "0";
   }();
   return forced;
+}
+
+/// LODVIZ_EXEC_MODE ("row" or "batch") force-overrides Options::exec_mode
+/// for every engine in the process — scripts/check.sh re-runs the parity
+/// suite under both values to pin that the two executors agree on the same
+/// binaries. Any other value is ignored. Read once, like LODVIZ_PROFILE.
+ExecMode EffectiveExecMode(const QueryEngine::Options& options) {
+  enum class Forced : uint8_t { kNone, kRow, kBatch };
+  static const Forced forced = [] {
+    const char* v = std::getenv("LODVIZ_EXEC_MODE");
+    if (v == nullptr) return Forced::kNone;
+    const std::string_view s(v);
+    if (s == "row") return Forced::kRow;
+    if (s == "batch") return Forced::kBatch;
+    return Forced::kNone;
+  }();
+  switch (forced) {
+    case Forced::kRow:
+      return ExecMode::kRow;
+    case Forced::kBatch:
+      return ExecMode::kBatch;
+    case Forced::kNone:
+      break;
+  }
+  return options.exec_mode;
+}
+
+/// Evaluates the plan's root group under `mode`, always yielding batches:
+/// batch mode natively, row mode through the BindingTable→ColumnBatch
+/// bridge. Everything downstream of this call (solution modifiers,
+/// projection, templates) consumes one representation regardless of mode.
+std::vector<ColumnBatch> RunRootGroup(Executor& executor,
+                                      const QueryPlan& plan, ExecMode mode) {
+  const size_t width = RowWidth(plan);
+  if (mode == ExecMode::kBatch) {
+    std::vector<ColumnBatch> seeds(1, ColumnBatch(width));
+    const std::vector<TermId> empty_row(width, kInvalidTermId);
+    seeds[0].AppendRow(empty_row.data());
+    return executor.EvalGroupBatches(plan.root, seeds);
+  }
+  BindingTable seeds(width);
+  seeds.AppendEmptyRow();
+  return executor.EvalGroup(plan.root, seeds).ToBatches();
 }
 
 /// Shared tail of both execution paths, run from the ExecFold destructor
@@ -280,11 +362,10 @@ Result<std::vector<rdf::ParsedTriple>> QueryEngine::ExecuteGraphImpl(
   bool budget_blown = false;
   auto eval_where = [&]() {
     Executor executor(source_, RowWidth(plan), prof, options_.budget);
-    BindingTable seeds(RowWidth(plan));
-    seeds.AppendEmptyRow();
     obs::OperatorTimer timer(prof);
-    BindingTable solutions = executor.EvalGroup(plan.root, seeds);
-    timer.Finish(solutions.num_rows());
+    std::vector<ColumnBatch> solutions =
+        RunRootGroup(executor, plan, EffectiveExecMode(options_));
+    timer.Finish(TotalActiveRows(solutions));
     metrics.intermediate_rows.Increment(executor.intermediate_rows());
     intermediate = executor.intermediate_rows();
     if (stats != nullptr) {
@@ -295,7 +376,7 @@ Result<std::vector<rdf::ParsedTriple>> QueryEngine::ExecuteGraphImpl(
   };
 
   if (query.form == QueryForm::kConstruct) {
-    BindingTable solutions = eval_where();
+    std::vector<ColumnBatch> solutions = eval_where();
     if (budget_blown) {
       return Status::ResourceExhausted("query exceeded its execution budget");
     }
@@ -319,16 +400,21 @@ Result<std::vector<rdf::ParsedTriple>> QueryEngine::ExecuteGraphImpl(
       fill(tmpl.o, &ts.o_slot, &ts.o_const);
       compiled.push_back(std::move(ts));
     }
-    for (size_t i = 0; i < solutions.num_rows(); ++i) {
-      const TermId* row = solutions.row(i);
+    const BatchListView view(solutions);
+    // Pre-size for the dedup-free upper bound (solutions x templates);
+    // push_back never reallocates below.
+    out.reserve(view.total() * compiled.size());
+    view.ForEachRow(0, view.total(), [&](const ColumnBatch& b,
+                                         uint32_t phys) {
       for (const TemplateStep& ts : compiled) {
         auto resolve = [&](SlotId slot, const Term& c, Term* t) {
           if (slot == kNoSlot) {
             *t = c;
             return true;
           }
-          if (row[slot] == kInvalidTermId) return false;
-          *t = dict.term(row[slot]);
+          const TermId id = b.at(phys, slot);
+          if (id == kInvalidTermId) return false;
+          *t = dict.term(id);
           return true;
         };
         Term s, p, o;
@@ -340,7 +426,7 @@ Result<std::vector<rdf::ParsedTriple>> QueryEngine::ExecuteGraphImpl(
         if (s.is_literal() || !p.is_iri()) continue;  // invalid RDF
         emit(std::move(s), std::move(p), std::move(o));
       }
-    }
+    });
     return out;
   }
 
@@ -359,19 +445,22 @@ Result<std::vector<rdf::ParsedTriple>> QueryEngine::ExecuteGraphImpl(
       }
     }
     if (has_var_target) {
-      BindingTable solutions = eval_where();
+      std::vector<ColumnBatch> solutions = eval_where();
       if (budget_blown) {
         return Status::ResourceExhausted(
             "query exceeded its execution budget");
       }
-      for (size_t i = 0; i < solutions.num_rows(); ++i) {
-        const TermId* row = solutions.row(i);
+      const BatchListView view(solutions);
+      resources.reserve(resources.size() +
+                        view.total() * target_slots.size());
+      view.ForEachRow(0, view.total(), [&](const ColumnBatch& b,
+                                           uint32_t phys) {
         for (SlotId slot : target_slots) {
-          if (slot != kNoSlot && row[slot] != kInvalidTermId) {
-            resources.push_back(row[slot]);
-          }
+          if (slot == kNoSlot) continue;
+          const TermId id = b.at(phys, slot);
+          if (id != kInvalidTermId) resources.push_back(id);
         }
-      }
+      });
     }
     std::sort(resources.begin(), resources.end());
     resources.erase(std::unique(resources.begin(), resources.end()),
@@ -422,11 +511,11 @@ Result<ResultTable> QueryEngine::ExecutePlannedImpl(
   obs::OperatorProfile* prof = profiling ? &skeleton : nullptr;
 
   Executor executor(source_, RowWidth(plan), prof, options_.budget);
-  BindingTable seeds(RowWidth(plan));
-  seeds.AppendEmptyRow();
   obs::OperatorTimer root_timer(prof);
-  BindingTable solutions = executor.EvalGroup(plan.root, seeds);
-  root_timer.Finish(solutions.num_rows());
+  std::vector<ColumnBatch> solutions =
+      RunRootGroup(executor, plan, EffectiveExecMode(options_));
+  const size_t total_rows = TotalActiveRows(solutions);
+  root_timer.Finish(total_rows);
   metrics.intermediate_rows.Increment(executor.intermediate_rows());
   const uint64_t intermediate = executor.intermediate_rows();
   if (stats != nullptr) {
@@ -467,7 +556,7 @@ Result<ResultTable> QueryEngine::ExecutePlannedImpl(
 
   if (query.form == QueryForm::kAsk) {
     ResultTable table;
-    table.ask_result = solutions.num_rows() > 0;
+    table.ask_result = total_rows > 0;
     return table;
   }
 
@@ -492,27 +581,44 @@ Result<ResultTable> QueryEngine::ExecutePlannedImpl(
       group_slots.push_back(plan.SlotOf(v));
     }
 
-    // Group solution rows by the group-by key (slot values; unbound = 0).
-    std::map<std::vector<TermId>, std::vector<size_t>> groups;
-    for (size_t i = 0; i < solutions.num_rows(); ++i) {
-      const TermId* row = solutions.row(i);
-      std::vector<TermId> key;
-      key.reserve(group_slots.size());
-      for (SlotId slot : group_slots) {
-        key.push_back(slot == kNoSlot ? kInvalidTermId : row[slot]);
+    // Group solution rows by the group-by key (slot values; unbound = 0),
+    // reading the key straight off the batch columns. The map is FNV-hashed
+    // (formerly a std::map over TermId vectors, a tree comparing whole keys
+    // per step); keys are sorted once afterwards so group output order —
+    // ascending TermId-vector order, pinned by the determinism test — is
+    // unchanged.
+    std::unordered_map<std::vector<TermId>, std::vector<RowRef>, TermVecHash>
+        groups;
+    std::vector<TermId> key;
+    for (size_t bi = 0; bi < solutions.size(); ++bi) {
+      const ColumnBatch& b = solutions[bi];
+      for (size_t i = 0; i < b.active(); ++i) {
+        const RowRef ref{static_cast<uint32_t>(bi), b.ActiveRow(i)};
+        key.clear();
+        for (SlotId slot : group_slots) {
+          key.push_back(SlotAt(solutions, ref, slot));
+        }
+        groups[key].push_back(ref);
       }
-      groups[std::move(key)].push_back(i);
     }
     if (groups.empty() && query.group_by.empty()) {
       groups[{}] = {};  // aggregates over zero rows still yield one row
     }
+    std::vector<const std::vector<TermId>*> group_keys;
+    group_keys.reserve(groups.size());
+    for (const auto& kv : groups) group_keys.push_back(&kv.first);
+    std::sort(group_keys.begin(), group_keys.end(),
+              [](const std::vector<TermId>* a, const std::vector<TermId>* b) {
+                return *a < *b;
+              });
 
-    for (const auto& [key, members] : groups) {
+    table.Reserve(groups.size());
+    for (const std::vector<TermId>* group_key : group_keys) {
+      const std::vector<RowRef>& members = groups.find(*group_key)->second;
       std::vector<ResultCell> row;
       if (!members.empty()) {
-        const TermId* first = solutions.row(members.front());
         for (SlotId slot : group_slots) {
-          row.push_back(CellFor(dict, first, slot));
+          row.push_back(CellAt(dict, solutions, members.front(), slot));
         }
       } else {
         for (size_t i = 0; i < group_slots.size(); ++i) {
@@ -531,15 +637,11 @@ Result<ResultTable> QueryEngine::ExecutePlannedImpl(
         SlotId arg_slot = plan.SlotOf(agg.var);
         std::vector<Term> values;
         std::set<TermId> distinct_seen;
-        for (size_t member : members) {
-          const TermId* mrow = solutions.row(member);
-          if (arg_slot == kNoSlot || mrow[arg_slot] == kInvalidTermId) {
-            continue;
-          }
-          if (agg.distinct && !distinct_seen.insert(mrow[arg_slot]).second) {
-            continue;
-          }
-          values.push_back(dict.term(mrow[arg_slot]));
+        for (const RowRef member : members) {
+          const TermId id = SlotAt(solutions, member, arg_slot);
+          if (id == kInvalidTermId) continue;
+          if (agg.distinct && !distinct_seen.insert(id).second) continue;
+          values.push_back(dict.term(id));
         }
         switch (agg.fn) {
           case Aggregate::Fn::kCount:
@@ -589,71 +691,87 @@ Result<ResultTable> QueryEngine::ExecutePlannedImpl(
     return table;
   }
 
-  // ---- Plain projection path ----
+  // ---- Plain projection path (late materialization) ----
+  // ORDER BY, DISTINCT and OFFSET/LIMIT permute and prune RowRefs over the
+  // batch list; only the rows that survive every modifier materialize
+  // Terms. The row engine materialized the full ResultTable first — same
+  // rows, same order, fewer Term copies.
+  std::vector<RowRef> refs = CollectRefs(solutions);
+
+  // ORDER BY. Sort keys resolve through the projected columns, as before:
+  // an ORDER BY variable that is not projected is silently ignored
+  // (longstanding behavior, preserved).
+  if (!query.order_by.empty()) {
+    std::vector<SlotId> key_slots;
+    key_slots.reserve(query.order_by.size());
+    for (const OrderKey& k : query.order_by) {
+      SlotId slot = kNoSlot;
+      for (size_t c = 0; c < columns.size(); ++c) {
+        if (columns[c] == k.var) {
+          slot = column_slots[c];
+          break;
+        }
+      }
+      key_slots.push_back(slot);
+    }
+    std::stable_sort(
+        refs.begin(), refs.end(), [&](const RowRef a, const RowRef b) {
+          for (size_t i = 0; i < key_slots.size(); ++i) {
+            // A key over an unprojected variable resolved to kNoSlot above;
+            // SlotAt then yields "unbound" on both sides and the key is
+            // skipped via the both-unbound case.
+            const TermId ia = SlotAt(solutions, a, key_slots[i]);
+            const TermId ib = SlotAt(solutions, b, key_slots[i]);
+            if (ia == ib) continue;  // same id: identical term
+            if (ia == kInvalidTermId) return query.order_by[i].ascending;
+            if (ib == kInvalidTermId) return !query.order_by[i].ascending;
+            int cv = CompareCellsForOrder(dict.term(ia), dict.term(ib));
+            if (cv != 0) {
+              return query.order_by[i].ascending ? cv < 0 : cv > 0;
+            }
+          }
+          return false;
+        });
+  }
+
+  // DISTINCT: first occurrence wins, keyed on the projected TermId tuple
+  // (FNV-hashed). Equivalent to the former serialized-string key because
+  // interning is injective — equal ids iff equal terms — and unbound cells
+  // are uniformly kInvalidTermId.
+  if (query.distinct) {
+    std::unordered_set<std::vector<TermId>, TermVecHash> seen;
+    std::vector<RowRef> kept;
+    std::vector<TermId> key;
+    for (const RowRef r : refs) {
+      key.clear();
+      for (SlotId slot : column_slots) key.push_back(SlotAt(solutions, r, slot));
+      if (seen.insert(key).second) kept.push_back(r);
+    }
+    refs = std::move(kept);
+  }
+
+  // OFFSET / LIMIT: slice the reference list before materializing.
+  if (query.offset > 0 || query.limit >= 0) {
+    const size_t begin =
+        std::min(refs.size(), static_cast<size_t>(std::max<int64_t>(
+                                  0, query.offset)));
+    size_t end = refs.size();
+    if (query.limit >= 0) {
+      end = std::min(end, begin + static_cast<size_t>(query.limit));
+    }
+    refs.assign(refs.begin() + static_cast<ptrdiff_t>(begin),
+                refs.begin() + static_cast<ptrdiff_t>(end));
+  }
+
   ResultTable table(columns);
-  for (size_t i = 0; i < solutions.num_rows(); ++i) {
-    const TermId* srow = solutions.row(i);
+  table.Reserve(refs.size());
+  for (const RowRef r : refs) {
     std::vector<ResultCell> row;
     row.reserve(columns.size());
-    for (SlotId slot : column_slots) row.push_back(CellFor(dict, srow, slot));
+    for (SlotId slot : column_slots) {
+      row.push_back(CellAt(dict, solutions, r, slot));
+    }
     table.AddRow(std::move(row));
-  }
-
-  // ORDER BY.
-  if (!query.order_by.empty()) {
-    std::vector<int> key_idx;
-    for (const OrderKey& k : query.order_by) {
-      key_idx.push_back(table.ColumnIndex(k.var));
-    }
-    std::vector<std::vector<ResultCell>> rows = table.rows();
-    std::stable_sort(rows.begin(), rows.end(),
-                     [&](const std::vector<ResultCell>& a,
-                         const std::vector<ResultCell>& b) {
-                       for (size_t i = 0; i < key_idx.size(); ++i) {
-                         int idx = key_idx[i];
-                         if (idx < 0) continue;
-                         const ResultCell& ca = a[idx];
-                         const ResultCell& cb = b[idx];
-                         if (!ca.bound && !cb.bound) continue;
-                         if (!ca.bound) return query.order_by[i].ascending;
-                         if (!cb.bound) return !query.order_by[i].ascending;
-                         int cv = CompareCellsForOrder(ca.term, cb.term);
-                         if (cv != 0) {
-                           return query.order_by[i].ascending ? cv < 0
-                                                              : cv > 0;
-                         }
-                       }
-                       return false;
-                     });
-    ResultTable sorted(columns);
-    for (auto& r : rows) sorted.AddRow(std::move(r));
-    table = std::move(sorted);
-  }
-
-  // DISTINCT.
-  if (query.distinct) {
-    ResultTable deduped(columns);
-    std::set<std::string> seen;
-    for (const auto& row : table.rows()) {
-      if (seen.insert(RowKey(row)).second) deduped.AddRow(row);
-    }
-    table = std::move(deduped);
-  }
-
-  // OFFSET / LIMIT.
-  if (query.offset > 0 || query.limit >= 0) {
-    ResultTable sliced(columns);
-    int64_t skipped = 0, taken = 0;
-    for (const auto& row : table.rows()) {
-      if (skipped < query.offset) {
-        ++skipped;
-        continue;
-      }
-      if (query.limit >= 0 && taken >= query.limit) break;
-      sliced.AddRow(row);
-      ++taken;
-    }
-    table = std::move(sliced);
   }
 
   rows_out = table.num_rows();

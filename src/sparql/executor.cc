@@ -467,6 +467,49 @@ struct JoinKeyHash {
   }
 };
 
+using JoinTable =
+    std::unordered_map<JoinKey, std::vector<rdf::Triple>, JoinKeyHash>;
+
+/// Build side of a hash-join step, shared verbatim by the row and batch
+/// executors: one scan with the join slots wildcarded (only plan constants
+/// stay fixed), bucketed on the key positions. Every bucket is then sorted
+/// back into NLJ probe delivery order: the index a probe would pick is a
+/// function of which positions are bound (SPO when the s position is, else
+/// POS when p is, else SPO for o-only — both backends agree, see DESIGN.md
+/// §4.5), and a sorted bucket filtered by the runtime bindings stays in
+/// that order. This is what keeps hash-join output bit-identical to NLJ
+/// output in both execution modes.
+JoinTable BuildJoinTable(const rdf::TripleSource& source,
+                         const PatternStep& st) {
+  SparqlMetrics::Get().op_hash_joins.Increment();
+  rdf::TriplePattern build_pat(
+      st.s_slot == kNoSlot ? st.s_id : kInvalidTermId,
+      st.p_slot == kNoSlot ? st.p_id : kInvalidTermId,
+      st.o_slot == kNoSlot ? st.o_id : kInvalidTermId);
+  JoinTable table;
+  uint64_t build_rows = 0;
+  source.Scan(build_pat, [&](const rdf::Triple& t) {
+    ++build_rows;
+    JoinKey k{st.s_bound ? t.s : kInvalidTermId,
+              st.p_bound ? t.p : kInvalidTermId,
+              st.o_bound ? t.o : kInvalidTermId};
+    table[k].push_back(t);
+    return true;
+  });
+  SparqlMetrics::Get().op_hash_build_rows.Increment(build_rows);
+
+  const bool s_fixed = st.s_slot == kNoSlot || st.s_bound;
+  const bool p_fixed = st.p_slot == kNoSlot || st.p_bound;
+  for (auto& [key, bucket] : table) {
+    if (s_fixed || !p_fixed) {
+      std::sort(bucket.begin(), bucket.end(), rdf::OrderSpo());
+    } else {
+      std::sort(bucket.begin(), bucket.end(), rdf::OrderPos());
+    }
+  }
+  return table;
+}
+
 }  // namespace
 
 obs::OperatorProfile BuildProfileSkeleton(const GroupPlan& plan) {
@@ -588,40 +631,7 @@ BindingTable Executor::EvalBgp(const std::vector<PatternStep>& steps,
       };
 
       if (st.strategy == JoinStrategy::kHash) {
-        // Build once: a single scan with the join slots wildcarded (only
-        // plan constants stay fixed), bucketed on the key positions.
-        SparqlMetrics::Get().op_hash_joins.Increment();
-        rdf::TriplePattern build_pat(
-            st.s_slot == kNoSlot ? st.s_id : kInvalidTermId,
-            st.p_slot == kNoSlot ? st.p_id : kInvalidTermId,
-            st.o_slot == kNoSlot ? st.o_id : kInvalidTermId);
-        std::unordered_map<JoinKey, std::vector<rdf::Triple>, JoinKeyHash>
-            table;
-        uint64_t build_rows = 0;
-        source_->Scan(build_pat, [&](const rdf::Triple& t) {
-          ++build_rows;
-          JoinKey k{st.s_bound ? t.s : kInvalidTermId,
-                    st.p_bound ? t.p : kInvalidTermId,
-                    st.o_bound ? t.o : kInvalidTermId};
-          table[k].push_back(t);
-          return true;
-        });
-        SparqlMetrics::Get().op_hash_build_rows.Increment(build_rows);
-
-        // Restore NLJ probe delivery order inside every bucket: the index
-        // a probe would pick is a function of which positions are bound
-        // (SPO when the s position is, else POS when p is, else SPO for
-        // o-only — both backends agree, see DESIGN.md §4.5), and a sorted
-        // bucket filtered by the runtime bindings stays in that order.
-        const bool s_fixed = st.s_slot == kNoSlot || st.s_bound;
-        const bool p_fixed = st.p_slot == kNoSlot || st.p_bound;
-        for (auto& [key, bucket] : table) {
-          if (s_fixed || !p_fixed) {
-            std::sort(bucket.begin(), bucket.end(), rdf::OrderSpo());
-          } else {
-            std::sort(bucket.begin(), bucket.end(), rdf::OrderPos());
-          }
-        }
+        const JoinTable table = BuildJoinTable(*source_, st);
 
         next = exec::ParallelReduce<BindingTable>(
             0, input->num_rows(), 8,
@@ -778,6 +788,462 @@ BindingTable Executor::EvalGroup(const GroupPlan& plan,
     timer.Finish(solutions.num_rows());
   }
   return solutions;
+}
+
+// ---------------------------------------------------------------------------
+// Vectorized (batch) execution. The contract with the row engine above is
+// bit-identical output: same logical rows in the same order, same plans,
+// same metric deltas. Every structural choice below — chunk grains, chunk
+// concatenation order, per-bucket sorting, filter error accounting — exists
+// to preserve that contract; see DESIGN.md §4.9 before changing any of it.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Applies a normalized BatchFilterSpec comparison the way SlimCompare
+/// would: three-way result first, then the operator on it. The detour
+/// through `c` is deliberate — SlimCompare maps NaN operands to c == 0, so
+/// kLe/kGe/kEq hold for NaN exactly as in the row engine, where a direct
+/// `x <= rhs` would not.
+bool NumPasses(double x, BinOp op, double rhs) {
+  const int c = x < rhs ? -1 : (x > rhs ? 1 : 0);
+  switch (op) {
+    case BinOp::kEq:
+      return c == 0;
+    case BinOp::kNe:
+      return c != 0;
+    case BinOp::kLt:
+      return c < 0;
+    case BinOp::kLe:
+      return c <= 0;
+    case BinOp::kGt:
+      return c > 0;
+    default:
+      return c >= 0;  // kGe; other ops never specialize
+  }
+}
+
+/// Packs output rows into ColumnBatches of at most kBatchRows, appended to
+/// a caller-owned list. One sink per ParallelReduce chunk, so chunk
+/// outputs concatenate in chunk order just like row-mode BindingTables.
+class BatchSink {
+ public:
+  BatchSink(size_t width, std::vector<ColumnBatch>* out)
+      : width_(width), out_(out) {}
+
+  void AppendRow(const TermId* row) { Open()->AppendRow(row); }
+
+  /// AppendRun split across batch boundaries: each slice advances the
+  /// per-column value pointers by the rows already written.
+  void AppendRun(const TermId* sol, size_t n,
+                 const ColumnBatch::RunColumn* var, size_t num_var) {
+    size_t off = 0;
+    while (n > 0) {
+      ColumnBatch* cur = Open();
+      const size_t m = std::min(n, kBatchRows - cur->rows());
+      ColumnBatch::RunColumn adj[3];
+      for (size_t j = 0; j < num_var; ++j) {
+        adj[j] = {var[j].slot, var[j].values + off};
+      }
+      cur->AppendRun(sol, m, adj, num_var);
+      off += m;
+      n -= m;
+    }
+  }
+
+  /// Splices whole batches (an OPTIONAL subtree's output) into the list.
+  /// Spliced batches may carry selections, so subsequent appends open a
+  /// fresh batch rather than writing into them.
+  void AppendBatchList(std::vector<ColumnBatch>&& list) {
+    for (ColumnBatch& b : list) {
+      if (b.active() > 0) out_->push_back(std::move(b));
+    }
+    open_ = false;
+  }
+
+ private:
+  ColumnBatch* Open() {
+    if (!open_ || out_->back().rows() >= kBatchRows) {
+      out_->emplace_back(width_);
+      open_ = true;
+    }
+    return &out_->back();
+  }
+
+  size_t width_;
+  std::vector<ColumnBatch>* out_;
+  bool open_ = false;
+};
+
+/// Batch counterpart of the row engine's `extend` lambda: conflict-checks
+/// one solution's match list and appends the survivors column-wise in one
+/// run. The accept condition is computed per position up front (the
+/// solution fixes what each pattern position must do), so the per-match
+/// loop is a handful of integer compares; carried-over columns then append
+/// as a run — O(1) while constant — instead of a per-row width_-wide copy.
+class RunExtender {
+ public:
+  explicit RunExtender(const PatternStep& st) : st_(st) {}
+
+  void Extend(BatchSink& sink, const TermId* sol, const rdf::Triple* matches,
+              size_t n) {
+    if (n == 0) return;
+    const SlotId slots[3] = {st_.s_slot, st_.p_slot, st_.o_slot};
+    // Per-position action for this solution: kSkip (constant position),
+    // kCheckSol (slot already bound — match value must agree), kBind
+    // (first unbound occurrence — emits a column), kCheckPrev (repeated
+    // unbound slot — must agree with the earlier position's value). This
+    // reproduces the row engine's bind() semantics including the
+    // duplicate-slot case (?x ?p ?x).
+    enum : uint8_t { kSkip, kCheckSol, kBind, kCheckPrev };
+    uint8_t act[3];
+    uint8_t prev_pos[3] = {0, 0, 0};
+    SlotId bind_slots[3];
+    uint8_t bind_pos[3];
+    size_t num_bind = 0;
+    for (int i = 0; i < 3; ++i) {
+      const SlotId s = slots[i];
+      if (s == kNoSlot) {
+        act[i] = kSkip;
+        continue;
+      }
+      if (sol[s] != kInvalidTermId) {
+        act[i] = kCheckSol;
+        continue;
+      }
+      int prev = -1;
+      for (int j = 0; j < i; ++j) {
+        if (slots[j] == s) {
+          prev = j;
+          break;
+        }
+      }
+      if (prev >= 0) {
+        act[i] = kCheckPrev;
+        prev_pos[i] = static_cast<uint8_t>(prev);
+        continue;
+      }
+      act[i] = kBind;
+      bind_slots[num_bind] = s;
+      bind_pos[num_bind] = static_cast<uint8_t>(i);
+      ++num_bind;
+    }
+
+    for (size_t k = 0; k < num_bind; ++k) vals_[k].clear();
+    size_t accepted = 0;
+    for (size_t m = 0; m < n; ++m) {
+      const TermId v[3] = {matches[m].s, matches[m].p, matches[m].o};
+      bool ok = true;
+      for (int i = 0; i < 3 && ok; ++i) {
+        if (act[i] == kCheckSol) {
+          ok = v[i] == sol[slots[i]];
+        } else if (act[i] == kCheckPrev) {
+          ok = v[i] == v[prev_pos[i]];
+        }
+      }
+      if (!ok) continue;
+      for (size_t k = 0; k < num_bind; ++k) vals_[k].push_back(v[bind_pos[k]]);
+      ++accepted;
+    }
+    if (accepted == 0) return;
+    ColumnBatch::RunColumn var[3];
+    for (size_t k = 0; k < num_bind; ++k) {
+      var[k] = {bind_slots[k], vals_[k].data()};
+    }
+    sink.AppendRun(sol, accepted, var, num_bind);
+  }
+
+ private:
+  const PatternStep& st_;
+  std::vector<TermId> vals_[3];  // reused across Extend calls within a chunk
+};
+
+}  // namespace
+
+std::vector<ColumnBatch> Executor::EvalBgpBatches(
+    const std::vector<PatternStep>& steps,
+    const std::vector<ColumnBatch>& seeds, obs::OperatorProfile* prof) {
+  if (steps.empty()) return seeds;
+  LODVIZ_TRACE_SPAN("sparql.bgp");
+  const bool timed = budget_.time_budget_us >= 0;
+
+  const std::vector<ColumnBatch>* input = &seeds;
+  std::vector<ColumnBatch> current;
+  size_t step_index = 0;
+  for (const PatternStep& st : steps) {
+    const BatchListView view(*input);
+    obs::OperatorProfile* step_prof =
+        prof == nullptr ? nullptr : &prof->children[step_index];
+    obs::OperatorTimer timer(step_prof, view.total());
+    ++step_index;
+    std::vector<ColumnBatch> next;
+    if (!st.dead && view.total() > 0) {
+      const bool hash = st.strategy == JoinStrategy::kHash;
+      const JoinTable table =
+          hash ? BuildJoinTable(*source_, st) : JoinTable();
+
+      // Chunking mirrors the row engine exactly (logical rows, grain 8,
+      // chunk-order concatenation), so the logical row order of `next` is
+      // the row engine's row order by construction. Batch boundaries may
+      // differ between the two modes and across thread counts; row order
+      // never does.
+      next = exec::ParallelReduce<std::vector<ColumnBatch>>(
+          0, view.total(), 8,
+          [&](size_t cb, size_t ce) {
+            std::vector<ColumnBatch> out;
+            if (timed && TimeExpired()) return out;
+            BatchSink sink(width_, &out);
+            RunExtender extender(st);
+            std::vector<rdf::Triple> matches;
+            std::vector<TermId> sol(width_);
+            // Index nested-loop probe for one gathered solution. The
+            // per-solution Scan is the NLJ fallback by design — an index
+            // walk is inherently per-solution; the batch win is in extend
+            // (this run-extender) and in the filters.
+            auto nlj_probe = [&]() {
+              rdf::TriplePattern pat(
+                  st.s_slot == kNoSlot ? st.s_id : sol[st.s_slot],
+                  st.p_slot == kNoSlot ? st.p_id : sol[st.p_slot],
+                  st.o_slot == kNoSlot ? st.o_id : sol[st.o_slot]);
+              matches.clear();
+              // The NLJ probe is a per-solution index walk; vectorization
+              // happens in the run-extender and filter pass, not here.
+              // LINT-ALLOW(sparql.no_row_loop_in_batch_ops): NLJ index probe
+              source_->Scan(pat, [&](const rdf::Triple& t) {
+                matches.push_back(t);
+                return true;
+              });
+              extender.Extend(sink, sol.data(), matches.data(),
+                              matches.size());
+            };
+            view.ForEachRow(cb, ce, [&](const ColumnBatch& b, uint32_t r) {
+              b.GatherRow(r, sol.data());
+              if (!hash) {
+                nlj_probe();
+                return;
+              }
+              // The planner's "certainly bound" is static: a key slot can
+              // still be unbound at runtime (seeds from an outer group),
+              // where NLJ semantics treat it as a wildcard. Fall back to
+              // the index probe for such rows — same rule as the row
+              // engine.
+              if ((st.s_bound && sol[st.s_slot] == kInvalidTermId) ||
+                  (st.p_bound && sol[st.p_slot] == kInvalidTermId) ||
+                  (st.o_bound && sol[st.o_slot] == kInvalidTermId)) {
+                nlj_probe();
+                return;
+              }
+              JoinKey k{st.s_bound ? sol[st.s_slot] : kInvalidTermId,
+                        st.p_bound ? sol[st.p_slot] : kInvalidTermId,
+                        st.o_bound ? sol[st.o_slot] : kInvalidTermId};
+              auto it = table.find(k);
+              if (it == table.end()) return;
+              extender.Extend(sink, sol.data(), it->second.data(),
+                              it->second.size());
+            });
+            return out;
+          },
+          [](std::vector<ColumnBatch>& acc, std::vector<ColumnBatch>&& rhs) {
+            for (ColumnBatch& b : rhs) acc.push_back(std::move(b));
+          });
+    }
+    const size_t produced = TotalActiveRows(next);
+    intermediate_rows_ += produced;
+    SparqlMetrics::Get().op_join_rows.Increment(produced);
+    if (step_prof != nullptr) step_prof->batches += next.size();
+    timer.Finish(produced);
+    current = std::move(next);
+    input = &current;
+    if (produced == 0) break;
+    if (CheckBudget()) return {};
+  }
+  return current;
+}
+
+std::vector<ColumnBatch> Executor::EvalGroupBatches(
+    const GroupPlan& plan, const std::vector<ColumnBatch>& seeds,
+    obs::OperatorProfile* prof) {
+  std::vector<ColumnBatch> solutions = EvalBgpBatches(plan.steps, seeds, prof);
+
+  // Child-node layout mirrors BuildProfileSkeleton:
+  // [steps...][unions...][optionals...][filter?].
+  size_t child_index = plan.steps.size();
+
+  if (!plan.union_branches.empty()) {
+    std::vector<ColumnBatch> unioned;
+    for (const GroupPlan& branch : plan.union_branches) {
+      if (CheckBudget()) return {};
+      obs::OperatorProfile* branch_prof =
+          prof == nullptr ? nullptr : &prof->children[child_index];
+      ++child_index;
+      obs::OperatorTimer timer(branch_prof);
+      std::vector<ColumnBatch> rows = EvalGroupBatches(branch, solutions,
+                                                       branch_prof);
+      timer.Finish(TotalActiveRows(rows));
+      // Branch outputs concatenate at batch granularity (batches may carry
+      // selections from branch filters); logical row order is branch order
+      // then row order within the branch, as in the row engine.
+      for (ColumnBatch& b : rows) {
+        if (b.active() > 0) unioned.push_back(std::move(b));
+      }
+    }
+    solutions = std::move(unioned);
+    SparqlMetrics::Get().op_union_rows.Increment(TotalActiveRows(solutions));
+  }
+
+  if (!plan.optionals.empty()) {
+    // One reusable single-row seed batch per parent row: every column of a
+    // one-row batch is constant-encoded, so re-seeding allocates nothing
+    // after the first iteration.
+    std::vector<ColumnBatch> seed(1, ColumnBatch(width_));
+    std::vector<TermId> sol(width_);
+    for (const GroupPlan& opt : plan.optionals) {
+      obs::OperatorProfile* opt_prof =
+          prof == nullptr ? nullptr : &prof->children[child_index];
+      ++child_index;
+      obs::OperatorTimer timer(opt_prof, TotalActiveRows(solutions));
+      std::vector<ColumnBatch> next;
+      BatchSink sink(width_, &next);
+      for (const ColumnBatch& b : solutions) {
+        for (size_t i = 0; i < b.active(); ++i) {
+          if (CheckBudget()) return {};
+          b.GatherRow(b.ActiveRow(i), sol.data());
+          seed[0].Clear();
+          seed[0].AppendRow(sol.data());
+          std::vector<ColumnBatch> extended =
+              EvalGroupBatches(opt, seed, opt_prof);
+          if (TotalActiveRows(extended) == 0) {
+            sink.AppendRow(sol.data());
+          } else {
+            sink.AppendBatchList(std::move(extended));
+          }
+        }
+      }
+      timer.Finish(TotalActiveRows(next));
+      solutions = std::move(next);
+      SparqlMetrics::Get().op_optional_rows.Increment(
+          TotalActiveRows(solutions));
+    }
+  }
+
+  if (!plan.filters.empty() && TotalActiveRows(solutions) > 0) {
+    FilterBatches(plan, &solutions, prof);
+  }
+  return solutions;
+}
+
+void Executor::FilterBatches(const GroupPlan& plan,
+                             std::vector<ColumnBatch>* batches,
+                             obs::OperatorProfile* prof) {
+  obs::OperatorProfile* filter_prof =
+      prof == nullptr ? nullptr : &prof->children.back();
+  const size_t before = TotalActiveRows(*batches);
+  obs::OperatorTimer timer(filter_prof, before);
+  const rdf::Dictionary& dict = source_->dict();
+  const bool timed = budget_.time_budget_us >= 0;
+  const size_t nf = plan.filters.size();
+
+  for (ColumnBatch& b : *batches) {
+    if (b.active() == 0) continue;
+    // Per-batch pre-pass: a specialized filter over a constant segment has
+    // one outcome for the whole batch. A batch-wide fail still cannot
+    // short-circuit earlier generic filters — their per-row error counting
+    // must accrue exactly as in the row engine — so outcomes stay
+    // per-filter and the row loop walks them in order.
+    enum : uint8_t { kPerRowSpec, kPerRowGeneric, kBatchPass, kBatchFail };
+    std::vector<uint8_t> state(nf);
+    for (size_t fi = 0; fi < nf; ++fi) {
+      const BatchFilterSpec& spec = plan.batch_filters[fi];
+      if (!spec.specialized) {
+        state[fi] = kPerRowGeneric;
+        continue;
+      }
+      const ColumnSegment& col = b.col(spec.slot);
+      if (!col.constant()) {
+        state[fi] = kPerRowSpec;
+        continue;
+      }
+      const TermId id = col.constant_value();
+      if (id == kInvalidTermId) {
+        // Unbound for the whole batch: the generic evaluator errors (and
+        // counts) per row, exactly like the row engine.
+        state[fi] = kPerRowGeneric;
+        continue;
+      }
+      const rdf::DecodedValue& dv = dict.decoded(id);
+      if (dv.kind != rdf::DecodedValue::Kind::kNum) {
+        state[fi] = kPerRowGeneric;
+        continue;
+      }
+      state[fi] = NumPasses(dv.num, spec.op, spec.rhs) ? kBatchPass
+                                                       : kBatchFail;
+    }
+
+    // Selection build: chunks of active rows evaluate independently and
+    // concatenate ascending (same grain-64 chunking as the row engine), so
+    // the resulting selection is ascending physical indices — a subset of
+    // any selection already installed.
+    std::vector<uint32_t> sel = exec::ParallelReduce<std::vector<uint32_t>>(
+        0, b.active(), 64,
+        [&](size_t cb, size_t ce) {
+          std::vector<uint32_t> keep;
+          if (timed && TimeExpired()) return keep;
+          std::vector<TermId> row(width_);
+          for (size_t i = cb; i < ce; ++i) {
+            const uint32_t phys = b.ActiveRow(i);
+            bool pass = true;
+            bool gathered = false;
+            for (size_t fi = 0; fi < nf && pass; ++fi) {
+              switch (state[fi]) {
+                case kBatchPass:
+                  break;
+                case kBatchFail:
+                  pass = false;
+                  break;
+                case kPerRowSpec: {
+                  const BatchFilterSpec& spec = plan.batch_filters[fi];
+                  const TermId id = b.at(phys, spec.slot);
+                  if (id != kInvalidTermId) {
+                    const rdf::DecodedValue& dv = dict.decoded(id);
+                    if (dv.kind == rdf::DecodedValue::Kind::kNum) {
+                      pass = NumPasses(dv.num, spec.op, spec.rhs);
+                      break;
+                    }
+                  }
+                  // Unbound or non-numeric at runtime: the generic
+                  // evaluator reproduces exact row-engine semantics,
+                  // including the error counters.
+                  if (!gathered) {
+                    b.GatherRow(phys, row.data());
+                    gathered = true;
+                  }
+                  pass = PassesFilter(plan.filters[fi], dict, row.data());
+                  break;
+                }
+                default: {  // kPerRowGeneric
+                  if (!gathered) {
+                    b.GatherRow(phys, row.data());
+                    gathered = true;
+                  }
+                  pass = PassesFilter(plan.filters[fi], dict, row.data());
+                  break;
+                }
+              }
+            }
+            if (pass) keep.push_back(phys);
+          }
+          return keep;
+        },
+        [](std::vector<uint32_t>& acc, std::vector<uint32_t>&& rhs) {
+          acc.insert(acc.end(), rhs.begin(), rhs.end());
+        });
+    b.SetSelection(std::move(sel));
+  }
+
+  const size_t after = TotalActiveRows(*batches);
+  SparqlMetrics::Get().op_filter_dropped.Increment(before - after);
+  if (filter_prof != nullptr) filter_prof->batches += batches->size();
+  timer.Finish(after);
 }
 
 }  // namespace lodviz::sparql

@@ -11,7 +11,9 @@
 #include "obs/profile.h"
 #include "rdf/dictionary.h"
 #include "rdf/triple_source.h"
+#include "sparql/column_batch.h"
 #include "sparql/planner.h"
+#include "sparql/row_append.h"
 
 namespace lodviz::sparql {
 
@@ -42,43 +44,37 @@ struct SparqlMetrics {
 class BindingTable {
  public:
   BindingTable() = default;
-  explicit BindingTable(size_t width) : width_(width) {}
+  explicit BindingTable(size_t width) : rows_(width) {}
 
-  [[nodiscard]] size_t width() const { return width_; }
-  [[nodiscard]] size_t num_rows() const {
-    return width_ == 0 ? 0 : data_.size() / width_;
-  }
+  [[nodiscard]] size_t width() const { return rows_.width(); }
+  [[nodiscard]] size_t num_rows() const { return rows_.num_rows(); }
 
   [[nodiscard]] const rdf::TermId* row(size_t i) const {
-    return data_.data() + i * width_;
+    return rows_.row(i);
   }
 
   /// Appends a copy of `src` (width TermIds).
-  void AppendRow(const rdf::TermId* src) {
-    data_.insert(data_.end(), src, src + width_);
-  }
+  void AppendRow(const rdf::TermId* src) { rows_.AppendRow(src); }
 
   /// Appends one all-unbound row.
-  void AppendEmptyRow() { data_.resize(data_.size() + width_, rdf::kInvalidTermId); }
+  void AppendEmptyRow() { rows_.AppendFillRow(rdf::kInvalidTermId); }
 
   /// Concatenates `other` (same width; an empty table of any width is ok).
-  void Append(BindingTable&& other) {
-    if (other.data_.empty()) return;
-    if (data_.empty()) {
-      *this = std::move(other);
-      return;
-    }
-    data_.insert(data_.end(), other.data_.begin(), other.data_.end());
-  }
+  void Append(BindingTable&& other) { rows_.Append(std::move(other.rows_)); }
 
-  void Reserve(size_t rows) { data_.reserve(rows * width_); }
+  void Reserve(size_t rows) { rows_.Reserve(rows); }
 
   /// Drops all rows, keeping capacity (for seed-table reuse in loops).
-  void Clear() { data_.clear(); }
+  void Clear() { rows_.Clear(); }
+
+  /// Splits the table into column batches of at most kBatchRows — the
+  /// bridge from row-engine output to the batch-consuming engine tail.
+  [[nodiscard]] std::vector<ColumnBatch> ToBatches() const {
+    return RowsToBatches(rows_.data().data(), num_rows(), width());
+  }
 
  private:
-  size_t width_ = 0;
-  std::vector<rdf::TermId> data_;
+  FlatRows<rdf::TermId> rows_;
 };
 
 /// Per-query resource budget, threaded from the serving layer's admission
@@ -161,6 +157,17 @@ class Executor {
     return EvalGroup(plan, seeds, profile_);
   }
 
+  /// Vectorized evaluation of `plan`: scan/extend, joins and filters
+  /// process ColumnBatch chunks instead of per-row lambdas; filters
+  /// restrict batches via selection vectors without materializing rows.
+  /// Logical row order (batches in order, active rows in order) is
+  /// bit-identical to EvalGroup's row order — the ExecMode contract the
+  /// parity suite pins (DESIGN.md §4.9).
+  std::vector<ColumnBatch> EvalGroupBatches(const GroupPlan& plan,
+                                            const std::vector<ColumnBatch>& seeds) {
+    return EvalGroupBatches(plan, seeds, profile_);
+  }
+
   /// Rows produced across all BGP steps, including intermediate join
   /// results (cost introspection for E10).
   [[nodiscard]] uint64_t intermediate_rows() const {
@@ -179,6 +186,18 @@ class Executor {
                          obs::OperatorProfile* prof);
   BindingTable EvalBgp(const std::vector<PatternStep>& steps,
                        const BindingTable& seeds, obs::OperatorProfile* prof);
+  std::vector<ColumnBatch> EvalGroupBatches(const GroupPlan& plan,
+                                            const std::vector<ColumnBatch>& seeds,
+                                            obs::OperatorProfile* prof);
+  std::vector<ColumnBatch> EvalBgpBatches(const std::vector<PatternStep>& steps,
+                                          const std::vector<ColumnBatch>& seeds,
+                                          obs::OperatorProfile* prof);
+  /// Segment-at-a-time FILTER: installs a selection vector on every batch
+  /// (specialized numeric comparisons where the plan allows, the generic
+  /// per-row evaluator elsewhere — same row-by-row semantics and error
+  /// accounting as the row engine).
+  void FilterBatches(const GroupPlan& plan, std::vector<ColumnBatch>* batches,
+                     obs::OperatorProfile* prof);
 
   /// Driving-thread budget check between operators: tests both the wall
   /// clock and the intermediate-row cap, latches `exhausted_`, and returns

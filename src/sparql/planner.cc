@@ -255,8 +255,10 @@ class PlannerImpl {
     }
 
     out->filters.reserve(group.filters.size());
+    out->batch_filters.reserve(group.filters.size());
     for (const ExprPtr& f : group.filters) {
       out->filters.push_back(CompileExpr(*f));
+      out->batch_filters.push_back(SpecializeFilterForBatch(out->filters.back()));
     }
     return bound;
   }
@@ -290,6 +292,69 @@ void AppendGroup(const GroupPlan& g, int depth, std::string* out) {
 }
 
 }  // namespace
+
+BatchFilterSpec SpecializeFilterForBatch(const CompiledExpr& e) {
+  BatchFilterSpec spec;
+  if (e.kind != Expr::Kind::kBinary || e.args.size() != 2) return spec;
+  switch (e.bin_op) {
+    case BinOp::kEq:
+    case BinOp::kNe:
+    case BinOp::kLt:
+    case BinOp::kLe:
+    case BinOp::kGt:
+    case BinOp::kGe:
+      break;
+    default:
+      return spec;
+  }
+  const CompiledExpr* var = nullptr;
+  const CompiledExpr* lit = nullptr;
+  bool var_left = true;
+  if (e.args[0].kind == Expr::Kind::kVar &&
+      e.args[1].kind == Expr::Kind::kLiteral) {
+    var = &e.args[0];
+    lit = &e.args[1];
+  } else if (e.args[0].kind == Expr::Kind::kLiteral &&
+             e.args[1].kind == Expr::Kind::kVar) {
+    var = &e.args[1];
+    lit = &e.args[0];
+    var_left = false;
+  } else {
+    return spec;
+  }
+  if (var->slot == kNoSlot) return spec;
+  // Only a plan-time-decoded numeric constant qualifies: this restricts
+  // the fast path to exactly the shape where the row engine takes the
+  // both-sides-numeric SlimCompare branch, which is what lets the segment
+  // evaluator skip per-row error handling without changing semantics.
+  if (lit->lit_decoded.kind != rdf::DecodedValue::Kind::kNum) return spec;
+  spec.specialized = true;
+  spec.slot = var->slot;
+  spec.rhs = lit->lit_decoded.num;
+  if (var_left) {
+    spec.op = e.bin_op;
+  } else {
+    // Mirror the comparison so the spec always reads `slot <op> rhs`.
+    switch (e.bin_op) {
+      case BinOp::kLt:
+        spec.op = BinOp::kGt;
+        break;
+      case BinOp::kLe:
+        spec.op = BinOp::kGe;
+        break;
+      case BinOp::kGt:
+        spec.op = BinOp::kLt;
+        break;
+      case BinOp::kGe:
+        spec.op = BinOp::kLe;
+        break;
+      default:
+        spec.op = e.bin_op;  // = and != are symmetric
+        break;
+    }
+  }
+  return spec;
+}
 
 std::string QueryPlan::ToString() const {
   std::string out = "plan: " + std::to_string(num_slots) + " slots [";

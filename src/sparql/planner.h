@@ -87,12 +87,38 @@ struct PatternStep {
   std::string label;
 };
 
+/// A FILTER expression specialized for segment-at-a-time evaluation in the
+/// batch executor: `?var <cmp> numeric-constant` (either operand order,
+/// normalized so the spec always reads `slot <op> rhs`). At runtime a row
+/// whose slot value decodes as numeric compares directly against `rhs` —
+/// the same double comparison the row engine's SlimVal fast path performs,
+/// so results and error accounting stay bit-identical; rows that do not
+/// decode fall back to the generic per-row evaluator. Computed once at
+/// plan time; `specialized == false` means the whole expression always
+/// takes the generic path. Never affects planning decisions or the plan
+/// rendering, so row- and batch-mode plans are identical.
+struct BatchFilterSpec {
+  bool specialized = false;
+  SlotId slot = kNoSlot;
+  BinOp op = BinOp::kEq;  // normalized: variable on the left
+  double rhs = 0.0;
+};
+
+/// Inspects a compiled filter for the var-vs-numeric-constant shape the
+/// segment evaluator handles; flips the comparison when the variable is
+/// on the right so the spec is always `slot <op> rhs`.
+[[nodiscard]] BatchFilterSpec SpecializeFilterForBatch(const CompiledExpr& e);
+
 /// A group graph pattern compiled against one TripleSource: triple steps
 /// in execution order, then union branches, optionals, and filters —
 /// mirroring the evaluation order of GraphPattern.
 struct GroupPlan {
   std::vector<PatternStep> steps;
   std::vector<CompiledExpr> filters;
+  /// Parallel to `filters`: the batch executor's plan-time specialization
+  /// of each expression (batch-aware operator wiring; ignored by the row
+  /// engine).
+  std::vector<BatchFilterSpec> batch_filters;
   std::vector<GroupPlan> union_branches;
   std::vector<GroupPlan> optionals;
 };

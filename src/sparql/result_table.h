@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "rdf/term.h"
+#include "sparql/row_append.h"
 
 namespace lodviz::sparql {
 
@@ -25,7 +26,16 @@ class ResultTable {
   const std::vector<std::vector<ResultCell>>& rows() const { return rows_; }
   size_t num_rows() const { return rows_.size(); }
 
-  void AddRow(std::vector<ResultCell> row) { rows_.push_back(std::move(row)); }
+  /// Appends one row; its width must match the column count (same
+  /// width-check helper the executor's binding tables use).
+  void AddRow(std::vector<ResultCell> row) {
+    CheckRowWidth(row.size(), columns_.size());
+    rows_.push_back(std::move(row));
+  }
+
+  /// Pre-sizes the row store (the engine's materialization paths know
+  /// their output cardinality up front).
+  void Reserve(size_t rows) { rows_.reserve(rows); }
 
   /// Index of a column by name; -1 if absent.
   int ColumnIndex(std::string_view name) const;

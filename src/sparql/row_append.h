@@ -1,0 +1,75 @@
+#ifndef LODVIZ_SPARQL_ROW_APPEND_H_
+#define LODVIZ_SPARQL_ROW_APPEND_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace lodviz::sparql {
+
+/// Width contract shared by every row-appending table in this module
+/// (the executor's BindingTable and the public ResultTable): a row must
+/// match the table's column count exactly. Centralized so both tables
+/// enforce the same invariant instead of hand-rolling it.
+inline void CheckRowWidth(size_t row_width, size_t table_width) {
+  LODVIZ_CHECK(row_width == table_width)
+      << "row width " << row_width << " != table width " << table_width;
+}
+
+/// Row-major flat storage of fixed-width rows: `width` cells per row,
+/// contiguous. The common substrate under BindingTable (TermId cells) —
+/// append, bulk-concatenate, reserve — extracted so the append/reserve
+/// logic exists once.
+template <typename Cell>
+class FlatRows {
+ public:
+  FlatRows() = default;
+  explicit FlatRows(size_t width) : width_(width) {}
+
+  [[nodiscard]] size_t width() const { return width_; }
+  [[nodiscard]] size_t num_rows() const {
+    return width_ == 0 ? 0 : data_.size() / width_;
+  }
+
+  [[nodiscard]] const Cell* row(size_t i) const {
+    return data_.data() + i * width_;
+  }
+
+  [[nodiscard]] const std::vector<Cell>& data() const { return data_; }
+
+  /// Appends a copy of `src` (width cells).
+  void AppendRow(const Cell* src) {
+    data_.insert(data_.end(), src, src + width_);
+  }
+
+  /// Appends one row of `width` copies of `fill`.
+  void AppendFillRow(const Cell& fill) {
+    data_.resize(data_.size() + width_, fill);
+  }
+
+  /// Concatenates `other` (same width; an empty table of any width is ok).
+  void Append(FlatRows&& other) {
+    if (other.data_.empty()) return;
+    if (data_.empty()) {
+      *this = std::move(other);
+      return;
+    }
+    CheckRowWidth(other.width_, width_);
+    data_.insert(data_.end(), other.data_.begin(), other.data_.end());
+  }
+
+  void Reserve(size_t rows) { data_.reserve(rows * width_); }
+
+  /// Drops all rows, keeping capacity (for seed-table reuse in loops).
+  void Clear() { data_.clear(); }
+
+ private:
+  size_t width_ = 0;
+  std::vector<Cell> data_;
+};
+
+}  // namespace lodviz::sparql
+
+#endif  // LODVIZ_SPARQL_ROW_APPEND_H_

@@ -1,0 +1,16 @@
+// Fixture: a batch operator that has silently regressed to row-at-a-time
+// execution — it walks its input one row at a time and issues a virtual
+// TripleSource::Scan per row. Batch operators must extend whole runs
+// (ColumnBatch::AppendRun); a deliberate per-row probe needs a LINT-ALLOW
+// rationale.
+// LINT-EXPECT: sparql.no_row_loop_in_batch_ops
+
+namespace lodviz::sparql {
+
+void Executor::EvalBgpBatches(const GroupPlan& plan) {
+  for (size_t row = 0; row < plan.rows; ++row) {
+    source_->Scan(plan.pattern, [&](const Triple& t) { Emit(row, t); });
+  }
+}
+
+}  // namespace lodviz::sparql

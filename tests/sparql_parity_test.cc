@@ -391,6 +391,136 @@ TEST_F(SparqlParityFixture, ThreadCountDoesNotChangeResults) {
   exec::SetThreads(0);
 }
 
+TEST_F(SparqlParityFixture, RowAndBatchModesIdentical) {
+  // The ExecMode contract (DESIGN.md §4.9): vectorized batch execution is
+  // a pure representation change. For every query, every backend, every
+  // join strategy and every thread count, batch mode must return rows
+  // bit-identical to the row engine — including row order, since ORDER
+  // BY-free queries expose delivery order directly.
+  struct Leg {
+    std::string label;
+    std::unique_ptr<QueryEngine> engine;
+  };
+  std::vector<Leg> legs;
+  const rdf::TripleSource* sources[] = {&store_, adapter_.get()};
+  const char* source_names[] = {"mem", "disk"};
+  const JoinForce forces[] = {JoinForce::kAuto, JoinForce::kNestedLoop,
+                              JoinForce::kHash};
+  const char* force_names[] = {"auto", "nlj", "hash"};
+  const ExecMode modes[] = {ExecMode::kRow, ExecMode::kBatch};
+  const char* mode_names[] = {"row", "batch"};
+  for (int s = 0; s < 2; ++s) {
+    for (int f = 0; f < 3; ++f) {
+      for (int m = 0; m < 2; ++m) {
+        QueryEngine::Options opts;
+        opts.force_join = forces[f];
+        opts.exec_mode = modes[m];
+        legs.push_back(Leg{std::string(source_names[s]) + "/" +
+                               force_names[f] + "/" + mode_names[m],
+                           std::make_unique<QueryEngine>(sources[s], opts)});
+      }
+    }
+  }
+
+  for (int threads : {1, 4, 0}) {
+    exec::SetThreads(threads);
+    for (const char* q : kSelectQueries) {
+      // Reference: the row engine on the in-memory store.
+      QueryEngine::Options row_opts;
+      row_opts.exec_mode = ExecMode::kRow;
+      QueryEngine reference(&store_, row_opts);
+      auto want = reference.ExecuteString(q);
+      ASSERT_TRUE(want.ok()) << q << "\n" << want.status().ToString();
+      const std::string want_key = TableKey(want.ValueOrDie());
+      for (const Leg& leg : legs) {
+        auto got = leg.engine->ExecuteString(q);
+        ASSERT_TRUE(got.ok()) << leg.label << " threads=" << threads << ": "
+                              << q << "\n" << got.status().ToString();
+        EXPECT_EQ(want_key, TableKey(got.ValueOrDie()))
+            << leg.label << " threads=" << threads << ": " << q;
+      }
+    }
+  }
+  exec::SetThreads(0);
+
+  // Plans are mode-independent: exec_mode is an executor knob, invisible
+  // to the planner and the plan rendering.
+  for (const char* q : kSelectQueries) {
+    QueryEngine::Options row_opts;
+    row_opts.exec_mode = ExecMode::kRow;
+    QueryEngine::Options batch_opts;
+    batch_opts.exec_mode = ExecMode::kBatch;
+    QueryEngine row_engine(&store_, row_opts);
+    QueryEngine batch_engine(&store_, batch_opts);
+    auto row_plan = row_engine.ExplainString(q);
+    auto batch_plan = batch_engine.ExplainString(q);
+    ASSERT_TRUE(row_plan.ok() && batch_plan.ok()) << q;
+    EXPECT_EQ(row_plan.ValueOrDie(), batch_plan.ValueOrDie()) << q;
+  }
+
+  // Graph queries: CONSTRUCT/DESCRIBE materialization consumes batches
+  // from either executor identically.
+  QueryEngine::Options row_opts;
+  row_opts.exec_mode = ExecMode::kRow;
+  QueryEngine mem_row(&store_, row_opts);
+  QueryEngine disk_row(adapter_.get(), row_opts);
+  for (const char* q : kGraphQueries) {
+    auto want = mem_engine_->ExecuteGraphString(q);
+    auto row_mem = mem_row.ExecuteGraphString(q);
+    auto row_disk = disk_row.ExecuteGraphString(q);
+    ASSERT_TRUE(want.ok() && row_mem.ok() && row_disk.ok()) << q;
+    EXPECT_EQ(GraphKey(want.ValueOrDie()), GraphKey(row_mem.ValueOrDie()))
+        << q;
+    EXPECT_EQ(GraphKey(want.ValueOrDie()), GraphKey(row_disk.ValueOrDie()))
+        << q;
+  }
+}
+
+// Batch-mode variant of the shared-engine TSan regression: one engine per
+// mode over one store, queried concurrently from both sides. Batch
+// execution shares the engine's statistics plumbing and the source's scan
+// path with row execution, so racing the two modes against each other on
+// the same store is the interesting interleaving. Run under TSan via
+// scripts/check.sh (gate 6 matches ^SparqlParity).
+TEST(SparqlParitySharedEngine, ConcurrentRowAndBatchModesOnOneEngine) {
+  rdf::TripleStore store;
+  ASSERT_TRUE(rdf::LoadNTriplesString(kDoc, &store).ok());
+  store.Compact();
+  QueryEngine::Options row_opts;
+  row_opts.exec_mode = ExecMode::kRow;
+  QueryEngine::Options batch_opts;
+  batch_opts.exec_mode = ExecMode::kBatch;
+  QueryEngine row_engine(&store, row_opts);
+  QueryEngine batch_engine(&store, batch_opts);
+
+  const char* q =
+      "SELECT ?a ?c WHERE { ?a <http://x/knows> ?b . "
+      "?b <http://x/knows> ?c . }";
+  auto want = row_engine.ExecuteString(q);
+  ASSERT_TRUE(want.ok());
+  const std::string want_key = TableKey(want.ValueOrDie());
+
+  constexpr int kThreads = 4;
+  constexpr int kQueriesPerThread = 16;
+  std::vector<std::thread> workers;
+  std::vector<int> mismatches(kThreads, 0);
+  for (int i = 0; i < kThreads; ++i) {
+    workers.emplace_back([&, i] {
+      QueryEngine* engine = (i % 2 == 0) ? &row_engine : &batch_engine;
+      for (int j = 0; j < kQueriesPerThread; ++j) {
+        auto got = engine->ExecuteString(q);
+        if (!got.ok() || TableKey(got.ValueOrDie()) != want_key) {
+          ++mismatches[i];
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  for (int i = 0; i < kThreads; ++i) {
+    EXPECT_EQ(mismatches[i], 0) << "thread " << i;
+  }
+}
+
 // Regression for the `mutable uint64_t intermediate_rows_` race: a single
 // QueryEngine must be shareable across threads. Per-query row counts now
 // come back through QueryStats, so concurrent queries cannot trample each

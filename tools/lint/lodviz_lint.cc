@@ -32,6 +32,14 @@
 //                            in src/sparql/; the query layer sees only the
 //                            abstract rdf::TripleSource contract so every
 //                            backend runs the same plans and operators
+//   sparql.no_row_loop_in_batch_ops
+//                            inside src/sparql/ functions whose name
+//                            contains "Batch", a per-row virtual
+//                            TripleSource::Scan call may not appear inside
+//                            a loop (or per-row lambda) — batch operators
+//                            extend whole runs; an intentional per-row
+//                            probe (the runtime-unbound NLJ fallback)
+//                            carries a LINT-ALLOW rationale
 //   concurrency.guarded_by   every mutable data member of a class that owns
 //                            a Mutex/std::mutex must carry LODVIZ_GUARDED_BY
 //                            / LODVIZ_PT_GUARDED_BY, be of an internally
@@ -900,6 +908,94 @@ void CheckNoConcreteStore(const FileModel& m, std::vector<Violation>* out) {
   }
 }
 
+/// sparql.no_row_loop_in_batch_ops: the whole point of the vectorized
+/// executor is that per-row virtual dispatch into the TripleSource
+/// disappears from inner loops — a batch operator that calls `Scan` once
+/// per row has silently regressed to the row engine with extra copies.
+/// Inside any function whose name contains "Batch" (the batch-operator
+/// naming convention: EvalBgpBatches, FilterBatches, ...), a `.Scan(` /
+/// `->Scan(` call lexically inside a loop body — `for`, `while`, `do`, or
+/// a lambda, since batch code expresses its per-row iteration as callbacks
+/// handed to BatchListView::ForEachRow / exec::ParallelReduce — must carry
+/// a LINT-ALLOW rationale (the one sanctioned case is the NLJ probe for
+/// join keys that are unbound at runtime, which is a per-solution index
+/// walk no batch primitive can replace).
+///
+/// Brace classification is lexical: for each `{`, look back — `) {` whose
+/// matching `(` follows `for`/`while` is a loop; whose matching `(`
+/// follows `]` is a lambda (treated as a loop body); whose matching `(`
+/// follows an identifier containing "Batch" is a batch-operator function
+/// body; `do {` is a loop. A Scan call fires when the brace stack holds a
+/// batch-function frame with a loop frame above it.
+void CheckNoRowLoopInBatchOps(const FileModel& m, std::vector<Violation>* out) {
+  const std::vector<Token>& toks = m.tokens;
+  const size_t n = toks.size();
+  enum class Brace { kOther, kBatchFn, kLoop };
+
+  // Classifies the brace at token index `i` by scanning backwards.
+  auto classify = [&](size_t i) {
+    // Skip cv-qualifiers and specifiers between `)` and `{`.
+    size_t j = i;
+    while (j > 0 &&
+           (toks[j - 1].text == "const" || toks[j - 1].text == "noexcept" ||
+            toks[j - 1].text == "override" || toks[j - 1].text == "mutable")) {
+      --j;
+    }
+    if (j > 0 && toks[j - 1].text == "do") return Brace::kLoop;
+    if (j == 0 || toks[j - 1].text != ")") return Brace::kOther;
+    // Match the parameter/condition list backwards.
+    int depth = 0;
+    size_t k = j - 1;
+    for (;; --k) {
+      if (toks[k].text == ")") ++depth;
+      if (toks[k].text == "(" && --depth == 0) break;
+      if (k == 0) return Brace::kOther;
+    }
+    if (k == 0) return Brace::kOther;
+    const Token& head = toks[k - 1];
+    if (head.text == "for" || head.text == "while") return Brace::kLoop;
+    if (head.text == "]") return Brace::kLoop;  // lambda: per-row callback
+    if (head.ident && head.text.find("Batch") != std::string::npos) {
+      return Brace::kBatchFn;
+    }
+    return Brace::kOther;
+  };
+
+  std::vector<Brace> stack;
+  for (size_t i = 0; i < n; ++i) {
+    const std::string& t = toks[i].text;
+    if (t == "{") {
+      stack.push_back(classify(i));
+      continue;
+    }
+    if (t == "}") {
+      if (!stack.empty()) stack.pop_back();
+      continue;
+    }
+    if (t != "Scan" || i == 0 || i + 1 >= n || toks[i + 1].text != "(" ||
+        (toks[i - 1].text != "->" && toks[i - 1].text != ".")) {
+      continue;
+    }
+    bool in_batch_fn = false, in_loop = false;
+    for (Brace b : stack) {
+      if (b == Brace::kBatchFn) {
+        in_batch_fn = true;
+        in_loop = false;  // loops outside the innermost batch fn don't count
+      } else if (in_batch_fn && b == Brace::kLoop) {
+        in_loop = true;
+      }
+    }
+    if (in_batch_fn && in_loop) {
+      out->push_back(
+          {m.rel, toks[i].line, "sparql.no_row_loop_in_batch_ops",
+           "per-row Scan() call inside a loop in a batch operator; extend "
+           "whole runs (ColumnBatch::AppendRun) instead, or document the "
+           "intentional per-row probe with `// LINT-ALLOW("
+           "sparql.no_row_loop_in_batch_ops): <rationale>`"});
+    }
+  }
+}
+
 /// Scope-stack analysis for unchecked Result access.
 ///
 /// Tracks (a) identifiers declared as `Result<...> name`, and (b)
@@ -1259,7 +1355,10 @@ void LintFile(const FileModel& m, bool all_rules, std::vector<Violation>* out) {
   const bool thread_sanctioned = !all_rules && rel.rfind("src/exec/", 0) == 0;
   if (in_src && !thread_sanctioned) CheckRawThread(m, out);
   const bool in_sparql = all_rules || rel.rfind("src/sparql/", 0) == 0;
-  if (in_sparql) CheckNoConcreteStore(m, out);
+  if (in_sparql) {
+    CheckNoConcreteStore(m, out);
+    CheckNoRowLoopInBatchOps(m, out);
+  }
   CheckUncheckedResult(m, out);
   if (in_src) CheckGuardedBy(m, out);
   CheckLayering(m, out);  // path-scoped by construction (src/<module>/)
@@ -1632,6 +1731,57 @@ int RunSelfTest() {
     CheckGuardedBy(m, &v);
     Expect(v.size() == 1 && v[0].rule == "concurrency.guarded_by",
            "missing GUARDED_BY fires");
+  }
+  // --- sparql.no_row_loop_in_batch_ops ---
+  {
+    FileModel m = ModelOf(
+        "namespace lodviz::sparql {\n"
+        "void Executor::EvalBgpBatches(const Plan& p) {\n"
+        "  for (size_t i = 0; i < p.n; ++i) {\n"
+        "    source_->Scan(pat, cb);\n"
+        "  }\n"
+        "}\n"
+        "}\n",
+        "src/sparql/executor.cc");
+    std::vector<Violation> v;
+    CheckNoRowLoopInBatchOps(m, &v);
+    Expect(v.size() == 1 && v[0].rule == "sparql.no_row_loop_in_batch_ops",
+           "Scan inside a for loop in a Batch function fires");
+  }
+  {
+    // A lambda body counts as a loop body (ForEachRow-style callbacks).
+    FileModel m = ModelOf(
+        "namespace lodviz::sparql {\n"
+        "void FilterBatches(View& view) {\n"
+        "  view.ForEachRow(0, view.total(), [&](const B& b, uint32_t r) {\n"
+        "    src.Scan(pat, cb);\n"
+        "  });\n"
+        "}\n"
+        "}\n",
+        "src/sparql/executor.cc");
+    std::vector<Violation> v;
+    CheckNoRowLoopInBatchOps(m, &v);
+    Expect(v.size() == 1,
+           "Scan inside a per-row lambda in a Batch function fires");
+  }
+  {
+    // Batch-level (not per-row) Scan and row-engine loops stay allowed.
+    FileModel m = ModelOf(
+        "namespace lodviz::sparql {\n"
+        "void Executor::EvalBgpBatches(const Plan& p) {\n"
+        "  source_->Scan(pat, cb);\n"  // once per step, no loop: fine
+        "}\n"
+        "void Executor::EvalBgp(const Plan& p) {\n"
+        "  for (size_t i = 0; i < p.n; ++i) {\n"
+        "    source_->Scan(pat, cb);\n"  // row engine: out of scope
+        "  }\n"
+        "}\n"
+        "}\n",
+        "src/sparql/executor.cc");
+    std::vector<Violation> v;
+    CheckNoRowLoopInBatchOps(m, &v);
+    Expect(v.empty(),
+           "Scan outside loops / outside Batch functions does not fire");
   }
   // --- Layering ---
   {
