@@ -9,12 +9,13 @@
 #      macros are no-ops elsewhere, so only clang can check them)
 #   3. ASan+UBSan       — full tier-1 suite under address+undefined
 #   4. TSan             — obs/exec/sparql/serve concurrency tests
-#   5. mode parity      — SparqlParity suite re-run three ways on the ASan
+#   5. mode parity      — SparqlParity suite re-run five ways on the ASan
 #      build: LODVIZ_PROFILE=1 (profiling force-enabled; pins the EXPLAIN
 #      ANALYZE observe-don't-perturb contract), LODVIZ_EXEC_MODE=row and
 #      LODVIZ_EXEC_MODE=batch (the whole suite forced through each
 #      executor; results must stay bit-identical, pinning the ExecMode
-#      contract from both sides)
+#      contract from both sides), and LODVIZ_DISK_LEAF=fixed/compressed
+#      (every disk leg forced through each B+-tree leaf format)
 #   6. serving parity   — serve_check drives a live HTTP server with
 #      concurrent clients and asserts every answer (cold plan cache, warm
 #      plan cache, and under contention) is bit-identical to a direct
@@ -104,6 +105,15 @@ LODVIZ_PROFILE=1 ctest --test-dir "$ASAN_BUILD" -R '^SparqlParity' \
 LODVIZ_EXEC_MODE=row ctest --test-dir "$ASAN_BUILD" -R '^SparqlParity' \
   --output-on-failure -j "$JOBS"
 LODVIZ_EXEC_MODE=batch ctest --test-dir "$ASAN_BUILD" -R '^SparqlParity' \
+  --output-on-failure -j "$JOBS"
+# LODVIZ_DISK_LEAF forces the disk B+-tree leaf format for every store the
+# process creates (storage/disk_triple_store.cc, read per Create). The
+# parity suite's memory/disk legs must stay bit-identical under both the
+# fixed 24-byte layout and the delta-compressed varint layout — a decode
+# bug in either format shows up here as a row-level diff, under ASan.
+LODVIZ_DISK_LEAF=fixed ctest --test-dir "$ASAN_BUILD" -R '^SparqlParity' \
+  --output-on-failure -j "$JOBS"
+LODVIZ_DISK_LEAF=compressed ctest --test-dir "$ASAN_BUILD" -R '^SparqlParity' \
   --output-on-failure -j "$JOBS"
 
 echo "== [6/6] serving layer end-to-end parity (serve_check) =="

@@ -1,5 +1,8 @@
 #include "rdf/dictionary.h"
 
+#include <limits>
+
+#include "common/check.h"
 #include "rdf/vocab.h"
 
 namespace lodviz::rdf {
@@ -53,6 +56,12 @@ TermId Dictionary::Intern(const Term& term) {
   std::string key = MakeKey(term);
   auto it = index_.find(key);
   if (it != index_.end()) return it->second;
+  // The disk indexes pack TermIds as 32-bit halves of Key128 (hi =
+  // (s << 32) | p); an id past 2^32 would silently corrupt index order,
+  // so dictionary growth past the id space fails loudly here instead.
+  LODVIZ_CHECK(terms_.size() <= std::numeric_limits<TermId>::max())
+      << "dictionary overflow: term id space (32-bit) exhausted at "
+      << terms_.size() << " terms";
   TermId id = static_cast<TermId>(terms_.size());
   terms_.push_back(term);
   decoded_.push_back(DecodeTerm(term));

@@ -1,21 +1,76 @@
 #include "rdf/triple_source.h"
 
 #include <algorithm>
+#include <vector>
 
 namespace lodviz::rdf {
 
-double TripleSource::EstimateSelectivity(const TriplePattern& pattern) const {
-  double total = static_cast<double>(size());
-  if (total == 0) return 0.0;
-  if (pattern.BoundCount() == 0) return 1.0;
+namespace {
+/// Default ScanRuns chunk size: matches the executor's column-batch
+/// granularity so a buffered source still feeds whole batches.
+constexpr size_t kRunChunk = 1024;
+}  // namespace
+
+void TripleSource::ScanRuns(const TriplePattern& pattern,
+                            const ScanRunFn& fn) const {
+  std::vector<Triple> buf;
+  buf.reserve(kRunChunk);
+  bool stopped = false;
+  Scan(pattern, [&](const Triple& t) {
+    buf.push_back(t);
+    if (buf.size() == kRunChunk) {
+      if (!fn(buf.data(), buf.size())) {
+        stopped = true;
+        return false;
+      }
+      buf.clear();
+    }
+    return true;
+  });
+  if (!stopped && !buf.empty()) fn(buf.data(), buf.size());
+}
+
+uint64_t TripleSource::PairCount(TermId s, TermId p) const {
+  return Count(TriplePattern(s, p, kInvalidTermId));
+}
+
+TripleSource::CardinalityEstimate TripleSource::EstimateCardinality(
+    const TriplePattern& pattern) const {
+  const double total = static_cast<double>(size());
+  if (total == 0) return {0.0, true};
+  if (pattern.BoundCount() == 0) return {total, true};
+
+  if (pattern.s != kInvalidTermId && pattern.p != kInvalidTermId) {
+    // Exact from the (s,p) aggregate; a bound object still shrinks
+    // heuristically on top of it.
+    double est = static_cast<double>(PairCount(pattern.s, pattern.p));
+    if (pattern.o == kInvalidTermId) return {est, true};
+    est /= std::max(1.0, total / 1000.0);
+    return {est, false};
+  }
+
   double est = total;
+  bool exact = false;
   if (pattern.p != kInvalidTermId) {
     est = static_cast<double>(PredicateCount(pattern.p));
+    exact = true;  // p-only is the aggregate itself
   }
   // Heuristic per-position shrink factors for bound subject/object.
-  if (pattern.s != kInvalidTermId) est /= std::max(1.0, total / 100.0);
-  if (pattern.o != kInvalidTermId) est /= std::max(1.0, total / 1000.0);
-  return std::min(1.0, est / total);
+  if (pattern.s != kInvalidTermId) {
+    est /= std::max(1.0, total / 100.0);
+    exact = false;
+  }
+  if (pattern.o != kInvalidTermId) {
+    est /= std::max(1.0, total / 1000.0);
+    exact = false;
+  }
+  return {std::min(est, total), exact};
+}
+
+double TripleSource::EstimateSelectivity(const TriplePattern& pattern) const {
+  const double total = static_cast<double>(size());
+  if (total == 0) return 0.0;
+  return std::min(1.0, EstimateCardinality(pattern).rows / total);
 }
 
 }  // namespace lodviz::rdf

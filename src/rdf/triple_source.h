@@ -40,11 +40,21 @@ namespace lodviz::rdf {
 class TripleSource {
  public:
   using ScanFn = std::function<bool(const Triple&)>;
+  using ScanRunFn = std::function<bool(const Triple* run, size_t n)>;
 
   virtual ~TripleSource() = default;
 
   /// Streams matches of `pattern` to `fn` under the contract above.
   virtual void Scan(const TriplePattern& pattern, const ScanFn& fn) const = 0;
+
+  /// Run-granular Scan: delivers matches in contiguous runs whose
+  /// concatenation is exactly the Scan sequence (early exit: return false
+  /// to stop after the current run). Run pointers are only valid during
+  /// the callback. Backends override this to hand out index-resident or
+  /// leaf-decoded runs without per-triple callback overhead; the default
+  /// buffers Scan output into ~1k-triple chunks.
+  virtual void ScanRuns(const TriplePattern& pattern,
+                        const ScanRunFn& fn) const;
 
   /// Number of triples matching `pattern`.
   [[nodiscard]] virtual uint64_t Count(const TriplePattern& pattern) const = 0;
@@ -58,11 +68,35 @@ class TripleSource {
   /// Occurrences of predicate `p` (planner statistics).
   [[nodiscard]] virtual uint64_t PredicateCount(TermId p) const = 0;
 
-  /// Estimated fraction of the source matched by `pattern`, used by the
-  /// SPARQL planner's greedy join orderer. Non-virtual on purpose: the
-  /// formula depends only on PredicateCount() and size(), so two sources
-  /// holding the same data estimate — and therefore plan — identically,
-  /// which keeps execution bit-identical across backends.
+  /// Exact number of triples with subject `s` and predicate `p` (planner
+  /// statistics). The default delegates to Count(), which is exact on
+  /// every backend; the disk backend overrides it with an aggregated-index
+  /// lookup so no scan happens.
+  [[nodiscard]] virtual uint64_t PairCount(TermId s, TermId p) const;
+
+  /// A planner cardinality: how many triples `pattern` matches, and
+  /// whether that number is exact (from aggregated statistics) or a
+  /// heuristic estimate.
+  struct CardinalityEstimate {
+    double rows = 0.0;
+    bool exact = false;
+  };
+
+  /// Cardinality of `pattern` for the SPARQL planner's greedy join
+  /// orderer. Non-virtual on purpose: the formula depends only on the
+  /// virtual statistics hooks (size, PredicateCount, PairCount), so two
+  /// sources holding the same data estimate — and therefore plan —
+  /// identically, which keeps execution bit-identical across backends.
+  ///
+  /// Exact shapes (from aggregated indexes): no bound positions (total),
+  /// predicate-only (PredicateCount), and subject+predicate (PairCount).
+  /// Everything else applies the legacy heuristic shrink factors and is
+  /// flagged estimated.
+  [[nodiscard]] CardinalityEstimate EstimateCardinality(
+      const TriplePattern& pattern) const;
+
+  /// Estimated fraction of the source matched by `pattern`:
+  /// EstimateCardinality(pattern).rows / size().
   [[nodiscard]] double EstimateSelectivity(const TriplePattern& pattern) const;
 };
 

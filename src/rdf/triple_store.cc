@@ -76,13 +76,18 @@ void TripleStore::CompactLocked() const {
 
 namespace {
 
-/// Scans [lo, hi) of a sorted index, filtering by `pattern`.
-bool ScanRange(std::vector<Triple>::const_iterator lo,
-               std::vector<Triple>::const_iterator hi,
-               const TriplePattern& pattern,
-               const std::function<bool(const Triple&)>& fn) {
-  for (auto it = lo; it != hi; ++it) {
-    if (pattern.Matches(*it) && !fn(*it)) return false;
+/// Delivers [lo, hi) as maximal contiguous spans of pattern matches —
+/// zero-copy runs straight out of the sorted index (or pending buffer).
+bool RunRange(const Triple* lo, const Triple* hi, const TriplePattern& pattern,
+              const TripleSource::ScanRunFn& fn) {
+  const Triple* it = lo;
+  while (it != hi) {
+    while (it != hi && !pattern.Matches(*it)) ++it;
+    const Triple* start = it;
+    while (it != hi && pattern.Matches(*it)) ++it;
+    if (it != start && !fn(start, static_cast<size_t>(it - start))) {
+      return false;
+    }
   }
   return true;
 }
@@ -94,9 +99,27 @@ void TripleStore::Scan(const TriplePattern& pattern, const ScanFn& fn) const {
   ScanLocked(pattern, fn);
 }
 
+void TripleStore::ScanRuns(const TriplePattern& pattern,
+                           const ScanRunFn& fn) const {
+  MutexLock lock(&mu_);
+  ScanRunsLocked(pattern, fn);
+}
+
 void TripleStore::ScanLocked(
     const TriplePattern& pattern,
     const std::function<bool(const Triple&)>& fn) const {
+  // Per-triple delivery is the run delivery unrolled, so both entry points
+  // share one index-selection path (and provably one order).
+  ScanRunsLocked(pattern, [&](const Triple* run, size_t n) {
+    for (size_t i = 0; i < n; ++i) {
+      if (!fn(run[i])) return false;
+    }
+    return true;
+  });
+}
+
+void TripleStore::ScanRunsLocked(const TriplePattern& pattern,
+                                 const ScanRunFn& fn) const {
   bool keep_going = true;
   if (!spo_.empty() || !pending_.empty()) {
     if (pattern.s != kInvalidTermId) {
@@ -107,7 +130,8 @@ void TripleStore::ScanLocked(
                 ~TermId(0));
       auto b = std::lower_bound(spo_.begin(), spo_.end(), lo, OrderSpo());
       auto e = std::upper_bound(spo_.begin(), spo_.end(), hi, OrderSpo());
-      keep_going = ScanRange(b, e, pattern, fn);
+      keep_going = RunRange(spo_.data() + (b - spo_.begin()),
+                            spo_.data() + (e - spo_.begin()), pattern, fn);
     } else if (pattern.p != kInvalidTermId) {
       // POS index: range over (p) or (p,o) prefix.
       Triple lo(0, pattern.p, pattern.o);
@@ -115,22 +139,23 @@ void TripleStore::ScanLocked(
                 pattern.o != kInvalidTermId ? pattern.o : ~TermId(0));
       auto b = std::lower_bound(pos_.begin(), pos_.end(), lo, OrderPos());
       auto e = std::upper_bound(pos_.begin(), pos_.end(), hi, OrderPos());
-      keep_going = ScanRange(b, e, pattern, fn);
+      keep_going = RunRange(pos_.data() + (b - pos_.begin()),
+                            pos_.data() + (e - pos_.begin()), pattern, fn);
     } else if (pattern.o != kInvalidTermId) {
       // OSP index: range over (o).
       Triple lo(0, 0, pattern.o);
       Triple hi(~TermId(0), ~TermId(0), pattern.o);
       auto b = std::lower_bound(osp_.begin(), osp_.end(), lo, OrderOsp());
       auto e = std::upper_bound(osp_.begin(), osp_.end(), hi, OrderOsp());
-      keep_going = ScanRange(b, e, pattern, fn);
+      keep_going = RunRange(osp_.data() + (b - osp_.begin()),
+                            osp_.data() + (e - osp_.begin()), pattern, fn);
     } else {
-      keep_going = ScanRange(spo_.begin(), spo_.end(), pattern, fn);
+      keep_going =
+          RunRange(spo_.data(), spo_.data() + spo_.size(), pattern, fn);
     }
   }
   if (!keep_going) return;
-  for (const Triple& t : pending_) {
-    if (pattern.Matches(t) && !fn(t)) return;
-  }
+  RunRange(pending_.data(), pending_.data() + pending_.size(), pattern, fn);
 }
 
 std::vector<Triple> TripleStore::Match(const TriplePattern& pattern) const {

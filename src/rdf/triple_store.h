@@ -66,6 +66,13 @@ class TripleStore : public TripleSource {
   void Scan(const TriplePattern& pattern, const ScanFn& fn) const override
       LODVIZ_EXCLUDES(mu_);
 
+  /// Run-granular Scan (TripleSource contract): delivers maximal
+  /// contiguous matching spans of the chosen sorted index — zero-copy
+  /// pointers into the index — then spans of the pending buffer. The run
+  /// concatenation is exactly the Scan sequence.
+  void ScanRuns(const TriplePattern& pattern, const ScanRunFn& fn) const
+      override LODVIZ_EXCLUDES(mu_);
+
   /// Materializes all matches.
   [[nodiscard]] std::vector<Triple> Match(const TriplePattern& pattern) const;
 
@@ -103,6 +110,8 @@ class TripleStore : public TripleSource {
   void CompactLocked() const LODVIZ_REQUIRES(mu_);
   void ScanLocked(const TriplePattern& pattern,
                   const std::function<bool(const Triple&)>& fn) const
+      LODVIZ_REQUIRES(mu_);
+  void ScanRunsLocked(const TriplePattern& pattern, const ScanRunFn& fn) const
       LODVIZ_REQUIRES(mu_);
 
   /// The dictionary and predicate statistics are written only by

@@ -994,27 +994,22 @@ std::vector<ColumnBatch> Executor::EvalBgpBatches(
             if (timed && TimeExpired()) return out;
             BatchSink sink(width_, &out);
             RunExtender extender(st);
-            std::vector<rdf::Triple> matches;
             std::vector<TermId> sol(width_);
             // Index nested-loop probe for one gathered solution. The
-            // per-solution Scan is the NLJ fallback by design — an index
-            // walk is inherently per-solution; the batch win is in extend
-            // (this run-extender) and in the filters.
+            // per-solution index walk is the NLJ fallback by design; the
+            // source hands matches back as whole runs (index-resident for
+            // the memory store, one decoded leaf per run on disk) and each
+            // run extends into the column batch without an intermediate
+            // copy — Extend is callable once per run per solution.
             auto nlj_probe = [&]() {
               rdf::TriplePattern pat(
                   st.s_slot == kNoSlot ? st.s_id : sol[st.s_slot],
                   st.p_slot == kNoSlot ? st.p_id : sol[st.p_slot],
                   st.o_slot == kNoSlot ? st.o_id : sol[st.o_slot]);
-              matches.clear();
-              // The NLJ probe is a per-solution index walk; vectorization
-              // happens in the run-extender and filter pass, not here.
-              // LINT-ALLOW(sparql.no_row_loop_in_batch_ops): NLJ index probe
-              source_->Scan(pat, [&](const rdf::Triple& t) {
-                matches.push_back(t);
+              source_->ScanRuns(pat, [&](const rdf::Triple* run, size_t n) {
+                extender.Extend(sink, sol.data(), run, n);
                 return true;
               });
-              extender.Extend(sink, sol.data(), matches.data(),
-                              matches.size());
             };
             view.ForEachRow(cb, ce, [&](const ColumnBatch& b, uint32_t r) {
               b.GatherRow(r, sol.data());

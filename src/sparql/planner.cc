@@ -1,5 +1,6 @@
 #include "sparql/planner.h"
 
+#include <algorithm>
 #include <limits>
 #include <set>
 
@@ -86,26 +87,48 @@ class PlannerImpl {
   }
 
   /// Estimated result size of scanning `ast` with the variables in `bound`
-  /// already bound — the exact cost model of the original dynamic greedy
-  /// loop (bound variables stand in as an arbitrary non-zero id; a constant
-  /// missing from the dictionary makes the pattern free: it kills the
-  /// conjunction immediately).
-  double EstimateCost(const TriplePatternAst& ast,
-                      const std::set<std::string>& bound) const {
+  /// already bound. Constants resolve to dictionary ids and reach the
+  /// source's EstimateCardinality, which answers {}, {p} and {s,p} shapes
+  /// exactly from aggregated indexes; a constant missing from the
+  /// dictionary makes the pattern free (it kills the conjunction
+  /// immediately, exactly). Variables bound by earlier steps have no
+  /// single id to look up, so their positions stay wildcards for the
+  /// lookup and apply the legacy per-position shrink factors on top —
+  /// and force `exact = false`. Both halves are pure functions of the
+  /// source statistics, so every backend estimates (and plans) alike.
+  rdf::TripleSource::CardinalityEstimate EstimateCost(
+      const TriplePatternAst& ast, const std::set<std::string>& bound) const {
     rdf::TriplePattern pat;
-    auto fill = [&](const NodeOrVar& n, TermId* slot) {
+    bool s_standin = false, p_standin = false, o_standin = false;
+    auto fill = [&](const NodeOrVar& n, TermId* slot, bool* standin) {
       if (IsVar(n)) {
-        *slot = bound.count(AsVar(n).name) ? TermId(1) : kInvalidTermId;
+        *slot = kInvalidTermId;
+        *standin = bound.count(AsVar(n).name) > 0;
         return true;
       }
       *slot = source_.dict().Lookup(AsTerm(n));
       return *slot != kInvalidTermId;
     };
-    if (!fill(ast.s, &pat.s) || !fill(ast.p, &pat.p) || !fill(ast.o, &pat.o)) {
-      return 0.0;
+    if (!fill(ast.s, &pat.s, &s_standin) || !fill(ast.p, &pat.p, &p_standin) ||
+        !fill(ast.o, &pat.o, &o_standin)) {
+      return {0.0, true};
     }
-    return source_.EstimateSelectivity(pat) *
-           static_cast<double>(source_.size());
+    rdf::TripleSource::CardinalityEstimate ce =
+        source_.EstimateCardinality(pat);
+    const double total = static_cast<double>(source_.size());
+    if (s_standin) {
+      ce.rows /= std::max(1.0, total / 100.0);
+      ce.exact = false;
+    }
+    if (p_standin) {
+      ce.rows /= std::max(1.0, total / 1000.0);
+      ce.exact = false;
+    }
+    if (o_standin) {
+      ce.rows /= std::max(1.0, total / 1000.0);
+      ce.exact = false;
+    }
+    return ce;
   }
 
   PatternStep CompileStep(const TriplePatternAst& ast) {
@@ -182,7 +205,7 @@ class PlannerImpl {
       if (options_.optimize_join_order) {
         double best = std::numeric_limits<double>::infinity();
         for (size_t i = 0; i < remaining.size(); ++i) {
-          double cost = EstimateCost(*remaining[i], bound);
+          double cost = EstimateCost(*remaining[i], bound).rows;
           if (cost < best) {
             best = cost;
             pick = i;
@@ -192,11 +215,14 @@ class PlannerImpl {
       const TriplePatternAst& ast = *remaining[pick];
       remaining.erase(remaining.begin() + pick);
       PatternStep st = CompileStep(ast);
-      st.est_rows = EstimateCost(ast, bound);
+      const rdf::TripleSource::CardinalityEstimate ce =
+          EstimateCost(ast, bound);
+      st.est_rows = ce.rows;
+      st.est_exact = ce.exact;
       st.s_bound = IsVar(ast.s) && bound.count(AsVar(ast.s).name) > 0;
       st.p_bound = IsVar(ast.p) && bound.count(AsVar(ast.p).name) > 0;
       st.o_bound = IsVar(ast.o) && bound.count(AsVar(ast.o).name) > 0;
-      st.est_build_rows = EstimateCost(ast, {});
+      st.est_build_rows = EstimateCost(ast, {}).rows;
 
       // Adaptive join choice. NLJ probes the index once per intermediate
       // solution; the hash join pays one build-side scan up front and then
@@ -273,7 +299,8 @@ void AppendGroup(const GroupPlan& g, int depth, std::string* out) {
   for (const PatternStep& st : g.steps) {
     const bool hash = st.strategy == JoinStrategy::kHash;
     *out += indent + (hash ? "hash-join " : "scan ") + st.label +
-            "  est_rows=" + std::to_string(st.est_rows);
+            "  est_rows=" + std::to_string(st.est_rows) +
+            (st.est_exact ? " [exact]" : "");
     if (hash) *out += "  build_est=" + std::to_string(st.est_build_rows);
     if (st.dead) *out += "  [dead: constant not in dictionary]";
     *out += "\n";

@@ -76,8 +76,15 @@ struct PatternStep {
   bool o_bound = false;
 
   /// Planner cardinality estimate at this point of the join order
-  /// (EstimateSelectivity x source size); surfaced by explain.
+  /// (EstimateCardinality over the source's statistics); surfaced by
+  /// explain.
   double est_rows = 0.0;
+
+  /// est_rows came from an aggregated index (exact count), not a
+  /// heuristic: constants-only patterns of shape {}, {p}, {s,p}.
+  /// Patterns involving variables bound by earlier steps are always
+  /// estimates. Explain renders exact counts with an [exact] marker.
+  bool est_exact = false;
 
   /// Estimated rows of the build-side scan (pattern with join slots
   /// wildcarded); drives the hash-vs-NLJ choice and explain output.

@@ -9,7 +9,9 @@ namespace lodviz::storage {
 
 namespace {
 
-// On-page layouts. Pages begin with a shared 16-byte header.
+// On-page layouts. Pages begin with a shared 16-byte header. `is_leaf`
+// holds the LeafFormat value for leaves (1 = fixed, 2 = compressed) and
+// 0 for internal nodes.
 struct PageHeader {
   uint8_t is_leaf;
   uint8_t pad0;
@@ -23,6 +25,8 @@ struct LeafEntry {
   Key128 key;
   uint64_t value;
 };
+static_assert(sizeof(LeafEntry) == sizeof(BTree::Item),
+              "fixed leaf entries and Items share one layout");
 
 constexpr size_t kLeafCapacity = (kPageSize - sizeof(PageHeader)) / sizeof(LeafEntry);
 
@@ -32,6 +36,14 @@ constexpr size_t kInternalCapacity =
     (sizeof(Key128) + sizeof(PageId));
 
 PageHeader* Header(uint8_t* page) { return reinterpret_cast<PageHeader*>(page); }
+
+const PageHeader* Header(const uint8_t* page) {
+  return reinterpret_cast<const PageHeader*>(page);
+}
+
+bool IsCompressedLeaf(const PageHeader* h) {
+  return h->is_leaf == static_cast<uint8_t>(LeafFormat::kCompressed);
+}
 
 LeafEntry* LeafEntries(uint8_t* page) {
   return reinterpret_cast<LeafEntry*>(page + sizeof(PageHeader));
@@ -46,9 +58,9 @@ PageId* InternalChildren(uint8_t* page) {
                                    kInternalCapacity * sizeof(Key128));
 }
 
-void InitLeaf(uint8_t* page) {
+void InitLeaf(uint8_t* page, LeafFormat format = LeafFormat::kFixed) {
   PageHeader* h = Header(page);
-  h->is_leaf = 1;
+  h->is_leaf = static_cast<uint8_t>(format);
   h->count = 0;
   h->next_leaf = kInvalidPageId;
 }
@@ -60,11 +72,33 @@ void InitInternal(uint8_t* page) {
   h->next_leaf = kInvalidPageId;
 }
 
+CompressedLeafReader ReaderFor(const uint8_t* page) {
+  return CompressedLeafReader(page, sizeof(PageHeader), Header(page)->count);
+}
+
+/// Re-encodes `items[begin, end)` into `page` as a compressed leaf,
+/// preserving the header's next_leaf link. The range must fit (callers
+/// only re-encode ranges no larger than what the page held before).
+void ReencodeCompressedLeaf(uint8_t* page, const std::vector<BTree::Item>& items,
+                            size_t begin, size_t end) {
+  const PageId next = Header(page)->next_leaf;
+  InitLeaf(page, LeafFormat::kCompressed);
+  CompressedLeafBuilder builder(page, sizeof(PageHeader));
+  for (size_t i = begin; i < end; ++i) {
+    LODVIZ_CHECK(builder.Append(items[i].key, items[i].value))
+        << "compressed leaf re-encode overflow: " << (end - begin)
+        << " items do not fit a page that previously held them";
+  }
+  PageHeader* h = Header(page);
+  h->count = builder.Finish();
+  h->next_leaf = next;
+}
+
 }  // namespace
 
-Result<BTree> BTree::Create(BufferPool* pool) {
+Result<BTree> BTree::Create(BufferPool* pool, LeafFormat format) {
   LODVIZ_ASSIGN_OR_RETURN(PageRef root, pool->NewPage());
-  InitLeaf(root.data());
+  InitLeaf(root.data(), format);
   root.MarkDirty();
   return BTree(pool, root.page_id(), 0, 1);
 }
@@ -79,6 +113,11 @@ Result<uint64_t> BTree::Lookup(const Key128& key) const {
     LODVIZ_ASSIGN_OR_RETURN(PageRef page, pool_->Fetch(page_id));
     const PageHeader* h = Header(page.data());
     if (h->is_leaf) {
+      if (IsCompressedLeaf(h)) {
+        uint64_t value = 0;
+        if (ReaderFor(page.data()).Find(key, &value)) return value;
+        return Status::NotFound("key not in btree");
+      }
       const LeafEntry* entries = LeafEntries(page.data());
       const LeafEntry* end = entries + h->count;
       const LeafEntry* it = std::lower_bound(
@@ -95,12 +134,73 @@ Result<uint64_t> BTree::Lookup(const Key128& key) const {
   }
 }
 
+Result<BTree::SplitResult> BTree::InsertCompressedLeaf(PageRef& page,
+                                                       const Key128& key,
+                                                       uint64_t value) {
+  // Decode, upsert in the sorted item vector, re-encode. One page decode
+  // per insert keeps the code one straight path; point inserts after a
+  // bulk load are the rare case (the store bulk-loads), and the fixed
+  // format remains available where insert-heavy use matters.
+  std::vector<Item> items;
+  ReaderFor(page.data()).DecodeFrom(Key128::Min(), &items);
+  auto it = std::lower_bound(
+      items.begin(), items.end(), key,
+      [](const Item& e, const Key128& k) { return e.key < k; });
+  SplitResult r;
+  if (it != items.end() && it->key == key) {
+    it->value = value;
+    r.inserted = false;
+  } else {
+    items.insert(it, Item{key, value});
+    r.inserted = true;
+  }
+
+  // Re-encode in place when everything still fits.
+  {
+    CompressedLeafBuilder builder(page.data(), sizeof(PageHeader));
+    bool fits = true;
+    for (const Item& item : items) {
+      if (!builder.Append(item.key, item.value)) {
+        fits = false;
+        break;
+      }
+    }
+    if (fits) {
+      const PageId next = Header(page.data())->next_leaf;
+      InitLeaf(page.data(), LeafFormat::kCompressed);
+      PageHeader* h = Header(page.data());
+      h->count = builder.Finish();
+      h->next_leaf = next;
+      page.MarkDirty();
+      return r;
+    }
+  }
+
+  // Split: lower half re-encoded in place, upper half into a new right
+  // sibling. Each half is at most as large as the pre-insert page
+  // contents, so both re-encodes fit (checked in ReencodeCompressedLeaf).
+  const size_t keep = items.size() / 2;
+  LODVIZ_ASSIGN_OR_RETURN(PageRef right, pool_->NewPage());
+  InitLeaf(right.data(), LeafFormat::kCompressed);
+  Header(right.data())->next_leaf = Header(page.data())->next_leaf;
+  ReencodeCompressedLeaf(right.data(), items, keep, items.size());
+  ReencodeCompressedLeaf(page.data(), items, 0, keep);
+  Header(page.data())->next_leaf = right.page_id();
+  right.MarkDirty();
+  page.MarkDirty();
+  r.split = true;
+  r.separator = items[keep].key;
+  r.right = right.page_id();
+  return r;
+}
+
 Result<BTree::SplitResult> BTree::InsertRec(PageId page_id, const Key128& key,
                                             uint64_t value) {
   LODVIZ_ASSIGN_OR_RETURN(PageRef page, pool_->Fetch(page_id));
   PageHeader* h = Header(page.data());
 
   if (h->is_leaf) {
+    if (IsCompressedLeaf(h)) return InsertCompressedLeaf(page, key, value);
     LeafEntry* entries = LeafEntries(page.data());
     LeafEntry* end = entries + h->count;
     LeafEntry* it = std::lower_bound(
@@ -200,9 +300,10 @@ Result<BTree::SplitResult> BTree::InsertRec(PageId page_id, const Key128& key,
   return r;
 }
 
-Status BTree::Insert(const Key128& key, uint64_t value) {
+Status BTree::Insert(const Key128& key, uint64_t value, bool* inserted) {
   LODVIZ_ASSIGN_OR_RETURN(SplitResult r, InsertRec(root_, key, value));
   if (r.inserted) ++size_;
+  if (inserted != nullptr) *inserted = r.inserted;
   if (r.split) {
     LODVIZ_ASSIGN_OR_RETURN(PageRef new_root, pool_->NewPage());
     InitInternal(new_root.data());
@@ -220,6 +321,17 @@ Status BTree::Insert(const Key128& key, uint64_t value) {
 
 Status BTree::RangeScan(const Key128& lo, const Key128& hi,
                         const std::function<bool(const Item&)>& fn) const {
+  return RangeScanRuns(lo, hi, [&](const Item* run, size_t n) {
+    for (size_t i = 0; i < n; ++i) {
+      if (!fn(run[i])) return false;
+    }
+    return true;
+  });
+}
+
+Status BTree::RangeScanRuns(
+    const Key128& lo, const Key128& hi,
+    const std::function<bool(const Item* run, size_t n)>& fn) const {
   // Descend to the leaf that may contain `lo`.
   PageId page_id = root_;
   while (true) {
@@ -233,28 +345,56 @@ Status BTree::RangeScan(const Key128& lo, const Key128& hi,
     page_id = children[idx];
   }
 
-  // Walk leaves via next pointers.
+  // Walk leaves via next pointers, delivering one run per leaf. The
+  // decode scratch is reused across leaves; only the first leaf needs the
+  // lower-bound seek (every later leaf starts above `lo`).
+  std::vector<Item> scratch;
+  Key128 seek = lo;
   while (page_id != kInvalidPageId) {
     LODVIZ_ASSIGN_OR_RETURN(PageRef page, pool_->Fetch(page_id));
     const PageHeader* h = Header(page.data());
-    const LeafEntry* entries = LeafEntries(page.data());
-    const LeafEntry* end = entries + h->count;
-    const LeafEntry* it = std::lower_bound(
-        entries, end, lo,
-        [](const LeafEntry& e, const Key128& k) { return e.key < k; });
-    for (; it != end; ++it) {
-      if (hi < it->key) return Status::OK();
-      Item item{it->key, it->value};
-      if (!fn(item)) return Status::OK();
+    const Item* run = nullptr;
+    size_t n = 0;
+    if (IsCompressedLeaf(h)) {
+      scratch.clear();
+      ReaderFor(page.data()).DecodeFrom(seek, &scratch);
+      run = scratch.data();
+      n = scratch.size();
+    } else {
+      const LeafEntry* entries = LeafEntries(page.data());
+      const LeafEntry* end = entries + h->count;
+      const LeafEntry* it = std::lower_bound(
+          entries, end, seek,
+          [](const LeafEntry& e, const Key128& k) { return e.key < k; });
+      // LeafEntry and Item are layout-identical (static_assert above), so
+      // fixed leaves deliver their page bytes as the run without a copy.
+      run = reinterpret_cast<const Item*>(it);
+      n = static_cast<size_t>(end - it);
     }
+    // Trim the run at `hi`; anything past it ends the scan.
+    const Item* cut = std::upper_bound(
+        run, run + n, hi,
+        [](const Key128& k, const Item& e) { return k < e.key; });
+    const size_t m = static_cast<size_t>(cut - run);
+    if (m > 0 && !fn(run, m)) return Status::OK();
+    if (m < n) return Status::OK();
+    seek = Key128::Min();
     page_id = h->next_leaf;
   }
   return Status::OK();
 }
 
 Result<BTree> BTree::BulkLoad(BufferPool* pool,
-                              const std::vector<Item>& sorted_items) {
-  if (sorted_items.empty()) return Create(pool);
+                              const std::vector<Item>& sorted_items,
+                              LeafFormat format) {
+  for (size_t i = 1; i < sorted_items.size(); ++i) {
+    if (!(sorted_items[i - 1].key < sorted_items[i].key)) {
+      return Status::InvalidArgument(
+          "BTree::BulkLoad requires strictly ascending keys (duplicate or "
+          "out-of-order item at index " + std::to_string(i) + ")");
+    }
+  }
+  if (sorted_items.empty()) return Create(pool, format);
 
   // Build leaves left to right.
   struct LevelEntry {
@@ -267,17 +407,28 @@ Result<BTree> BTree::BulkLoad(BufferPool* pool,
   PageId prev_leaf = kInvalidPageId;
   while (i < sorted_items.size()) {
     LODVIZ_ASSIGN_OR_RETURN(PageRef leaf, pool->NewPage());
-    InitLeaf(leaf.data());
+    InitLeaf(leaf.data(), format);
     PageHeader* h = Header(leaf.data());
-    LeafEntry* entries = LeafEntries(leaf.data());
-    size_t n = std::min(per_leaf, sorted_items.size() - i);
-    for (size_t k = 0; k < n; ++k) {
-      entries[k].key = sorted_items[i + k].key;
-      entries[k].value = sorted_items[i + k].value;
+    size_t n = 0;
+    if (format == LeafFormat::kCompressed) {
+      CompressedLeafBuilder builder(leaf.data(), sizeof(PageHeader));
+      while (i + n < sorted_items.size() &&
+             builder.Append(sorted_items[i + n].key,
+                            sorted_items[i + n].value)) {
+        ++n;
+      }
+      h->count = builder.Finish();
+    } else {
+      LeafEntry* entries = LeafEntries(leaf.data());
+      n = std::min(per_leaf, sorted_items.size() - i);
+      for (size_t k = 0; k < n; ++k) {
+        entries[k].key = sorted_items[i + k].key;
+        entries[k].value = sorted_items[i + k].value;
+      }
+      h->count = static_cast<uint16_t>(n);
     }
-    h->count = static_cast<uint16_t>(n);
     leaf.MarkDirty();
-    level.push_back({entries[0].key, leaf.page_id()});
+    level.push_back({sorted_items[i].key, leaf.page_id()});
     if (prev_leaf != kInvalidPageId) {
       LODVIZ_ASSIGN_OR_RETURN(PageRef prev, pool->Fetch(prev_leaf));
       Header(prev.data())->next_leaf = leaf.page_id();

@@ -7,31 +7,21 @@
 
 #include "common/result.h"
 #include "storage/buffer_pool.h"
+#include "storage/leaf_codec.h"
 
 namespace lodviz::storage {
 
-/// 128-bit key ordered lexicographically (hi, lo). Triple permutations are
-/// packed into this: e.g. SPO order uses hi = (s << 32) | p, lo = o.
-struct Key128 {
-  uint64_t hi = 0;
-  uint64_t lo = 0;
-
-  bool operator==(const Key128& other) const {
-    return hi == other.hi && lo == other.lo;
-  }
-  bool operator<(const Key128& other) const {
-    return hi != other.hi ? hi < other.hi : lo < other.lo;
-  }
-  bool operator<=(const Key128& other) const { return !(other < *this); }
-
-  static Key128 Min() { return {0, 0}; }
-  static Key128 Max() { return {~0ULL, ~0ULL}; }
-};
-
-/// Disk-resident B+-tree with fixed-size Key128 keys and uint64 values,
-/// living entirely in buffer-pool pages. Supports point insert, point
-/// lookup, ordered range scans, and sorted bulk load. Set semantics:
-/// inserting an existing key overwrites its value.
+/// Disk-resident B+-tree with Key128 keys and uint64 values, living
+/// entirely in buffer-pool pages. Supports point insert, point lookup,
+/// ordered range scans, and sorted bulk load. Set semantics: inserting an
+/// existing key overwrites its value.
+///
+/// Leaves come in two formats (leaf_codec.h): fixed 24-byte entries, or
+/// delta-compressed varint-gap runs with an in-page restart directory.
+/// The format is chosen per BulkLoad/Create; both support all operations
+/// (inserting into a full compressed leaf decodes, re-encodes, and splits
+/// it), and iteration order is identical, so callers other than the
+/// bulk-loader never see the difference.
 class BTree {
  public:
   struct Item {
@@ -40,16 +30,22 @@ class BTree {
   };
 
   /// Creates an empty tree, allocating its root in `pool`.
-  static Result<BTree> Create(BufferPool* pool);
+  static Result<BTree> Create(BufferPool* pool,
+                              LeafFormat format = LeafFormat::kFixed);
 
   /// Reattaches to an existing tree rooted at `root`.
   static BTree Attach(BufferPool* pool, PageId root, uint64_t size);
 
-  /// Builds a packed tree from strictly-ascending items (leaves ~100% full).
+  /// Builds a packed tree from strictly-ascending items (leaves ~100%
+  /// full). Non-strictly-ascending input is InvalidArgument.
   static Result<BTree> BulkLoad(BufferPool* pool,
-                                const std::vector<Item>& sorted_items);
+                                const std::vector<Item>& sorted_items,
+                                LeafFormat format = LeafFormat::kFixed);
 
-  Status Insert(const Key128& key, uint64_t value);
+  /// Upserts. When `inserted` is non-null it reports whether the key was
+  /// new (false: an existing key's value was overwritten) — what lets the
+  /// triple store maintain its aggregated counts exactly under mutation.
+  Status Insert(const Key128& key, uint64_t value, bool* inserted = nullptr);
 
   /// Value for `key`; NotFound if absent.
   [[nodiscard]] Result<uint64_t> Lookup(const Key128& key) const;
@@ -58,6 +54,15 @@ class BTree {
   /// `fn` to stop early.
   Status RangeScan(const Key128& lo, const Key128& hi,
                    const std::function<bool(const Item&)>& fn) const;
+
+  /// Run-granular variant of RangeScan: delivers each leaf's in-range
+  /// items as one decoded run (fixed leaves: the page's entry range;
+  /// compressed leaves: one decode of the page). The concatenation of the
+  /// runs is exactly the RangeScan item sequence; return false to stop.
+  /// Run pointers are only valid during the callback.
+  Status RangeScanRuns(
+      const Key128& lo, const Key128& hi,
+      const std::function<bool(const Item* run, size_t n)>& fn) const;
 
   PageId root() const { return root_; }
   uint64_t size() const { return size_; }
@@ -76,6 +81,8 @@ class BTree {
 
   Result<SplitResult> InsertRec(PageId page, const Key128& key,
                                 uint64_t value);
+  Result<SplitResult> InsertCompressedLeaf(PageRef& page, const Key128& key,
+                                           uint64_t value);
 
   BufferPool* pool_;
   PageId root_;

@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <unordered_map>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "rdf/dictionary.h"
 #include "rdf/triple_source.h"
 #include "storage/disk_triple_store.h"
@@ -24,10 +26,12 @@ namespace lodviz::storage {
 /// the storage layer (scans touching different pool shards do not
 /// contend).
 ///
-/// Predicate statistics (for the planner's shared EstimateSelectivity) are
-/// computed once at construction with a full scan; the adapter assumes the
-/// underlying store is not mutated afterwards. Rebuild the adapter after a
-/// bulk load.
+/// Planner statistics (PredicateCount, PairCount) come straight from the
+/// store's aggregated indexes — exact, and no construction-time scan. A
+/// small memoization cache in front of the B-tree lookups keeps the
+/// planner's repeated probes of the same (s,p)/predicate rows off the
+/// buffer pool; it assumes the store is not mutated while the adapter is
+/// live (rebuild the adapter after loading more data, as before).
 class DiskSourceAdapter : public rdf::TripleSource {
  public:
   DiskSourceAdapter(const DiskTripleStore* store, const rdf::Dictionary* dict);
@@ -39,6 +43,11 @@ class DiskSourceAdapter : public rdf::TripleSource {
   void Scan(const rdf::TriplePattern& pattern,
             const ScanFn& fn) const override;
 
+  /// Run-granular Scan (TripleSource contract): forwards leaf-decoded runs
+  /// from the store's B-trees.
+  void ScanRuns(const rdf::TriplePattern& pattern,
+                const ScanRunFn& fn) const override;
+
   [[nodiscard]] uint64_t Count(const rdf::TriplePattern& pattern) const
       override;
 
@@ -46,16 +55,27 @@ class DiskSourceAdapter : public rdf::TripleSource {
 
   [[nodiscard]] uint64_t size() const override { return store_->size(); }
 
-  [[nodiscard]] uint64_t PredicateCount(rdf::TermId p) const override {
-    auto it = pred_counts_.find(p);
-    return it == pred_counts_.end() ? 0 : it->second;
-  }
+  [[nodiscard]] uint64_t PredicateCount(rdf::TermId p) const override;
+
+  [[nodiscard]] uint64_t PairCount(rdf::TermId s,
+                                   rdf::TermId p) const override;
 
  private:
+  /// Cached aggregate lookup keyed (s<<32)|p; predicate rows use s = 0
+  /// (0 is the invalid term id, so no (s,p) row collides with them).
+  uint64_t CachedStat(uint64_t key, uint64_t (*load)(const DiskTripleStore&,
+                                                     uint64_t key)) const;
+
   const DiskTripleStore* store_;
   const rdf::Dictionary* dict_;
 
-  std::unordered_map<rdf::TermId, uint64_t> pred_counts_;
+  /// Planner-statistics memoization. Bounded: wiped when it reaches
+  /// kStatCacheCap entries (statistics rows are tiny; real workloads probe
+  /// far fewer distinct keys than the cap).
+  static constexpr size_t kStatCacheCap = 1 << 16;
+  mutable Mutex stats_mu_;
+  mutable std::unordered_map<uint64_t, uint64_t> stat_cache_
+      LODVIZ_GUARDED_BY(stats_mu_);
 };
 
 }  // namespace lodviz::storage

@@ -1,6 +1,8 @@
 #include "storage/disk_triple_store.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -24,63 +26,144 @@ struct DiskStoreMetrics {
   }
 };
 
+/// Sorts, dedups, and returns the BTree items for one triple permutation.
+std::vector<BTree::Item> SortedKeys(const std::vector<rdf::Triple>& triples,
+                                    Key128 (*key_fn)(const rdf::Triple&)) {
+  std::vector<BTree::Item> items(triples.size());
+  for (size_t i = 0; i < triples.size(); ++i) items[i].key = key_fn(triples[i]);
+  std::sort(items.begin(), items.end(),
+            [](const BTree::Item& a, const BTree::Item& b) {
+              return a.key < b.key;
+            });
+  items.erase(std::unique(items.begin(), items.end(),
+                          [](const BTree::Item& a, const BTree::Item& b) {
+                            return a.key == b.key;
+                          }),
+              items.end());
+  return items;
+}
+
+/// Counts runs of equal `group(key)` over sorted items — the aggregated
+/// index rows. The input is ascending, so the output is strictly
+/// ascending and bulk-loadable directly.
+std::vector<BTree::Item> GroupCounts(const std::vector<BTree::Item>& sorted,
+                                     uint64_t (*group)(const Key128&)) {
+  std::vector<BTree::Item> out;
+  size_t i = 0;
+  while (i < sorted.size()) {
+    const uint64_t g = group(sorted[i].key);
+    size_t j = i;
+    while (j < sorted.size() && group(sorted[j].key) == g) ++j;
+    out.push_back({Key128{g, 0}, j - i});
+    i = j;
+  }
+  return out;
+}
+
 }  // namespace
+
+LeafFormat DiskTripleStore::DefaultLeafFormat() {
+  const char* env = std::getenv("LODVIZ_DISK_LEAF");
+  if (env != nullptr && std::strcmp(env, "fixed") == 0) {
+    return LeafFormat::kFixed;
+  }
+  return LeafFormat::kCompressed;
+}
 
 Result<std::unique_ptr<DiskTripleStore>> DiskTripleStore::Create(
     const std::string& path, size_t pool_pages) {
+  return Create(path, pool_pages, DefaultLeafFormat());
+}
+
+Result<std::unique_ptr<DiskTripleStore>> DiskTripleStore::Create(
+    const std::string& path, size_t pool_pages, LeafFormat format) {
   auto store = std::make_unique<DiskTripleStore>(Private{});
+  store->format_ = format;
   store->file_ = std::make_unique<PageFile>();
   LODVIZ_RETURN_NOT_OK(store->file_->Open(path, /*truncate=*/true));
   store->pool_ = std::make_unique<BufferPool>(store->file_.get(), pool_pages);
-  LODVIZ_ASSIGN_OR_RETURN(BTree spo, BTree::Create(store->pool_.get()));
-  LODVIZ_ASSIGN_OR_RETURN(BTree pos, BTree::Create(store->pool_.get()));
+  LODVIZ_ASSIGN_OR_RETURN(BTree spo, BTree::Create(store->pool_.get(), format));
+  LODVIZ_ASSIGN_OR_RETURN(BTree pos, BTree::Create(store->pool_.get(), format));
+  LODVIZ_ASSIGN_OR_RETURN(BTree sp_agg,
+                          BTree::Create(store->pool_.get(), format));
+  LODVIZ_ASSIGN_OR_RETURN(BTree p_agg,
+                          BTree::Create(store->pool_.get(), format));
   store->spo_ = std::make_unique<BTree>(std::move(spo));
   store->pos_ = std::make_unique<BTree>(std::move(pos));
+  store->sp_agg_ = std::make_unique<BTree>(std::move(sp_agg));
+  store->p_agg_ = std::make_unique<BTree>(std::move(p_agg));
   return store;
+}
+
+Status DiskTripleStore::BumpAggregate(BTree* agg, const Key128& key,
+                                      uint64_t delta) {
+  uint64_t current = 0;
+  Result<uint64_t> r = agg->Lookup(key);
+  if (r.ok()) {
+    current = *r;
+  } else if (r.status().code() != StatusCode::kNotFound) {
+    return r.status();
+  }
+  return agg->Insert(key, current + delta);
 }
 
 Status DiskTripleStore::Insert(const rdf::Triple& t) {
   DiskStoreMetrics::Get().inserts.Increment();
-  LODVIZ_RETURN_NOT_OK(spo_->Insert(SpoKey(t), 0));
-  return pos_->Insert(PosKey(t), 0);
+  bool inserted = false;
+  LODVIZ_RETURN_NOT_OK(spo_->Insert(SpoKey(t), 0, &inserted));
+  LODVIZ_RETURN_NOT_OK(pos_->Insert(PosKey(t), 0));
+  if (inserted) {
+    // New triple: the aggregated counts move with it.
+    LODVIZ_RETURN_NOT_OK(BumpAggregate(
+        sp_agg_.get(), Key128{(static_cast<uint64_t>(t.s) << 32) | t.p, 0}, 1));
+    LODVIZ_RETURN_NOT_OK(BumpAggregate(p_agg_.get(), Key128{t.p, 0}, 1));
+  }
+  return Status::OK();
 }
 
 Status DiskTripleStore::BulkLoad(std::vector<rdf::Triple> triples) {
   LODVIZ_TRACE_SPAN("storage.disk_store.bulk_load");
-  std::vector<BTree::Item> items(triples.size());
-  for (size_t i = 0; i < triples.size(); ++i) items[i].key = SpoKey(triples[i]);
-  std::sort(items.begin(), items.end(),
-            [](const BTree::Item& a, const BTree::Item& b) {
-              return a.key < b.key;
-            });
-  items.erase(std::unique(items.begin(), items.end(),
-                          [](const BTree::Item& a, const BTree::Item& b) {
-                            return a.key == b.key;
-                          }),
-              items.end());
-  LODVIZ_ASSIGN_OR_RETURN(BTree spo, BTree::BulkLoad(pool_.get(), items));
-  *spo_ = std::move(spo);
-
-  items.clear();
-  items.resize(triples.size());
-  for (size_t i = 0; i < triples.size(); ++i) items[i].key = PosKey(triples[i]);
-  std::sort(items.begin(), items.end(),
-            [](const BTree::Item& a, const BTree::Item& b) {
-              return a.key < b.key;
-            });
-  items.erase(std::unique(items.begin(), items.end(),
-                          [](const BTree::Item& a, const BTree::Item& b) {
-                            return a.key == b.key;
-                          }),
-              items.end());
-  LODVIZ_ASSIGN_OR_RETURN(BTree pos, BTree::BulkLoad(pool_.get(), items));
-  *pos_ = std::move(pos);
+  {
+    std::vector<BTree::Item> items = SortedKeys(triples, &SpoKey);
+    // SPO keys group by hi = (s<<32)|p — exactly the sp_agg rows.
+    std::vector<BTree::Item> sp_rows =
+        GroupCounts(items, [](const Key128& k) { return k.hi; });
+    LODVIZ_ASSIGN_OR_RETURN(BTree spo,
+                            BTree::BulkLoad(pool_.get(), items, format_));
+    *spo_ = std::move(spo);
+    LODVIZ_ASSIGN_OR_RETURN(BTree sp_agg,
+                            BTree::BulkLoad(pool_.get(), sp_rows, format_));
+    *sp_agg_ = std::move(sp_agg);
+  }
+  {
+    std::vector<BTree::Item> items = SortedKeys(triples, &PosKey);
+    // POS keys group by p = hi>>32 — the p_agg rows.
+    std::vector<BTree::Item> p_rows =
+        GroupCounts(items, [](const Key128& k) { return k.hi >> 32; });
+    LODVIZ_ASSIGN_OR_RETURN(BTree pos,
+                            BTree::BulkLoad(pool_.get(), items, format_));
+    *pos_ = std::move(pos);
+    LODVIZ_ASSIGN_OR_RETURN(BTree p_agg,
+                            BTree::BulkLoad(pool_.get(), p_rows, format_));
+    *p_agg_ = std::move(p_agg);
+  }
   return Status::OK();
 }
 
 Status DiskTripleStore::Scan(
     const rdf::TriplePattern& pattern,
     const std::function<bool(const rdf::Triple&)>& fn) const {
+  return ScanRuns(pattern, [&](const rdf::Triple* run, size_t n) {
+    for (size_t i = 0; i < n; ++i) {
+      if (!fn(run[i])) return false;
+    }
+    return true;
+  });
+}
+
+Status DiskTripleStore::ScanRuns(
+    const rdf::TriplePattern& pattern,
+    const std::function<bool(const rdf::Triple* run, size_t n)>& fn) const {
   using rdf::kInvalidTermId;
   LODVIZ_TRACE_SPAN("storage.disk_store.scan");
   const DiskStoreMetrics& metrics = DiskStoreMetrics::Get();
@@ -88,15 +171,26 @@ Status DiskTripleStore::Scan(
   // Rows are tallied locally and folded in once per scan so the per-row
   // path stays free of shared-cache-line traffic.
   uint64_t rows = 0;
-  auto emit = [&](const rdf::Triple& t) {
-    ++rows;
-    return !pattern.Matches(t) || fn(t);
-  };
   struct RowFold {
     const DiskStoreMetrics& metrics;
     const uint64_t& rows;
     ~RowFold() { metrics.rows_scanned.Increment(rows); }
   } fold{metrics, rows};
+
+  // One leaf run of Key128 items decodes into `scratch` as triples (with
+  // the pattern's residual filter applied) and is delivered as one run —
+  // the executor extends whole runs into its column batches.
+  std::vector<rdf::Triple> scratch;
+  auto deliver = [&](const BTree::Item* run, size_t n,
+                     rdf::Triple (*from_key)(const Key128&)) {
+    scratch.clear();
+    for (size_t i = 0; i < n; ++i) {
+      ++rows;
+      rdf::Triple t = from_key(run[i].key);
+      if (pattern.Matches(t)) scratch.push_back(t);
+    }
+    return scratch.empty() || fn(scratch.data(), scratch.size());
+  };
 
   if (pattern.s != kInvalidTermId) {
     // SPO range on (s) or (s, p).
@@ -104,8 +198,8 @@ Status DiskTripleStore::Scan(
     Key128 lo{hi_lo | (pattern.p != kInvalidTermId ? pattern.p : 0), 0};
     Key128 hi{hi_lo | (pattern.p != kInvalidTermId ? pattern.p : 0xFFFFFFFFULL),
               ~0ULL};
-    return spo_->RangeScan(lo, hi, [&](const BTree::Item& item) {
-      return emit(FromSpoKey(item.key));
+    return spo_->RangeScanRuns(lo, hi, [&](const BTree::Item* run, size_t n) {
+      return deliver(run, n, &FromSpoKey);
     });
   }
   if (pattern.p != kInvalidTermId) {
@@ -114,18 +208,32 @@ Status DiskTripleStore::Scan(
     Key128 lo{hi_lo | (pattern.o != kInvalidTermId ? pattern.o : 0), 0};
     Key128 hi{hi_lo | (pattern.o != kInvalidTermId ? pattern.o : 0xFFFFFFFFULL),
               ~0ULL};
-    return pos_->RangeScan(lo, hi, [&](const BTree::Item& item) {
-      return emit(FromPosKey(item.key));
+    return pos_->RangeScanRuns(lo, hi, [&](const BTree::Item* run, size_t n) {
+      return deliver(run, n, &FromPosKey);
     });
   }
   // Full scan (also covers object-only patterns; no OSP tree on disk).
-  return spo_->RangeScan(Key128::Min(), Key128::Max(),
-                         [&](const BTree::Item& item) {
-                           return emit(FromSpoKey(item.key));
-                         });
+  return spo_->RangeScanRuns(Key128::Min(), Key128::Max(),
+                             [&](const BTree::Item* run, size_t n) {
+                               return deliver(run, n, &FromSpoKey);
+                             });
 }
 
 uint64_t DiskTripleStore::Count(const rdf::TriplePattern& pattern) const {
+  using rdf::kInvalidTermId;
+  // Aggregate fast paths: these shapes answer from sp_agg / p_agg without
+  // touching the triple trees.
+  if (pattern.o == kInvalidTermId) {
+    if (pattern.s == kInvalidTermId && pattern.p == kInvalidTermId) {
+      return size();
+    }
+    if (pattern.s != kInvalidTermId && pattern.p != kInvalidTermId) {
+      return PairCount(pattern.s, pattern.p);
+    }
+    if (pattern.s == kInvalidTermId && pattern.p != kInvalidTermId) {
+      return PredicateCount(pattern.p);
+    }
+  }
   uint64_t n = 0;
   Status s = Scan(pattern, [&](const rdf::Triple&) {
     ++n;
@@ -133,6 +241,17 @@ uint64_t DiskTripleStore::Count(const rdf::TriplePattern& pattern) const {
   });
   (void)s;
   return n;
+}
+
+uint64_t DiskTripleStore::PairCount(rdf::TermId s, rdf::TermId p) const {
+  Result<uint64_t> r =
+      sp_agg_->Lookup(Key128{(static_cast<uint64_t>(s) << 32) | p, 0});
+  return r.ok() ? *r : 0;
+}
+
+uint64_t DiskTripleStore::PredicateCount(rdf::TermId p) const {
+  Result<uint64_t> r = p_agg_->Lookup(Key128{p, 0});
+  return r.ok() ? *r : 0;
 }
 
 }  // namespace lodviz::storage

@@ -18,18 +18,36 @@ namespace lodviz::storage {
 /// retrieving data dynamically during runtime"). The dictionary stays in
 /// memory (it is orders of magnitude smaller than the triples).
 ///
+/// Leaves use the delta-compressed format by default (leaf_codec.h);
+/// LODVIZ_DISK_LEAF=fixed|compressed or the Create overload overrides it.
+/// The same page file also carries two aggregated indexes maintained
+/// exactly under both BulkLoad and Insert:
+///   sp_agg: (s,p) -> number of distinct objects   (key {(s<<32)|p, 0})
+///   p_agg:  p     -> number of triples             (key {p, 0})
+/// They make PairCount/PredicateCount exact O(log n) lookups, which is
+/// what lets the planner cost BGPs from real cardinalities.
+///
 /// Memory use is capped at `pool_pages` * 8 KiB regardless of dataset size.
 class DiskTripleStore {
  public:
-  /// Creates a fresh store at `path` with a `pool_pages`-page buffer pool.
+  /// Leaf format for a fresh store: LODVIZ_DISK_LEAF=fixed|compressed,
+  /// defaulting to compressed.
+  static LeafFormat DefaultLeafFormat();
+
+  /// Creates a fresh store at `path` with a `pool_pages`-page buffer pool
+  /// and DefaultLeafFormat() leaves.
   static Result<std::unique_ptr<DiskTripleStore>> Create(
       const std::string& path, size_t pool_pages);
+
+  /// Creates a fresh store with an explicit leaf format.
+  static Result<std::unique_ptr<DiskTripleStore>> Create(
+      const std::string& path, size_t pool_pages, LeafFormat format);
 
   /// Inserts one (already dictionary-encoded) triple.
   Status Insert(const rdf::Triple& t);
 
-  /// Bulk-loads sorted-agnostic triples (sorts internally, packs leaves).
-  /// Call on an empty store.
+  /// Bulk-loads sorted-agnostic triples (sorts internally, packs leaves,
+  /// builds the aggregated indexes). Call on an empty store.
   Status BulkLoad(std::vector<rdf::Triple> triples);
 
   /// Streams triples matching `pattern` (same wildcard semantics as the
@@ -38,9 +56,24 @@ class DiskTripleStore {
   Status Scan(const rdf::TriplePattern& pattern,
               const std::function<bool(const rdf::Triple&)>& fn) const;
 
+  /// Run-granular Scan: each callback delivers one decoded leaf's worth of
+  /// matching triples; the concatenation equals the Scan sequence. Run
+  /// pointers are only valid during the callback.
+  Status ScanRuns(
+      const rdf::TriplePattern& pattern,
+      const std::function<bool(const rdf::Triple* run, size_t n)>& fn) const;
+
   uint64_t Count(const rdf::TriplePattern& pattern) const;
 
+  /// Exact number of triples with subject `s` and predicate `p`, from the
+  /// sp_agg aggregated index (O(log n), no scan).
+  uint64_t PairCount(rdf::TermId s, rdf::TermId p) const;
+
+  /// Exact number of triples with predicate `p`, from p_agg.
+  uint64_t PredicateCount(rdf::TermId p) const;
+
   uint64_t size() const { return spo_->size(); }
+  LeafFormat leaf_format() const { return format_; }
 
   BufferPool& pool() { return *pool_; }
   const BufferPool& pool() const { return *pool_; }
@@ -57,6 +90,11 @@ class DiskTripleStore {
   explicit DiskTripleStore(Private) {}
 
  private:
+  // The packing below shifts ids by 32, so index order silently corrupts
+  // if TermId ever outgrows 32 bits (the dictionary CHECKs the same bound
+  // at Intern time).
+  static_assert(sizeof(rdf::TermId) <= 4,
+                "Key128 triple packing assumes TermId fits in 32 bits");
 
   static Key128 SpoKey(const rdf::Triple& t) {
     return {(static_cast<uint64_t>(t.s) << 32) | t.p, t.o};
@@ -75,10 +113,16 @@ class DiskTripleStore {
                        static_cast<rdf::TermId>(k.hi & 0xFFFFFFFF));
   }
 
+  /// Adds `delta` to the aggregate row `key` in `agg` (missing row = 0).
+  static Status BumpAggregate(BTree* agg, const Key128& key, uint64_t delta);
+
   std::unique_ptr<PageFile> file_;
   std::unique_ptr<BufferPool> pool_;
   std::unique_ptr<BTree> spo_;
   std::unique_ptr<BTree> pos_;
+  std::unique_ptr<BTree> sp_agg_;
+  std::unique_ptr<BTree> p_agg_;
+  LeafFormat format_ = LeafFormat::kCompressed;
 };
 
 }  // namespace lodviz::storage

@@ -1,0 +1,31 @@
+// Fixture: a read-path memoization cache mutated under a mutex from const
+// methods — the shape the disk adapter's statistics cache uses — but with
+// the cache member left unannotated. The lint must not be fooled by the
+// `mutable` keyword or by the class being "logically const".
+// LINT-EXPECT: concurrency.guarded_by
+#ifndef LODVIZ_STATS_CACHE_UNGUARDED_H_
+#define LODVIZ_STATS_CACHE_UNGUARDED_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace lodviz::fixture {
+
+class CardinalityCache {
+ public:
+  // Looks up a memoized count, loading and inserting on miss.
+  uint64_t Get(uint64_t key) const;
+
+ private:
+  mutable Mutex stats_mu_;
+  // Mutated from const readers under stats_mu_, but nothing here says so:
+  // must fire.
+  mutable std::unordered_map<uint64_t, uint64_t> cache_;
+};
+
+}  // namespace lodviz::fixture
+
+#endif  // LODVIZ_STATS_CACHE_UNGUARDED_H_

@@ -511,5 +511,377 @@ TEST(CrackingTest, RepeatedQueryIsFree) {
   EXPECT_EQ(cracker.elements_touched(), touched);
 }
 
+// ---- leaf codec ----
+
+TEST(LeafCodecTest, VarintRoundTrip) {
+  const uint64_t values[] = {0,    1,        127,        128,
+                             300,  16383,    16384,      (1ULL << 32) - 1,
+                             1ULL << 32,     ~0ULL};
+  uint8_t buf[16];
+  for (uint64_t v : values) {
+    uint8_t* end = PutVarint64(buf, v);
+    EXPECT_EQ(static_cast<size_t>(end - buf), VarintLength(v));
+    uint64_t back = 0;
+    const uint8_t* rd = GetVarint64(buf, end, &back);
+    ASSERT_NE(rd, nullptr) << v;
+    EXPECT_EQ(rd, end);
+    EXPECT_EQ(back, v);
+    // Truncated input must fail, not read past the limit.
+    if (end - buf > 1) {
+      EXPECT_EQ(GetVarint64(buf, end - 1, &back), nullptr) << v;
+    }
+  }
+}
+
+TEST(LeafCodecTest, BuildDecodeFindRoundTrip) {
+  alignas(8) uint8_t page[kPageSize] = {};
+  const size_t header = 16;
+  CompressedLeafBuilder builder(page, header);
+  // Clustered keys (shared hi runs) with a mix of zero and set values —
+  // the triple-index shape the format is tuned for.
+  std::vector<BTree::Item> items;
+  for (uint64_t hi = 10; hi < 40; ++hi) {
+    for (uint64_t lo = 0; lo < 20; lo += 3) {
+      items.push_back({{hi << 8, lo * 7}, (hi + lo) % 3 == 0 ? hi + lo : 0});
+    }
+  }
+  for (const BTree::Item& item : items) {
+    ASSERT_TRUE(builder.Append(item.key, item.value));
+  }
+  const uint16_t count = builder.Finish();
+  ASSERT_EQ(count, items.size());
+
+  CompressedLeafReader reader(page, header, count);
+  std::vector<BTree::Item> decoded;
+  reader.DecodeFrom(Key128::Min(), &decoded);
+  ASSERT_EQ(decoded.size(), items.size());
+  for (size_t i = 0; i < items.size(); ++i) {
+    EXPECT_TRUE(decoded[i].key == items[i].key) << i;
+    EXPECT_EQ(decoded[i].value, items[i].value) << i;
+  }
+
+  // Point lookups: every key found, gaps absent.
+  for (const BTree::Item& item : items) {
+    uint64_t v = ~0ULL;
+    ASSERT_TRUE(reader.Find(item.key, &v));
+    EXPECT_EQ(v, item.value);
+  }
+  uint64_t v;
+  EXPECT_FALSE(reader.Find({1, 1}, &v));
+  EXPECT_FALSE(reader.Find({items[3].key.hi, items[3].key.lo + 1}, &v));
+
+  // Mid-page seek: DecodeFrom(k) returns exactly the suffix from k on.
+  const Key128 mid = items[items.size() / 2].key;
+  decoded.clear();
+  reader.DecodeFrom(mid, &decoded);
+  ASSERT_EQ(decoded.size(), items.size() - items.size() / 2);
+  EXPECT_TRUE(decoded.front().key == mid);
+}
+
+TEST(LeafCodecTest, CompressedPageHoldsManyMoreClusteredEntries) {
+  alignas(8) uint8_t page[kPageSize] = {};
+  CompressedLeafBuilder builder(page, 16);
+  // Dense SPO-like keys: small gaps, zero values.
+  size_t n = 0;
+  while (builder.Append({1000 + n / 16, (n % 16) * 3}, 0)) ++n;
+  const size_t fixed_capacity = (kPageSize - 16) / 24;
+  EXPECT_GE(n, 2 * fixed_capacity)
+      << "compressed leaf should pack >=2x the fixed-format entries";
+}
+
+// ---- BulkLoad edge cases (both leaf formats) ----
+
+class BTreeFormatTest : public ::testing::TestWithParam<LeafFormat> {
+ protected:
+  static std::string Name() {
+    return GetParam() == LeafFormat::kFixed ? "fixed" : "compressed";
+  }
+};
+
+TEST_P(BTreeFormatTest, BulkLoadEmpty) {
+  PageFile file;
+  ASSERT_TRUE(file.Open(TempPath("bl0" + Name()), true).ok());
+  BufferPool pool(&file, 16);
+  auto tree = BTree::BulkLoad(&pool, {}, GetParam());
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->size(), 0u);
+  EXPECT_FALSE(tree->Lookup(K(1)).ok());
+  // An empty-loaded tree accepts inserts in its declared format.
+  bool inserted = false;
+  ASSERT_TRUE(tree->Insert(K(5, 5), 1, &inserted).ok());
+  EXPECT_TRUE(inserted);
+  EXPECT_EQ(test::Unwrap(tree->Lookup(K(5, 5))), 1u);
+}
+
+TEST_P(BTreeFormatTest, BulkLoadSingleItem) {
+  PageFile file;
+  ASSERT_TRUE(file.Open(TempPath("bl1" + Name()), true).ok());
+  BufferPool pool(&file, 16);
+  auto tree = BTree::BulkLoad(&pool, {{K(42, 7), 99}}, GetParam());
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->size(), 1u);
+  EXPECT_EQ(test::Unwrap(tree->Lookup(K(42, 7))), 99u);
+  EXPECT_FALSE(tree->Lookup(K(42, 8)).ok());
+}
+
+TEST_P(BTreeFormatTest, BulkLoadExactlyOneFullLeaf) {
+  PageFile file;
+  ASSERT_TRUE(file.Open(TempPath("bl2" + Name()), true).ok());
+  BufferPool pool(&file, 16);
+  // The fixed bulk loader packs (capacity - 1) entries per leaf; fill
+  // exactly that so the tree is a single full leaf with no internal level.
+  const size_t per_leaf = (kPageSize - 16) / 24 - 1;
+  std::vector<BTree::Item> items;
+  for (uint64_t i = 0; i < per_leaf; ++i) items.push_back({K(i), i});
+  auto tree = BTree::BulkLoad(&pool, items, GetParam());
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->size(), per_leaf);
+  if (GetParam() == LeafFormat::kFixed) {
+    EXPECT_EQ(tree->height(), 1);
+  }
+  uint64_t n = 0;
+  ASSERT_TRUE(tree->RangeScan(Key128::Min(), Key128::Max(),
+                              [&](const BTree::Item& item) {
+                                EXPECT_EQ(item.key.hi, n);
+                                ++n;
+                                return true;
+                              })
+                  .ok());
+  EXPECT_EQ(n, per_leaf);
+  // The next insert still works (splits if the leaf is full).
+  ASSERT_TRUE(tree->Insert(K(per_leaf), per_leaf).ok());
+  EXPECT_EQ(tree->size(), per_leaf + 1);
+}
+
+TEST_P(BTreeFormatTest, BulkLoadRejectsNonAscendingInput) {
+  PageFile file;
+  ASSERT_TRUE(file.Open(TempPath("bl3" + Name()), true).ok());
+  BufferPool pool(&file, 16);
+  // Duplicate key.
+  auto dup = BTree::BulkLoad(&pool, {{K(1), 1}, {K(1), 2}}, GetParam());
+  ASSERT_FALSE(dup.ok());
+  EXPECT_EQ(dup.status().code(), StatusCode::kInvalidArgument);
+  // Out of order.
+  auto desc = BTree::BulkLoad(&pool, {{K(2), 1}, {K(1), 2}}, GetParam());
+  ASSERT_FALSE(desc.ok());
+  EXPECT_EQ(desc.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_P(BTreeFormatTest, RangeScanRunsConcatenationEqualsRangeScan) {
+  PageFile file;
+  ASSERT_TRUE(file.Open(TempPath("bl4" + Name()), true).ok());
+  BufferPool pool(&file, 32);
+  std::vector<BTree::Item> items;
+  for (uint64_t i = 0; i < 8000; ++i) items.push_back({K(i / 5, i % 5), i});
+  auto tree = BTree::BulkLoad(&pool, items, GetParam());
+  ASSERT_TRUE(tree.ok());
+
+  const Key128 lo = K(37, 1), hi = K(1200, 2);
+  std::vector<BTree::Item> via_scan;
+  ASSERT_TRUE(tree->RangeScan(lo, hi, [&](const BTree::Item& item) {
+                    via_scan.push_back(item);
+                    return true;
+                  }).ok());
+  std::vector<BTree::Item> via_runs;
+  size_t num_runs = 0;
+  ASSERT_TRUE(tree->RangeScanRuns(lo, hi,
+                                  [&](const BTree::Item* run, size_t n) {
+                                    via_runs.insert(via_runs.end(), run,
+                                                    run + n);
+                                    ++num_runs;
+                                    return true;
+                                  })
+                  .ok());
+  ASSERT_EQ(via_runs.size(), via_scan.size());
+  for (size_t i = 0; i < via_scan.size(); ++i) {
+    EXPECT_TRUE(via_runs[i].key == via_scan[i].key) << i;
+    EXPECT_EQ(via_runs[i].value, via_scan[i].value) << i;
+  }
+  // Runs are leaf-granular: far fewer callbacks than items.
+  EXPECT_LT(num_runs, via_scan.size() / 8);
+
+  // Early exit: one run, then stop.
+  size_t calls = 0;
+  ASSERT_TRUE(tree->RangeScanRuns(lo, hi,
+                                  [&](const BTree::Item*, size_t) {
+                                    ++calls;
+                                    return false;
+                                  })
+                  .ok());
+  EXPECT_EQ(calls, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Formats, BTreeFormatTest,
+                         ::testing::Values(LeafFormat::kFixed,
+                                           LeafFormat::kCompressed));
+
+/// Model check of the compressed leaf format under random point inserts:
+/// exercises decode/re-encode in place and compressed-leaf splits against
+/// std::map, with evictions (16-page pool).
+TEST(BTreeCompressedTest, RandomInsertsAgreeWithStdMap) {
+  PageFile file;
+  ASSERT_TRUE(file.Open(TempPath("btc1"), true).ok());
+  BufferPool pool(&file, 16);
+  auto tree_r = BTree::Create(&pool, LeafFormat::kCompressed);
+  ASSERT_TRUE(tree_r.ok());
+  BTree& tree = tree_r.ValueOrDie();
+
+  Rng rng(99);
+  std::map<std::pair<uint64_t, uint64_t>, uint64_t> model;
+  for (int i = 0; i < 20000; ++i) {
+    Key128 key = K(rng.Uniform(3000), rng.Uniform(4));
+    uint64_t value = rng.Next();
+    ASSERT_TRUE(tree.Insert(key, value).ok());
+    model[{key.hi, key.lo}] = value;
+  }
+  EXPECT_EQ(tree.size(), model.size());
+
+  for (int i = 0; i < 500; ++i) {
+    Key128 key = K(rng.Uniform(3000), rng.Uniform(4));
+    auto it = model.find({key.hi, key.lo});
+    auto r = tree.Lookup(key);
+    if (it == model.end()) {
+      EXPECT_FALSE(r.ok());
+    } else {
+      ASSERT_TRUE(r.ok());
+      EXPECT_EQ(r.ValueOrDie(), it->second);
+    }
+  }
+
+  std::vector<std::pair<uint64_t, uint64_t>> got;
+  ASSERT_TRUE(tree.RangeScan(Key128::Min(), Key128::Max(),
+                             [&](const BTree::Item& item) {
+                               got.emplace_back(item.key.hi, item.key.lo);
+                               return true;
+                             })
+                  .ok());
+  std::vector<std::pair<uint64_t, uint64_t>> want;
+  for (const auto& [k, v] : model) want.push_back(k);
+  EXPECT_EQ(got, want);
+}
+
+/// Same data under both leaf formats: identical query results, far fewer
+/// pages for the compressed layout.
+TEST(BTreeCompressedTest, FormatsAgreeAndCompressedUsesFewerPages) {
+  std::vector<BTree::Item> items;
+  for (uint64_t i = 0; i < 60000; ++i) items.push_back({K(i / 8, i % 8), 0});
+
+  PageFile fixed_file, comp_file;
+  ASSERT_TRUE(fixed_file.Open(TempPath("fmt_f"), true).ok());
+  ASSERT_TRUE(comp_file.Open(TempPath("fmt_c"), true).ok());
+  BufferPool fixed_pool(&fixed_file, 64), comp_pool(&comp_file, 64);
+  auto fixed = BTree::BulkLoad(&fixed_pool, items, LeafFormat::kFixed);
+  auto comp = BTree::BulkLoad(&comp_pool, items, LeafFormat::kCompressed);
+  ASSERT_TRUE(fixed.ok() && comp.ok());
+
+  const Key128 lo = K(100, 0), hi = K(5000, ~0ULL);
+  std::vector<Key128> from_fixed, from_comp;
+  ASSERT_TRUE(fixed->RangeScan(lo, hi, [&](const BTree::Item& item) {
+                     from_fixed.push_back(item.key);
+                     return true;
+                   }).ok());
+  ASSERT_TRUE(comp->RangeScan(lo, hi, [&](const BTree::Item& item) {
+                    from_comp.push_back(item.key);
+                    return true;
+                  }).ok());
+  ASSERT_EQ(from_fixed.size(), from_comp.size());
+  for (size_t i = 0; i < from_fixed.size(); ++i) {
+    EXPECT_TRUE(from_fixed[i] == from_comp[i]) << i;
+  }
+
+  EXPECT_LE(comp_file.num_pages() * 2, fixed_file.num_pages())
+      << "compressed layout should use <= half the pages";
+}
+
+// ---- aggregated indexes ----
+
+TEST(DiskTripleStoreTest, AggregatesExactAfterBulkLoadAndInsert) {
+  auto disk_r =
+      DiskTripleStore::Create(TempPath("agg1"), 64, LeafFormat::kCompressed);
+  ASSERT_TRUE(disk_r.ok());
+  DiskTripleStore& disk = **disk_r;
+
+  Rng rng(11);
+  std::vector<rdf::Triple> triples;
+  for (int i = 0; i < 5000; ++i) {
+    triples.emplace_back(static_cast<rdf::TermId>(1 + rng.Uniform(50)),
+                         static_cast<rdf::TermId>(1 + rng.Uniform(6)),
+                         static_cast<rdf::TermId>(1 + rng.Uniform(400)));
+  }
+  ASSERT_TRUE(disk.BulkLoad(triples).ok());
+
+  auto brute_pair = [&](rdf::TermId s, rdf::TermId p) {
+    uint64_t n = 0;
+    Status st = disk.Scan(rdf::TriplePattern(s, p, rdf::kInvalidTermId),
+                          [&](const rdf::Triple&) {
+                            ++n;
+                            return true;
+                          });
+    EXPECT_TRUE(st.ok());
+    return n;
+  };
+  for (rdf::TermId s = 1; s <= 50; ++s) {
+    for (rdf::TermId p = 1; p <= 6; ++p) {
+      ASSERT_EQ(disk.PairCount(s, p), brute_pair(s, p)) << s << " " << p;
+    }
+  }
+  for (rdf::TermId p = 1; p <= 7; ++p) {
+    uint64_t brute = 0;
+    for (rdf::TermId s = 1; s <= 50; ++s) brute += brute_pair(s, p);
+    ASSERT_EQ(disk.PredicateCount(p), brute) << p;
+  }
+  EXPECT_EQ(disk.PairCount(51, 1), 0u);
+
+  // Point inserts keep the aggregates exact: a new triple bumps both, a
+  // duplicate bumps neither.
+  const uint64_t sp_before = disk.PairCount(1, 1);
+  const uint64_t p_before = disk.PredicateCount(1);
+  ASSERT_TRUE(disk.Insert({1, 1, 999}).ok());
+  EXPECT_EQ(disk.PairCount(1, 1), sp_before + 1);
+  EXPECT_EQ(disk.PredicateCount(1), p_before + 1);
+  ASSERT_TRUE(disk.Insert({1, 1, 999}).ok());
+  EXPECT_EQ(disk.PairCount(1, 1), sp_before + 1);
+  EXPECT_EQ(disk.PredicateCount(1), p_before + 1);
+}
+
+TEST(DiskTripleStoreTest, ScanRunsMatchesScanAcrossFormats) {
+  Rng rng(21);
+  std::vector<rdf::Triple> triples;
+  for (int i = 0; i < 4000; ++i) {
+    triples.emplace_back(static_cast<rdf::TermId>(1 + rng.Uniform(80)),
+                         static_cast<rdf::TermId>(1 + rng.Uniform(5)),
+                         static_cast<rdf::TermId>(1 + rng.Uniform(300)));
+  }
+  for (LeafFormat format : {LeafFormat::kFixed, LeafFormat::kCompressed}) {
+    auto disk_r = DiskTripleStore::Create(
+        TempPath(format == LeafFormat::kFixed ? "sr_f" : "sr_c"), 32, format);
+    ASSERT_TRUE(disk_r.ok());
+    DiskTripleStore& disk = **disk_r;
+    ASSERT_TRUE(disk.BulkLoad(triples).ok());
+    for (int mask = 0; mask < 8; ++mask) {
+      rdf::TriplePattern pat;
+      if (mask & 1) pat.s = 17;
+      if (mask & 2) pat.p = 3;
+      if (mask & 4) pat.o = 150;
+      std::vector<rdf::Triple> via_scan, via_runs;
+      ASSERT_TRUE(disk.Scan(pat, [&](const rdf::Triple& t) {
+                        via_scan.push_back(t);
+                        return true;
+                      }).ok());
+      ASSERT_TRUE(disk.ScanRuns(pat,
+                                [&](const rdf::Triple* run, size_t n) {
+                                  via_runs.insert(via_runs.end(), run,
+                                                  run + n);
+                                  return true;
+                                })
+                      .ok());
+      ASSERT_EQ(via_runs.size(), via_scan.size()) << "mask=" << mask;
+      for (size_t i = 0; i < via_scan.size(); ++i) {
+        EXPECT_EQ(via_runs[i], via_scan[i]) << "mask=" << mask << " i=" << i;
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace lodviz::storage
